@@ -1,0 +1,120 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Every benchmark regenerates one table or figure of the paper over the
+synthetic SPECint95 stand-in suite, prints it, and writes it to
+``benchmarks/results/<name>.txt``.  Expensive pipeline runs are cached per
+session (several figures share the same scheme evaluations).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+(add ``-s`` to see the tables inline; they are always written to the
+results directory).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.evaluation import (
+    EvaluationResult,
+    baseline_time,
+    bb_scheme,
+    evaluate_program,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.core.tail_duplication import TreegionLimits
+from repro.machine import PAPER_MACHINES
+from repro.schedule import ScheduleOptions
+from repro.workloads.specint import BENCHMARK_NAMES, build_suite
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_SCHEMES = {
+    "bb": bb_scheme,
+    "slr": slr_scheme,
+    "treegion": treegion_scheme,
+    "superblock": superblock_scheme,
+}
+
+
+class Lab:
+    """Cached access to suite programs, baselines, and evaluations."""
+
+    def __init__(self):
+        self.suite = build_suite()
+        self._baselines: Dict[str, float] = {}
+        self._evals: Dict[Tuple, EvaluationResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def baseline(self, bench: str) -> float:
+        if bench not in self._baselines:
+            self._baselines[bench] = baseline_time(self.suite[bench])
+        return self._baselines[bench]
+
+    def evaluate(
+        self,
+        bench: str,
+        scheme_name: str,
+        machine_name: str,
+        heuristic: str = "dep_height",
+        dominator_parallelism: bool = False,
+        td_limit: Optional[float] = None,
+    ) -> EvaluationResult:
+        key = (bench, scheme_name, machine_name, heuristic,
+               dominator_parallelism, td_limit)
+        if key not in self._evals:
+            if scheme_name == "treegion-td":
+                limits = TreegionLimits(code_expansion=td_limit or 2.0)
+                scheme = treegion_td_scheme(limits)
+            else:
+                scheme = _SCHEMES[scheme_name]()
+            machine = PAPER_MACHINES[machine_name]
+            options = ScheduleOptions(
+                heuristic=heuristic,
+                dominator_parallelism=dominator_parallelism,
+            )
+            self._evals[key] = evaluate_program(
+                self.suite[bench], scheme, machine, options
+            )
+        return self._evals[key]
+
+    def speedup(self, bench: str, **kwargs) -> float:
+        result = self.evaluate(bench, **kwargs)
+        return self.baseline(bench) / result.time
+
+
+@pytest.fixture(scope="session")
+def lab() -> Lab:
+    return Lab()
+
+
+@pytest.fixture(scope="session")
+def benchmarks() -> list:
+    return list(BENCHMARK_NAMES)
+
+
+def emit_table(name: str, lines) -> str:
+    """Print a table and persist it under benchmarks/results/."""
+    text = "\n".join(lines) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)
+    return text
+
+
+def geometric_mean(values) -> float:
+    values = list(values)
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,65 @@
+"""Ablation: dominator parallelism on/off (Section 4).
+
+"A primary drawback of tail duplication is the introduction of redundant
+operations [...] In some cases the scheduler can take advantage of
+dominator parallelism to eliminate redundant Ops from the schedule."
+
+Measures, per benchmark, tail-duplicated treegion scheduling (limit 3.0,
+global weight, 8U) with and without duplicate elimination: the number of
+merged ops and the speedup delta.  Elimination must never hurt.
+"""
+
+from benchmarks.conftest import emit_table, geometric_mean
+
+ABLATION_BENCHMARKS = ["compress", "gcc", "ijpeg", "li", "m88ksim", "vortex"]
+
+
+def compute_ablation(lab):
+    rows = {}
+    for bench in ABLATION_BENCHMARKS:
+        with_dp = lab.evaluate(
+            bench, scheme_name="treegion-td", machine_name="8U",
+            heuristic="global_weight", dominator_parallelism=True,
+            td_limit=3.0,
+        )
+        without = lab.evaluate(
+            bench, scheme_name="treegion-td", machine_name="8U",
+            heuristic="global_weight", dominator_parallelism=False,
+            td_limit=3.0,
+        )
+        base = lab.baseline(bench)
+        rows[bench] = {
+            "with": base / with_dp.time,
+            "without": base / without.time,
+            "merged": with_dp.total_merged,
+        }
+    return rows
+
+
+def test_ablation_dominator_parallelism(benchmark, lab):
+    rows = benchmark.pedantic(compute_ablation, args=(lab,), rounds=1,
+                              iterations=1)
+
+    lines = [
+        "Ablation: dominator parallelism (treegion-td 3.0, global weight, 8U)",
+        f"{'program':10s} {'with DP':>8s} {'without':>8s} {'merged ops':>11s}",
+    ]
+    for bench in ABLATION_BENCHMARKS:
+        row = rows[bench]
+        lines.append(
+            f"{bench:10s} {row['with']:8.2f} {row['without']:8.2f} "
+            f"{row['merged']:11d}"
+        )
+    mean_with = geometric_mean(rows[b]["with"] for b in ABLATION_BENCHMARKS)
+    mean_without = geometric_mean(
+        rows[b]["without"] for b in ABLATION_BENCHMARKS
+    )
+    lines.append(f"{'geomean':10s} {mean_with:8.2f} {mean_without:8.2f}")
+    emit_table("ablation_dominator_parallelism", lines)
+
+    total_merged = sum(rows[b]["merged"] for b in ABLATION_BENCHMARKS)
+    assert total_merged > 0, "tail duplication should create mergeable ops"
+    for bench in ABLATION_BENCHMARKS:
+        # Elimination never hurts (it frees slots, nothing else).
+        assert rows[bench]["with"] >= rows[bench]["without"] * 0.999, bench
+    assert mean_with >= mean_without

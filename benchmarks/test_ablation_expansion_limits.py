@@ -1,0 +1,62 @@
+"""Ablation: sweeping the treegion code-expansion limit.
+
+The paper evaluates limits 2.0 and 3.0; this sweep fills in the curve from
+1.0 (no duplication — plain treegions) to 4.0, reporting realized code
+expansion and speedup (global weight, dominator parallelism, 8U).
+
+Expected shape: speedup is non-decreasing then saturating in the limit;
+realized expansion grows monotonically and stays below the limit.
+"""
+
+from benchmarks.conftest import emit_table, geometric_mean
+
+SWEEP_BENCHMARKS = ["compress", "gcc", "ijpeg", "li"]
+LIMITS = (1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def compute_sweep(lab):
+    rows = {}
+    for limit in LIMITS:
+        speedups = []
+        expansions = []
+        for bench in SWEEP_BENCHMARKS:
+            result = lab.evaluate(
+                bench, scheme_name="treegion-td", machine_name="8U",
+                heuristic="global_weight", dominator_parallelism=True,
+                td_limit=limit,
+            )
+            speedups.append(lab.baseline(bench) / result.time)
+            expansions.append(result.code_expansion)
+        rows[limit] = {
+            "speedup": geometric_mean(speedups),
+            "expansion": sum(expansions) / len(expansions),
+        }
+    return rows
+
+
+def test_ablation_expansion_limits(benchmark, lab):
+    rows = benchmark.pedantic(compute_sweep, args=(lab,), rounds=1,
+                              iterations=1)
+
+    lines = [
+        "Ablation: code-expansion limit sweep "
+        "(treegion-td, global weight, DP, 8U; geomean of "
+        + ", ".join(SWEEP_BENCHMARKS) + ")",
+        f"{'limit':>6s} {'speedup':>8s} {'realized expansion':>19s}",
+    ]
+    for limit in LIMITS:
+        lines.append(
+            f"{limit:6.1f} {rows[limit]['speedup']:8.3f} "
+            f"{rows[limit]['expansion']:19.2f}"
+        )
+    emit_table("ablation_expansion_limits", lines)
+
+    # Realized expansion is monotone in the limit and bounded by it.
+    for lo, hi in zip(LIMITS, LIMITS[1:]):
+        assert rows[lo]["expansion"] <= rows[hi]["expansion"] * 1.001
+    for limit in LIMITS:
+        assert rows[limit]["expansion"] <= limit + 0.05
+    # Limit 1.0 means no duplication at all.
+    assert rows[1.0]["expansion"] == 1.0
+    # Duplication buys speedup over no duplication.
+    assert rows[3.0]["speedup"] > rows[1.0]["speedup"]

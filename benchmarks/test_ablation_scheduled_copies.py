@@ -1,0 +1,80 @@
+"""Ablation: scheduling the renaming repair copies for real.
+
+The paper excludes renaming copies from its metric ("Copy Ops added due to
+renaming were not used in computing speedup").  This ablation re-runs
+treegion scheduling with the copies materialized as predicated ops that
+compete for issue slots, quantifying exactly how generous the paper's
+accounting is; it also reports the register-pressure cost renaming
+implies (max simultaneously-live GPRs/predicates).
+"""
+
+from repro.machine import VLIW_4U
+from repro.schedule import ScheduleOptions
+from repro.schedule.stats import aggregate_pressure
+from repro.evaluation import evaluate_program, treegion_scheme
+
+from benchmarks.conftest import emit_table, geometric_mean
+
+STUDY_BENCHMARKS = ["compress", "gcc", "li", "vortex"]
+
+
+def compute_copies_ablation(lab):
+    rows = {}
+    for bench in STUDY_BENCHMARKS:
+        base = lab.baseline(bench)
+        program = lab.suite[bench]
+        free = evaluate_program(
+            program, treegion_scheme(), VLIW_4U,
+            ScheduleOptions(heuristic="global_weight"),
+        )
+        charged = evaluate_program(
+            program, treegion_scheme(), VLIW_4U,
+            ScheduleOptions(heuristic="global_weight", schedule_copies=True),
+        )
+        pressure = aggregate_pressure(free.schedules, VLIW_4U)
+        rows[bench] = {
+            "free": base / free.time,
+            "charged": base / charged.time,
+            "copies": free.total_copies,
+            "gpr": pressure.max_live_gpr,
+            "pred": pressure.max_live_pred,
+            "util": pressure.utilization,
+        }
+    return rows
+
+
+def test_ablation_scheduled_copies(benchmark, lab):
+    rows = benchmark.pedantic(compute_copies_ablation, args=(lab,),
+                              rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: renaming copies free (paper accounting) vs scheduled "
+        "(treegion, global weight, 4U)",
+        f"{'program':10s} {'free':>7s} {'charged':>8s} {'penalty':>8s} "
+        f"{'copies':>7s} {'maxGPR':>7s} {'maxPred':>8s} {'util':>6s}",
+    ]
+    for bench in STUDY_BENCHMARKS:
+        row = rows[bench]
+        penalty = 100 * (1 - row["charged"] / row["free"])
+        lines.append(
+            f"{bench:10s} {row['free']:7.2f} {row['charged']:8.2f} "
+            f"{penalty:7.1f}% {row['copies']:7d} {row['gpr']:7d} "
+            f"{row['pred']:8d} {row['util']:6.2f}"
+        )
+    mean_free = geometric_mean(rows[b]["free"] for b in STUDY_BENCHMARKS)
+    mean_charged = geometric_mean(
+        rows[b]["charged"] for b in STUDY_BENCHMARKS
+    )
+    lines.append(
+        f"{'geomean':10s} {mean_free:7.2f} {mean_charged:8.2f} "
+        f"{100 * (1 - mean_charged / mean_free):7.1f}%"
+    )
+    emit_table("ablation_scheduled_copies", lines)
+
+    for bench in STUDY_BENCHMARKS:
+        row = rows[bench]
+        # Charging the copies can only slow schedules down...
+        assert row["charged"] <= row["free"] * 1.001, bench
+        # ...but the paper's choice is defensible: the penalty is modest.
+        assert row["charged"] >= row["free"] * 0.8, bench
+        assert row["copies"] > 0, bench

@@ -1,0 +1,73 @@
+"""Figure 13: global-weight tail-duplicated treegions vs superblocks.
+
+The paper's headline result: "For both machine models, the speedup of
+treegion scheduling exceeds that of superblock scheduling by 15% with a
+code expansion limit of 2.0 (actual code expansion 1.32), and by 20% with
+a code expansion limit of 3.0 (actual code expansion 1.44)."
+
+Shapes reproduced here: tail-duplicated treegions with dominator
+parallelism beat superblocks on the 8-issue machine at both limits, with
+the 3.0 limit at least as good as 2.0; on the narrower 4-issue machine the
+advantage shrinks (our substrate saturates 4 slots sooner than SPECint95
+did — see EXPERIMENTS.md for the quantified deviation).
+"""
+
+from benchmarks.conftest import emit_table, geometric_mean
+
+
+def compute_figure13(lab, benchmarks):
+    rows = {}
+    for bench in benchmarks:
+        rows[bench] = {}
+        for machine in ("4U", "8U"):
+            rows[bench][f"sb{machine}"] = lab.speedup(
+                bench, scheme_name="superblock", machine_name=machine,
+                heuristic="global_weight",
+            )
+            for limit in (2.0, 3.0):
+                rows[bench][f"t{limit:g}_{machine}"] = lab.speedup(
+                    bench, scheme_name="treegion-td", machine_name=machine,
+                    heuristic="global_weight", dominator_parallelism=True,
+                    td_limit=limit,
+                )
+    return rows
+
+
+def test_figure13_tail_dup_vs_superblock(benchmark, lab, benchmarks):
+    rows = benchmark.pedantic(
+        compute_figure13, args=(lab, benchmarks), rounds=1, iterations=1
+    )
+
+    columns = ["sb4U", "t2_4U", "t3_4U", "sb8U", "t2_8U", "t3_8U"]
+    lines = [
+        "Figure 13: global-weight tail-duplicated treegions vs superblocks",
+        "(speedup over 1-issue basic-block scheduling)",
+        f"{'program':10s} " + " ".join(f"{c:>8s}" for c in columns),
+    ]
+    for bench in benchmarks:
+        lines.append(
+            f"{bench:10s} "
+            + " ".join(f"{rows[bench][c]:8.2f}" for c in columns)
+        )
+    means = {c: geometric_mean(rows[b][c] for b in benchmarks)
+             for c in columns}
+    lines.append(
+        f"{'geomean':10s} " + " ".join(f"{means[c]:8.2f}" for c in columns)
+    )
+    lines.append(
+        f"8U advantage over superblocks: "
+        f"tree(2.0) {100 * (means['t2_8U'] / means['sb8U'] - 1):+.1f}%  "
+        f"tree(3.0) {100 * (means['t3_8U'] / means['sb8U'] - 1):+.1f}%  "
+        f"(paper: +15% / +20%)"
+    )
+    emit_table("figure13_tail_dup_vs_superblock", lines)
+
+    # The headline ordering on the wide machine.
+    assert means["t2_8U"] > means["sb8U"] * 1.03
+    assert means["t3_8U"] > means["sb8U"] * 1.03
+    assert means["t3_8U"] >= means["t2_8U"] * 0.99
+    # 4U: treegions stay competitive (within a few percent of superblocks).
+    assert means["t2_4U"] >= means["sb4U"] * 0.97
+    # Per-benchmark: the 8U treegion(3.0) wins or ties almost everywhere.
+    wins = sum(rows[b]["t3_8U"] >= rows[b]["sb8U"] for b in benchmarks)
+    assert wins >= len(benchmarks) - 2

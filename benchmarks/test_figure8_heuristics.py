@@ -1,0 +1,78 @@
+"""Figure 8: the four treegion scheduling heuristics on 4U and 8U.
+
+Paper findings reproduced here:
+
+* **global weight** has the best overall performance (it beats dependence
+  height by ~3% at 4U, ~1% at 8U in the paper);
+* **exit count** is the weakest heuristic overall ("the results are
+  mixed, and overall the dependence height heuristic provides 2-4% higher
+  speedup"; it "performs very poorly on gcc and perl" — see also the
+  pathological-shape bench);
+* **weighted count** tracks global weight closely but never beats it
+  overall (the vortex/linearized-treegion degradation).
+"""
+
+from repro.schedule.priorities import (
+    DEP_HEIGHT,
+    EXIT_COUNT,
+    GLOBAL_WEIGHT,
+    HEURISTICS,
+    WEIGHTED_COUNT,
+)
+
+from benchmarks.conftest import emit_table, geometric_mean
+
+
+def compute_figure8(lab, benchmarks):
+    rows = {}
+    for bench in benchmarks:
+        rows[bench] = {}
+        for machine in ("4U", "8U"):
+            for heuristic in HEURISTICS:
+                rows[bench][(machine, heuristic)] = lab.speedup(
+                    bench, scheme_name="treegion", machine_name=machine,
+                    heuristic=heuristic,
+                )
+    return rows
+
+
+def test_figure8_heuristics(benchmark, lab, benchmarks):
+    rows = benchmark.pedantic(
+        compute_figure8, args=(lab, benchmarks), rounds=1, iterations=1
+    )
+
+    lines = ["Figure 8: treegion scheduling heuristics "
+             "(speedup over 1-issue basic-block)"]
+    for machine in ("4U", "8U"):
+        lines.append(f"-- {machine} machine model --")
+        lines.append(
+            f"{'program':10s} " + " ".join(f"{h[:9]:>10s}" for h in HEURISTICS)
+        )
+        for bench in benchmarks:
+            lines.append(
+                f"{bench:10s} "
+                + " ".join(f"{rows[bench][(machine, h)]:10.2f}"
+                           for h in HEURISTICS)
+            )
+        means = {
+            h: geometric_mean(rows[b][(machine, h)] for b in benchmarks)
+            for h in HEURISTICS
+        }
+        lines.append(
+            f"{'geomean':10s} "
+            + " ".join(f"{means[h]:10.2f}" for h in HEURISTICS)
+        )
+    emit_table("figure8_heuristics", lines)
+
+    for machine in ("4U", "8U"):
+        means = {
+            h: geometric_mean(rows[b][(machine, h)] for b in benchmarks)
+            for h in HEURISTICS
+        }
+        # Global weight is the best heuristic overall.
+        assert means[GLOBAL_WEIGHT] >= max(means.values()) * 0.999, machine
+        # Exit count never beats dependence height overall.
+        assert means[EXIT_COUNT] <= means[DEP_HEIGHT] * 1.001, machine
+        # Weighted count tracks global weight but does not beat it.
+        assert means[WEIGHTED_COUNT] <= means[GLOBAL_WEIGHT] * 1.001, machine
+        assert means[WEIGHTED_COUNT] >= means[EXIT_COUNT], machine

@@ -1,0 +1,68 @@
+"""Future-work study: heuristic robustness under profile variation.
+
+Section 6: "we would like to investigate the performance of treegion
+schedules across different sets of inputs, to see the effects of profile
+variations using the various heuristics"; Section 3 hypothesizes that the
+dependence-height heuristic "is useful when profile information is
+unavailable or unreliable".
+
+Method: schedule each benchmark's treegions under its training profile;
+perturb the profile (log-normal branch-probability noise + occasional
+branch flips, flow re-solved exactly); re-price the *fixed* schedules
+under the perturbed profile and compare with an oracle rescheduled for it.
+``degradation = mean T_test(fixed) / mean T_test(oracle)``; 1.0 = robust.
+"""
+
+from repro.machine import VLIW_4U
+from repro.schedule.priorities import DEP_HEIGHT, HEURISTICS
+from repro.evaluation import treegion_scheme
+from repro.evaluation.variation import variation_study
+
+from benchmarks.conftest import emit_table
+
+STUDY_BENCHMARKS = ["compress", "ijpeg", "li", "vortex"]
+SEEDS = [11, 23, 47]
+
+
+def compute_variation(lab):
+    rows = {}
+    for bench in STUDY_BENCHMARKS:
+        rows[bench] = variation_study(
+            lab.suite[bench], treegion_scheme, VLIW_4U,
+            heuristics=list(HEURISTICS), seeds=SEEDS, magnitude=0.6,
+        )
+    return rows
+
+
+def test_profile_variation(benchmark, lab):
+    rows = benchmark.pedantic(compute_variation, args=(lab,), rounds=1,
+                              iterations=1)
+
+    lines = [
+        "Profile variation study (treegions, 4U; degradation = fixed "
+        "schedule vs reschedule-for-test-profile oracle; 1.0 = robust)",
+        f"{'program':10s} " + " ".join(f"{h[:9]:>10s}" for h in HEURISTICS),
+    ]
+    for bench in STUDY_BENCHMARKS:
+        lines.append(
+            f"{bench:10s} "
+            + " ".join(f"{rows[bench][h]['degradation']:10.3f}"
+                       for h in HEURISTICS)
+        )
+    means = {
+        h: sum(rows[b][h]["degradation"] for b in STUDY_BENCHMARKS)
+        / len(STUDY_BENCHMARKS)
+        for h in HEURISTICS
+    }
+    lines.append(
+        f"{'mean':10s} " + " ".join(f"{means[h]:10.3f}" for h in HEURISTICS)
+    )
+    emit_table("profile_variation", lines)
+
+    # Dependence height ignores profiles entirely: perfectly robust.
+    assert means[DEP_HEIGHT] == 1.0
+    # Profile-guided heuristics pay a bounded robustness tax.
+    for heuristic in HEURISTICS:
+        assert 0.999 <= means[heuristic] < 1.4, heuristic
+    # No profile-guided heuristic is MORE robust than the profile-free one.
+    assert all(means[h] >= means[DEP_HEIGHT] - 1e-9 for h in HEURISTICS)

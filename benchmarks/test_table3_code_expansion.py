@@ -1,0 +1,80 @@
+"""Table 3: code expansion of superblocks vs tail-duplicated treegions.
+
+Paper values (factor by which code size increased):
+
+    program    sb     tree(2.0)  tree(3.0)
+    compress   1.26     1.34       1.62
+    gcc        1.14     1.32       1.43
+    go         1.21     1.33       1.40
+    ijpeg      1.15     1.26       1.38
+    li         1.20     1.26       1.31
+    m88ksim    1.19     1.34       1.49
+    perl       1.07     1.30       1.38
+    vortex     1.17     1.37       1.45
+    average    1.18     1.32       1.44
+
+Shape: superblocks expand least; treegions expand more ("tail duplication
+can occur along multiple paths within a treegion"), and the 3.0 limit
+expands more than 2.0 — while all remain "moderate".
+"""
+
+from benchmarks.conftest import emit_table
+
+PAPER_AVG = {"sb": 1.18, "tree2": 1.32, "tree3": 1.44}
+
+
+def compute_table3(lab, benchmarks):
+    rows = {}
+    for bench in benchmarks:
+        sb = lab.evaluate(bench, scheme_name="superblock", machine_name="4U",
+                          heuristic="global_weight")
+        t2 = lab.evaluate(bench, scheme_name="treegion-td", machine_name="4U",
+                          heuristic="global_weight", td_limit=2.0)
+        t3 = lab.evaluate(bench, scheme_name="treegion-td", machine_name="4U",
+                          heuristic="global_weight", td_limit=3.0)
+        rows[bench] = {
+            "sb": sb.code_expansion,
+            "tree2": t2.code_expansion,
+            "tree3": t3.code_expansion,
+        }
+    return rows
+
+
+def test_table3_code_expansion(benchmark, lab, benchmarks):
+    rows = benchmark.pedantic(
+        compute_table3, args=(lab, benchmarks), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Table 3: code expansion factors (measured; paper avg "
+        f"sb={PAPER_AVG['sb']}, tree2.0={PAPER_AVG['tree2']}, "
+        f"tree3.0={PAPER_AVG['tree3']})",
+        f"{'program':10s} {'sb':>7s} {'tree2.0':>9s} {'tree3.0':>9s}",
+    ]
+    for bench in benchmarks:
+        row = rows[bench]
+        lines.append(
+            f"{bench:10s} {row['sb']:7.2f} {row['tree2']:9.2f} "
+            f"{row['tree3']:9.2f}"
+        )
+    avgs = {
+        key: sum(rows[b][key] for b in benchmarks) / len(benchmarks)
+        for key in ("sb", "tree2", "tree3")
+    }
+    lines.append(
+        f"{'average':10s} {avgs['sb']:7.2f} {avgs['tree2']:9.2f} "
+        f"{avgs['tree3']:9.2f}"
+    )
+    emit_table("table3_code_expansion", lines)
+
+    for bench in benchmarks:
+        row = rows[bench]
+        # Ordering: superblocks expand least, higher treegion limits more.
+        assert row["sb"] <= row["tree2"] * 1.02, bench
+        assert row["tree2"] <= row["tree3"] * 1.001, bench
+        # "Overall, the amount of code duplication is moderate".
+        assert row["tree3"] <= 3.0, bench
+    # Averages in the paper's band.
+    assert 1.0 <= avgs["sb"] <= 1.35
+    assert 1.15 <= avgs["tree2"] <= 1.75
+    assert avgs["tree2"] < avgs["tree3"] <= 2.2

@@ -1,0 +1,77 @@
+"""Table 4: superblock and tail-duplicated treegion region statistics.
+
+Paper values (region count, avg #bb, avg #ops per region):
+
+    program     #sb   #tree2.0   sb avg#bb  tree avg#bb  sb avg#ops  tree avg#ops
+    compress     19       87       5.26        5.20         31.0        35.6
+    gcc        3471    15186       5.58        6.15         32.0        41.1
+    go         1644     3280       3.75        5.61         24.6        39.2
+    ijpeg       347     1575       3.96        4.80         26.0        37.4
+    li          180     1053       4.37        4.58         23.7        30.9
+    m88ksim     129     1483       5.84        6.92         72.0        48.9
+    perl        144     3527       6.66        6.20         38.7        43.0
+    vortex      184     1175       9.05        7.72         74.9        72.1
+
+Shapes: treegions-with-tail-duplication are more numerous (they cover the
+whole CFG; superblock counts exclude trivial single-block regions) and for
+most programs contain at least as many ops per region as superblocks —
+"treegions consider multiple paths".
+"""
+
+from repro.regions import partition_stats
+
+from benchmarks.conftest import emit_table
+
+
+def compute_table4(lab, benchmarks):
+    rows = {}
+    for bench in benchmarks:
+        sb = lab.evaluate(bench, scheme_name="superblock", machine_name="4U",
+                          heuristic="global_weight")
+        t2 = lab.evaluate(bench, scheme_name="treegion-td", machine_name="4U",
+                          heuristic="global_weight", td_limit=2.0)
+        # The paper counts formed superblocks (multi-block traces); the
+        # treegion column covers every region.
+        rows[bench] = {
+            "sb": partition_stats(sb.partitions, multi_block_only=True),
+            "tree": partition_stats(t2.partitions),
+        }
+    return rows
+
+
+def test_table4_region_stats(benchmark, lab, benchmarks):
+    rows = benchmark.pedantic(
+        compute_table4, args=(lab, benchmarks), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Table 4: superblock vs treegion(2.0) region statistics",
+        f"{'program':10s} {'#sb':>6s} {'#tree':>6s} {'sb#bb':>7s} "
+        f"{'tr#bb':>7s} {'sb#ops':>8s} {'tr#ops':>8s}",
+    ]
+    for bench in benchmarks:
+        sb, tree = rows[bench]["sb"], rows[bench]["tree"]
+        lines.append(
+            f"{bench:10s} {sb.region_count:6d} {tree.region_count:6d} "
+            f"{sb.avg_blocks:7.2f} {tree.avg_blocks:7.2f} "
+            f"{sb.avg_ops:8.2f} {tree.avg_ops:8.2f}"
+        )
+    emit_table("table4_region_stats", lines)
+
+    more_ops = 0
+    for bench in benchmarks:
+        sb, tree = rows[bench]["sb"], rows[bench]["tree"]
+        assert sb.region_count > 0 and tree.region_count > 0, bench
+        # Our stand-ins are single functions, so absolute region counts
+        # are thousands of times smaller than SPECint95's; they must still
+        # be of comparable magnitude between schemes.
+        assert tree.region_count >= 0.5 * sb.region_count, bench
+        assert sb.avg_blocks >= 2.0, bench  # real traces formed
+        # Treegions cover more blocks per region than superblock traces.
+        assert tree.avg_blocks >= sb.avg_blocks, bench
+        if tree.avg_ops >= sb.avg_ops:
+            more_ops += 1
+    # "For most of the programs, treegions contain more basic blocks and
+    # Ops than superblocks" — most, not all (m88ksim/vortex flip in the
+    # paper too).
+    assert more_ops >= len(benchmarks) // 2

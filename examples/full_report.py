@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Generate a full experiment report as markdown.
+
+Runs a scaled-down version of every study in the repository (two
+benchmarks by default; pass names to widen) and writes ``REPORT.md``.
+
+Run:  python examples/full_report.py [benchmark ...]
+"""
+
+import pathlib
+import sys
+
+from repro.evaluation.report import generate_report
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or ["compress", "li"]
+    report = generate_report(benchmarks)
+    out = pathlib.Path("REPORT.md")
+    out.write_text(report)
+    print(report)
+    print(f"(written to {out.resolve()})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's Section-6 future work, runnable in one script.
+
+1. **Profile variation** — how much do the four heuristics' schedules
+   degrade when the input profile shifts?  (dep height / exit count are
+   profile-free and provably robust.)
+2. **Hyperblocks vs treegions** — predication vs speculation on one
+   benchmark.
+3. **Dynamically scheduled processors** — static treegion schedules vs an
+   out-of-order core of the same width, over executable workloads.
+
+Run:  python examples/future_work_studies.py
+"""
+
+from repro.interp import profile_program
+from repro.machine import VLIW_4U, universal_machine
+from repro.schedule import HEURISTICS, ScheduleOptions
+from repro.evaluation import (
+    baseline_time,
+    bb_scheme,
+    evaluate_program,
+    treegion_scheme,
+)
+from repro.evaluation.schemes import hyperblock_scheme
+from repro.evaluation.variation import variation_study
+from repro.vliw import simulate
+from repro.dynamic import DynamicParams, collect_trace, simulate_trace
+from repro.dynamic.ooo import dataflow_limit
+from repro.workloads.minic_programs import (
+    build_minic_program,
+    minic_program_names,
+)
+from repro.workloads.specint import build_benchmark
+
+
+def study_profile_variation() -> None:
+    print("=== 1. Profile variation (treegions, 4U, 'li' stand-in) ===")
+    program = build_benchmark("li")
+    results = variation_study(program, treegion_scheme, VLIW_4U,
+                              heuristics=list(HEURISTICS), seeds=[3, 17, 31],
+                              magnitude=0.6)
+    print(f"{'heuristic':16s} {'degradation':>12s}   (1.0 = robust)")
+    for heuristic, row in results.items():
+        print(f"{heuristic:16s} {row['degradation']:12.3f}")
+    print("profile-free heuristics (dep height, exit count) are exactly "
+          "robust;\nglobal weight trades ~1% robustness for peak "
+          "performance.\n")
+
+
+def study_hyperblocks() -> None:
+    print("=== 2. Hyperblocks (predication) vs treegions (speculation) ===")
+    program = build_benchmark("m88ksim")
+    base = baseline_time(program)
+    options = ScheduleOptions(heuristic="global_weight")
+    tree = evaluate_program(program, treegion_scheme(), VLIW_4U, options)
+    hyper = evaluate_program(program, hyperblock_scheme(), VLIW_4U, options)
+    print(f"treegion   speedup {base / tree.time:5.2f}x  "
+          f"(speculated ops: {tree.total_speculated}, "
+          f"rename copies: {tree.total_copies})")
+    print(f"hyperblock speedup {base / hyper.time:5.2f}x  "
+          f"(speculated ops: {hyper.total_speculated}, "
+          f"rename copies: {hyper.total_copies})")
+    print("speculation starts off-path work before branches resolve; "
+          "predication\nserializes it behind the guard chain but needs no "
+          "duplication or renaming.\n")
+
+
+def study_dynamic() -> None:
+    print("=== 3. Static treegions vs an out-of-order core (4-issue) ===")
+    options = ScheduleOptions(heuristic="global_weight")
+    print(f"{'program':13s} {'tree 4U':>8s} {'ooo w=32':>9s} "
+          f"{'dataflow limit':>15s}")
+    for name in minic_program_names():
+        program, args = build_minic_program(name)
+        _result, trace = collect_trace(program, args)
+        profile_program(program, inputs=[args])
+        _res, bb1 = simulate(program, bb_scheme(), universal_machine(1),
+                             args, options)
+        _res, tree = simulate(program, treegion_scheme(), VLIW_4U, args,
+                              options)
+        ooo = simulate_trace(trace, DynamicParams(issue_width=4, window=32))
+        limit = dataflow_limit(trace)
+        print(f"{name:13s} {bb1.cycles / tree.cycles:8.2f} "
+              f"{bb1.cycles / ooo.cycles:9.2f} "
+              f"{bb1.cycles / limit:15.2f}")
+    print("the OoO core schedules across region and loop boundaries — the "
+          "paper\ndefers both to software pipelining; on chain-bound code "
+          "(fib) static\nand dynamic converge to the dataflow limit.")
+
+
+def main() -> None:
+    study_profile_variation()
+    study_hyperblocks()
+    study_dynamic()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The four treegion scheduling heuristics on the paper's pathologies.
+
+Builds the three CFG shapes the paper uses to explain its Figure 8
+results — the biased treegion (Figure 7, ijpeg), the wide shallow
+switch-rooted treegion (Figure 9, gcc/perl), and the linearized treegion
+(Figure 10, vortex) — and schedules each under all four heuristics,
+showing exactly the failure modes Section 3 describes.
+
+Run:  python examples/heuristic_comparison.py
+"""
+
+from repro.core import form_treegions
+from repro.machine import VLIW_4U
+from repro.schedule import HEURISTICS, ScheduleOptions, schedule_region
+from repro.workloads.pathological import (
+    build_biased_treegion,
+    build_linearized_treegion,
+    build_wide_shallow_treegion,
+)
+
+SHAPES = [
+    ("Figure 7: biased treegion (ijpeg)", build_biased_treegion(depth=4)),
+    ("Figure 9: wide shallow treegion (gcc/perl)",
+     build_wide_shallow_treegion(fanout=10, hot_case=5)),
+    ("Figure 10: linearized treegion (vortex)",
+     build_linearized_treegion(length=6)),
+]
+
+
+def main() -> None:
+    for title, program in SHAPES:
+        fn = program.entry_function
+        partition = form_treegions(fn.cfg)
+        region = partition.region_of(fn.cfg.entry)
+        print(f"=== {title} ===")
+        print(f"    {region.block_count} blocks, {region.op_count} ops, "
+              f"{region.path_count} paths, {len(region.exits())} exits")
+        results = {}
+        for heuristic in HEURISTICS:
+            schedule = schedule_region(
+                region, VLIW_4U, ScheduleOptions(heuristic=heuristic)
+            )
+            results[heuristic] = schedule
+        best = min(results, key=lambda h: results[h].weighted_time)
+        for heuristic in HEURISTICS:
+            schedule = results[heuristic]
+            marker = "  <-- best" if heuristic == best else ""
+            hot = max(schedule.exits, key=lambda r: r.weight)
+            print(f"    {heuristic:15s} weighted time {schedule.weighted_time:8.0f}"
+                  f"  (hot exit retires @ cycle {hot.cycle}){marker}")
+        print()
+
+    print("Paper's conclusions, visible above:")
+    print(" * exit count delays the hot destination of wide shallow trees")
+    print("   ('the branch destinations with the highest exit count are not")
+    print("    necessarily the most often executed');")
+    print(" * under equal weights, weighted count degenerates to exit count")
+    print("   and delays the linearized tree's bottom exit;")
+    print(" * global weight is never worse than the alternatives here.")
+
+
+if __name__ == "__main__":
+    main()

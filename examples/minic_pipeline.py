@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Full compiler pipeline on a real (small) program.
+
+Compiles a minic implementation of insertion sort + checksum, profiles it
+by execution (the paper's training-input methodology), forms regions under
+every scheme, schedules for the 4U and 8U machines, *executes the
+schedules* on the VLIW simulator, and cross-checks everything against the
+sequential interpreter.
+
+Run:  python examples/minic_pipeline.py
+"""
+
+from repro.core.tail_duplication import TreegionLimits
+from repro.interp import Interpreter, profile_program
+from repro.lang import compile_source
+from repro.machine import PAPER_MACHINES
+from repro.schedule import ScheduleOptions
+from repro.evaluation import (
+    baseline_time,
+    bb_scheme,
+    evaluate_program,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.vliw import simulate
+
+SOURCE = """
+array data[16] = {14, 3, 9, 1, 12, 7, 15, 2, 8, 11, 5, 13, 4, 10, 6, 0};
+var comparisons = 0;
+
+func sort(n) {
+    for (var i = 1; i < n; i = i + 1) {
+        var key = data[i];
+        var j = i - 1;
+        while (j >= 0 && data[j] > key) {
+            data[j + 1] = data[j];
+            j = j - 1;
+            comparisons = comparisons + 1;
+        }
+        data[j + 1] = key;
+    }
+    return comparisons;
+}
+
+func checksum(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        acc = acc * 31 + data[i];
+        if (acc > 100000) { acc = acc % 99991; }
+    }
+    return acc;
+}
+
+func main(n) {
+    var c = sort(n);
+    return checksum(n) + c;
+}
+"""
+
+TRAINING_INPUT = [16]
+
+SCHEMES = [
+    ("basic blocks", bb_scheme()),
+    ("SLR", slr_scheme()),
+    ("superblock", superblock_scheme()),
+    ("treegion", treegion_scheme()),
+    ("treegion-td(3.0)",
+     treegion_td_scheme(TreegionLimits(code_expansion=3.0))),
+]
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    print(f"compiled: {len(program)} functions, "
+          f"{sum(f.cfg.total_ops for f in program.functions())} ops, "
+          f"{sum(len(f.cfg) for f in program.functions())} blocks")
+
+    expected = Interpreter(program).run(TRAINING_INPUT)
+    print(f"reference result (sequential interpreter): {expected}")
+
+    profile_program(program, inputs=[TRAINING_INPUT])
+    base = baseline_time(program)
+    print(f"baseline (basic blocks on the 1-issue machine): {base:g} "
+          f"estimated cycles\n")
+
+    options = ScheduleOptions(heuristic="global_weight",
+                              dominator_parallelism=True)
+    header = f"{'scheme':18s}" + "".join(
+        f" {name + ' est':>12s} {name + ' sim':>12s}" for name in PAPER_MACHINES
+    )
+    print(header)
+    for name, scheme in SCHEMES:
+        cells = []
+        for machine in PAPER_MACHINES.values():
+            estimate = evaluate_program(program, scheme, machine, options)
+            result, simulator = simulate(program, scheme, machine,
+                                         TRAINING_INPUT, options)
+            assert result == expected, (
+                f"{name} on {machine.name} mis-executed: {result}"
+            )
+            cells.append(f" {base / estimate.time:11.2f}x")
+            cells.append(f" {base / simulator.cycles:11.2f}x")
+        print(f"{name:18s}" + "".join(cells))
+    print("\n('est' = speedup from profile-weighted schedule heights, the "
+          "paper's metric;\n 'sim' = speedup from actually executing the "
+          "schedules cycle by cycle —\n identical when the profile input "
+          "matches the simulated input)")
+
+
+if __name__ == "__main__":
+    main()

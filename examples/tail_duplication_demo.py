@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tail duplication and dominator parallelism on a synthetic benchmark.
+
+Takes the 'li' SPECint95 stand-in, forms treegions with tail duplication
+at several code-expansion limits, and reports region growth, realized
+expansion (Table 3), and the schedule-time effect of dominator
+parallelism (Section 4).
+
+Run:  python examples/tail_duplication_demo.py
+"""
+
+from repro.core import TreegionLimits, form_treegions, form_treegions_td
+from repro.ir.clone import clone_program
+from repro.machine import VLIW_8U
+from repro.regions import partition_stats
+from repro.schedule import ScheduleOptions
+from repro.evaluation import (
+    baseline_time,
+    evaluate_program,
+    superblock_scheme,
+    treegion_td_scheme,
+)
+from repro.workloads.specint import build_benchmark
+
+BENCH = "li"
+
+
+def main() -> None:
+    program = build_benchmark(BENCH)
+    fn = program.entry_function
+    original_ops = fn.cfg.total_ops
+    base = baseline_time(program)
+
+    print(f"benchmark '{BENCH}': {len(fn.cfg)} blocks, {original_ops} ops")
+    plain = partition_stats([form_treegions(fn.cfg)])
+    print(f"plain treegions: {plain}")
+    print()
+
+    print(f"{'limit':>6s} {'regions':>8s} {'avg#bb':>7s} {'avg#ops':>8s} "
+          f"{'expansion':>10s} {'speedup@8U':>11s} {'merged':>7s}")
+    options = ScheduleOptions(heuristic="global_weight",
+                              dominator_parallelism=True)
+    for limit in (1.0, 1.5, 2.0, 3.0):
+        worked = clone_program(program)
+        wfn = worked.entry_function
+        partition = form_treegions_td(
+            wfn.cfg, TreegionLimits(code_expansion=limit)
+        )
+        stats = partition_stats([partition])
+        expansion = wfn.cfg.total_ops / original_ops
+        result = evaluate_program(
+            program, treegion_td_scheme(TreegionLimits(code_expansion=limit)),
+            VLIW_8U, options,
+        )
+        print(f"{limit:6.1f} {stats.region_count:8d} {stats.avg_blocks:7.2f} "
+              f"{stats.avg_ops:8.2f} {expansion:10.2f} "
+              f"{base / result.time:10.2f}x {result.total_merged:7d}")
+
+    sb = evaluate_program(program, superblock_scheme(), VLIW_8U, options)
+    print(f"\nsuperblocks for comparison: expansion {sb.code_expansion:.2f}, "
+          f"speedup {base / sb.time:.2f}x")
+    print("(the paper's Figure 13: tail-duplicated treegions beat "
+          "superblocks by 15-20%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile``  — minic source → textual IR on stdout;
+* ``run``      — execute a program on the reference interpreter and,
+  scheduled, on the VLIW simulator; reports results and cycle counts;
+* ``schedule`` — print the region schedules for a program under a chosen
+  scheme/machine/heuristic;
+* ``bench``    — speedup table over the synthetic SPECint95 stand-ins;
+* ``dot``      — Graphviz rendering of a function's CFG, clustered by
+  region.
+
+Program inputs may be minic source (``.mc`` or anything else) or textual
+IR dumps (detected by the ``program entry=`` header).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.ir.function import Program
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.interp import Interpreter, profile_program
+from repro.lang import compile_source
+from repro.machine import PAPER_MACHINES, SCALAR_1U, universal_machine
+from repro.schedule import ScheduleOptions
+from repro.schedule.priorities import HEURISTICS
+from repro.core.tail_duplication import TreegionLimits
+from repro.evaluation import (
+    baseline_time,
+    bb_scheme,
+    evaluate_program,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.evaluation.schemes import hyperblock_scheme
+from repro.vliw import simulate
+
+SCHEMES = {
+    "bb": bb_scheme,
+    "slr": slr_scheme,
+    "superblock": superblock_scheme,
+    "treegion": treegion_scheme,
+    "treegion-td": lambda: treegion_td_scheme(TreegionLimits()),
+    "hyperblock": hyperblock_scheme,
+}
+
+
+def _load_program(path: str, optimize: bool = False) -> Program:
+    with open(path) as handle:
+        text = handle.read()
+    if text.lstrip().startswith("program entry="):
+        program = parse_program(text)
+    else:
+        program = compile_source(text)
+    if optimize:
+        from repro.opt import optimize_program
+
+        stats = optimize_program(program)
+        print(f"; classic optimizations: {stats}", file=sys.stderr)
+    return program
+
+
+def _machine(name: str):
+    if name in PAPER_MACHINES:
+        return PAPER_MACHINES[name]
+    if name == "1U":
+        return SCALAR_1U
+    if name.endswith("U") and name[:-1].isdigit():
+        return universal_machine(int(name[:-1]))
+    raise SystemExit(f"unknown machine {name!r} (use 1U/4U/8U/<N>U)")
+
+
+def _parse_args_list(values: Optional[List[str]]) -> List[object]:
+    out: List[object] = []
+    for value in values or []:
+        out.append(float(value) if "." in value else int(value))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Commands
+
+def cmd_compile(args) -> int:
+    program = _load_program(args.file, optimize=args.optimize)
+    sys.stdout.write(format_program(program))
+    return 0
+
+
+def cmd_run(args) -> int:
+    machine = _machine(args.machine)
+    program = _load_program(args.file, optimize=args.optimize)
+    inputs = _parse_args_list(args.args)
+    expected = Interpreter(program).run(inputs)
+    print(f"interpreter result: {expected}")
+    profile_program(program, inputs=[inputs])
+    options = ScheduleOptions(heuristic=args.heuristic,
+                              dominator_parallelism=True)
+    result, simulator = simulate(program, SCHEMES[args.scheme](), machine,
+                                 inputs, options)
+    status = "OK" if result == expected else "MISMATCH"
+    print(f"VLIW simulator ({args.scheme}, {machine}): {result} [{status}] "
+          f"in {simulator.cycles} cycles")
+    return 0 if result == expected else 1
+
+
+def cmd_schedule(args) -> int:
+    program = _load_program(args.file, optimize=args.optimize)
+    if args.args is not None:
+        profile_program(program, inputs=[_parse_args_list(args.args)])
+    machine = _machine(args.machine)
+    options = ScheduleOptions(heuristic=args.heuristic,
+                              dominator_parallelism=True)
+    result = evaluate_program(program, SCHEMES[args.scheme](), machine,
+                              options)
+    for schedule in result.schedules:
+        print(schedule.format())
+        print()
+    print(f"estimated time: {result.time:g} weighted cycles; "
+          f"code expansion {result.code_expansion:.2f}; "
+          f"{result.total_speculated} speculated ops; "
+          f"{result.total_copies} rename copies")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.workloads.specint import BENCHMARK_NAMES, build_benchmark
+
+    names = args.benchmarks.split(",") if args.benchmarks else BENCHMARK_NAMES
+    machine = _machine(args.machine)
+    schemes = (args.schemes.split(",") if args.schemes
+               else ["bb", "slr", "superblock", "treegion", "treegion-td"])
+    options = ScheduleOptions(heuristic=args.heuristic,
+                              dominator_parallelism=True)
+    print(f"{'program':10s} " + " ".join(f"{s:>12s}" for s in schemes))
+    for name in names:
+        program = build_benchmark(name)
+        base = baseline_time(program)
+        cells = []
+        for scheme_name in schemes:
+            result = evaluate_program(program, SCHEMES[scheme_name](),
+                                      machine, options)
+            cells.append(f"{base / result.time:11.2f}x")
+        print(f"{name:10s} " + " ".join(cells))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from repro.core import form_treegions
+    from repro.ir.dot import cfg_to_dot
+    from repro.regions import form_slrs
+    from repro.regions.hyperblock import form_hyperblocks
+
+    program = _load_program(args.file)
+    function = program.function(args.function or program.entry_name)
+    partition = None
+    if args.regions == "treegion":
+        partition = form_treegions(function.cfg)
+    elif args.regions == "slr":
+        partition = form_slrs(function.cfg)
+    elif args.regions == "hyperblock":
+        partition = form_hyperblocks(function.cfg)
+    sys.stdout.write(cfg_to_dot(function.cfg, partition=partition,
+                                name=function.name))
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Treegion scheduling (HPCA 1998) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_scheme=True):
+        if with_scheme:
+            p.add_argument("--scheme", choices=sorted(SCHEMES),
+                           default="treegion")
+        p.add_argument("--machine", default="4U",
+                       help="1U, 4U, 8U, or <N>U")
+        p.add_argument("--heuristic", choices=list(HEURISTICS),
+                       default="global_weight")
+
+    p = sub.add_parser("compile", help="minic -> textual IR")
+    p.add_argument("file")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="interpret + schedule + simulate")
+    p.add_argument("file")
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("schedule", help="print region schedules")
+    p.add_argument("file")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile the program on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    common(p)
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("bench", help="speedups over the synthetic suite")
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated subset (default: all eight)")
+    p.add_argument("--schemes", default=None,
+                   help="comma-separated schemes")
+    common(p, with_scheme=False)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("dot", help="Graphviz CFG rendering")
+    p.add_argument("file")
+    p.add_argument("--function", default=None)
+    p.add_argument("--regions", choices=["none", "treegion", "slr",
+                                         "hyperblock"], default="treegion")
+    p.set_defaults(func=cmd_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: treegions and treegion scheduling.
+
+* :class:`~repro.core.treegion.Treegion` — the non-linear region type;
+* :func:`~repro.core.formation.form_treegions` — Figure 2's profile-
+  independent formation;
+* :func:`~repro.core.tail_duplication.form_treegions_td` — Figure 11's
+  formation with tail duplication under code-expansion / merge-count /
+  path-count limits;
+* :func:`~repro.core.pipeline.schedule_function` /
+  :func:`~repro.core.pipeline.compile_and_schedule` — the end-to-end
+  convenience API tying formation, scheduling (in :mod:`repro.schedule`),
+  and evaluation together.
+"""
+
+from repro.core.treegion import Treegion
+from repro.core.formation import form_treegions
+from repro.core.tail_duplication import TreegionLimits, form_treegions_td
+
+__all__ = [
+    "Treegion",
+    "form_treegions",
+    "TreegionLimits",
+    "form_treegions_td",
+]

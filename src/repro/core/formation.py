@@ -1,0 +1,29 @@
+"""Treegion formation (Figure 2 of the paper).
+
+"Treegions are grown across a CFG starting from the entry points, each of
+which roots a new treegion.  From a given root, the CFG is traversed, and
+basic blocks are absorbed into the root's treegion if they are not merge
+points.  [...] The process continues until the entire CFG has been
+consumed, at which time each basic block is in exactly one treegion."
+
+Formation is profile independent — only the CFG topology matters.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import BasicBlock, CFG
+from repro.regions.absorb import absorb_into_tree, grow_partition
+from repro.regions.region import Region, RegionPartition
+from repro.core.treegion import Treegion
+
+
+def form_treegions(cfg: CFG) -> RegionPartition:
+    """Partition ``cfg`` into treegions.  Does not modify the CFG."""
+
+    def absorb(region: Region, node: BasicBlock, partition: RegionPartition) -> None:
+        absorb_into_tree(region, node, partition)
+
+    partition = grow_partition(cfg, "treegion", absorb, make_region=Treegion)
+    for region in partition:
+        region.check_invariants()  # type: ignore[attr-defined]
+    return partition

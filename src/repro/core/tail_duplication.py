@@ -1,0 +1,175 @@
+"""Treegion formation with tail duplication (Figure 11, Section 4).
+
+"Tail duplication [...] can be used in treegion formation to convert
+saplings (which are merge points) into a set of single entry blocks which
+can be absorbed into surrounding treegions."
+
+Three heuristics bound the process (all from Section 4):
+
+* **code expansion limit** — a treegion may grow to at most
+  ``code_expansion`` times the total size of the *distinct original
+  blocks* it represents (the paper evaluates 2.0 and 3.0);
+* **merge count limit** — saplings with more than ``merge_count`` incoming
+  edges are not duplicated, "unless they are merge points with no
+  successors in the CFG, such as function exits" (paper value: 4);
+* **path count limit** — duplication stops once the treegion has
+  ``path_count`` distinct root-to-leaf paths (paper value: 20).
+
+One additional rule, implied by the treegion's acyclicity but not spelled
+out in the pseudo-code: a sapling is never duplicated along a *back* edge —
+concretely, never onto a tree path that already contains a copy of the same
+original block.  Without it the formation loop would unroll loops into the
+tree, which the paper explicitly leaves to future work ("this study did not
+employ any software pipelining techniques").
+
+``form_treegions_td`` **mutates the CFG** (duplication adds blocks); clone
+the function first when the original must survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ir.cfg import BasicBlock, CFG, Edge
+from repro.regions.absorb import absorb_into_tree, grow_partition, region_saplings
+from repro.regions.region import Region, RegionPartition
+from repro.core.treegion import Treegion
+
+
+@dataclass(frozen=True)
+class TreegionLimits:
+    """The tail-duplication heuristics of Section 4."""
+
+    code_expansion: float = 2.0
+    merge_count: int = 4
+    path_count: int = 20
+    #: Safety valve on formation work per treegion; generous enough that
+    #: the paper-style limits always bind first.
+    max_duplications: int = 10_000
+
+
+class _TailDuplicatingFormer:
+    """Implements ``treeform-td`` (Figure 11)."""
+
+    def __init__(self, cfg: CFG, limits: TreegionLimits):
+        self.cfg = cfg
+        self.limits = limits
+        # Snapshot of original block sizes, keyed by origin id, taken
+        # before any duplication: the denominator of the expansion limit.
+        self.original_ops: Dict[int, int] = {
+            block.origin: len(block.ops) for block in cfg.blocks()
+        }
+        # Loop headers (blocks dominating one of their predecessors) are
+        # never tail-duplicated: duplicating one would peel an iteration
+        # into the predecessor treegion, i.e. loop unrolling, which the
+        # paper leaves to future work.
+        self.loop_header_origins = self._find_loop_headers()
+
+    def _find_loop_headers(self) -> set:
+        from repro.ir.dominators import DominatorTree
+
+        dom = DominatorTree(self.cfg)
+        headers = set()
+        for block in self.cfg.blocks():
+            for edge in block.in_edges:
+                if dom.dominates(block, edge.src):
+                    headers.add(block.origin)
+                    break
+        return headers
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RegionPartition:
+        return grow_partition(
+            self.cfg, "treegion-td", self._absorb_and_duplicate,
+            make_region=Treegion,
+        )
+
+    def _absorb_and_duplicate(
+        self, region: Region, node: BasicBlock, partition: RegionPartition
+    ) -> None:
+        absorb_into_tree(region, node, partition)
+        duplications = 0
+        while duplications < self.limits.max_duplications:
+            if region.path_count >= self.limits.path_count:
+                break
+            selection = self._select_sapling(region, partition)
+            if selection is None:
+                break
+            sapling, edge = selection
+            if sapling.is_merge_point():
+                clone = self.cfg.clone_block_for_edge(sapling, edge)
+                absorb_into_tree(region, clone, partition, parent=edge.src)
+                duplications += 1
+            else:
+                absorb_into_tree(region, sapling, partition, parent=edge.src)
+
+    # ------------------------------------------------------------------
+    # Sapling selection (the if-chain of Figure 11, lines 11–18)
+
+    def _select_sapling(
+        self, region: Region, partition: RegionPartition
+    ):
+        for sapling in region_saplings(region):
+            if partition.region_of(sapling) is not None:
+                continue  # "if sapling is in another treegion continue"
+            edge = self._usable_tree_edge(region, sapling)
+            if edge is None:
+                continue  # only reachable via back edges — never duplicated
+            if sapling.is_merge_point():
+                if sapling.origin in self.loop_header_origins:
+                    continue  # never peel loops into the tree
+                if not self._merge_count_ok(sapling):
+                    continue
+                if not self._expansion_ok(region, sapling):
+                    continue
+            return sapling, edge
+        return None
+
+    def _usable_tree_edge(self, region: Region, sapling: BasicBlock) -> Optional[Edge]:
+        """First in-edge from the tree that would not re-copy an original
+        block already present on its root path (the no-unrolling rule)."""
+        for edge in sapling.in_edges:
+            if edge.src not in region:
+                continue
+            path_origins = {b.origin for b in region.path_to(edge.src)}
+            if sapling.origin in path_origins:
+                continue
+            return edge
+        return None
+
+    def _merge_count_ok(self, sapling: BasicBlock) -> bool:
+        if not sapling.successors:
+            return True  # function exits may always be duplicated
+        return sapling.merge_count <= self.limits.merge_count
+
+    def _expansion_ok(self, region: Region, sapling: BasicBlock) -> bool:
+        """Would absorbing a *copy* of ``sapling`` break the expansion limit?
+
+        The treegion's size after the copy must stay within
+        ``code_expansion`` times the summed size of its *original* (non-
+        duplicate) members — duplicates only count against the numerator,
+        so a limit of 1.0 forbids duplication entirely.  Zero-op blocks are
+        costed at one op so duplicating empty join blocks still consumes
+        budget.
+        """
+        new_size = region.op_count + max(1, len(sapling.ops))
+        base = sum(
+            self.original_ops.get(block.origin, 1)
+            for block in region.blocks
+            if block.bid == block.origin
+        )
+        base = max(1, base)
+        return new_size <= self.limits.code_expansion * base
+
+
+def form_treegions_td(
+    cfg: CFG, limits: Optional[TreegionLimits] = None
+) -> RegionPartition:
+    """Figure 11: treegion formation with tail duplication.
+
+    **Mutates the CFG.**  Returns a partition of ``treegion-td`` regions
+    covering the (grown) CFG.
+    """
+    return _TailDuplicatingFormer(cfg, limits or TreegionLimits()).run()

@@ -1,0 +1,61 @@
+"""The treegion region type.
+
+"A treegion encompasses a decision-tree subgraph of a program's control
+flow graph.  [...] A treegion can contain multiple, independent control
+paths that diverge from the root of the tree.  Since it is a tree, a
+treegion is acyclic and contains no merge points except possibly the root
+itself." — Section 2.
+
+Almost all of the machinery lives in the shared :class:`Region` base (the
+linear regions are degenerate trees); :class:`Treegion` adds the treegion-
+specific vocabulary (saplings) and invariant checks used by the tests and
+the formation passes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.errors import SchedulingError
+from repro.ir.cfg import BasicBlock
+from repro.regions.absorb import region_saplings
+from repro.regions.region import Region
+
+
+class Treegion(Region):
+    """A single-entry, tree-shaped, multi-path scheduling region."""
+
+    def __init__(self):
+        super().__init__("treegion")
+
+    def saplings(self) -> List[BasicBlock]:
+        """The blocks just beyond this treegion's leaves.
+
+        "Eventually, only merge points remain following a treegion's leaf
+        blocks.  These are called saplings of the treegion and become the
+        roots of new treegions."
+        """
+        return region_saplings(self)
+
+    def check_invariants(self) -> None:
+        """Raise unless this region is a well-formed treegion:
+
+        * non-root members have exactly one incoming CFG edge (no internal
+          merge points), and it comes from their tree parent;
+        * the member set is acyclic by construction (tree);
+        * the root is the only member that may be a merge point.
+        """
+        for block in self.blocks:
+            if block is self.root:
+                continue
+            if len(block.in_edges) != 1:
+                raise SchedulingError(
+                    f"treegion member bb{block.bid} has "
+                    f"{len(block.in_edges)} in-edges (must be 1)"
+                )
+            parent = self.parent(block)
+            if parent is None or block.in_edges[0].src is not parent:
+                raise SchedulingError(
+                    f"treegion member bb{block.bid}'s CFG predecessor is not "
+                    f"its tree parent"
+                )

@@ -1,0 +1,27 @@
+"""Dynamically scheduled (out-of-order) processor modelling.
+
+The paper's Section 6 asks about treegion performance "on dynamically
+scheduled processor models".  This package provides the comparison
+machinery: a tracing interpreter collects the program's executed operation
+stream (perfect branch prediction, as in the paper's methodology), and a
+ROB-style dataflow engine issues it out of order under an issue width,
+instruction window, and the paper's latencies — with either perfect memory
+disambiguation (dynamic hardware's advantage) or the static model's
+conservative serialization.
+
+The headline comparison (``benchmarks/test_dynamic_vs_static.py``):
+statically scheduled treegions vs an out-of-order core of the same width,
+over the executable minic workloads.
+"""
+
+from repro.dynamic.trace import TraceOp, collect_trace, build_dependencies
+from repro.dynamic.ooo import DynamicParams, DynamicResult, simulate_trace
+
+__all__ = [
+    "TraceOp",
+    "collect_trace",
+    "build_dependencies",
+    "DynamicParams",
+    "DynamicResult",
+    "simulate_trace",
+]

@@ -1,0 +1,144 @@
+"""A ROB-style out-of-order dataflow engine over execution traces.
+
+Models the dynamically scheduled processor of the paper's future-work
+question: in-order dispatch into an instruction window, out-of-order issue
+of ready ops (oldest first) bounded by issue width, completion after the
+op's latency, in-order retirement.  Perfect branch prediction and perfect
+caches, matching the paper's static-side assumptions, so the comparison
+against static treegion schedules isolates the *scheduling* question.
+
+Moves injected by call/return linkage take ``move_latency`` (default 0 —
+register renaming) and do not consume issue slots when free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.machine.model import MachineModel
+from repro.machine.presets import universal_machine
+from repro.ir.types import Opcode
+from repro.dynamic.trace import TraceOp, build_dependencies
+
+
+@dataclass(frozen=True)
+class DynamicParams:
+    """Out-of-order core configuration."""
+
+    issue_width: int = 4
+    window: int = 32
+    retire_width: Optional[int] = None  # defaults to issue width
+    disambiguate_memory: bool = True
+    #: Latency of call/return linkage moves (0 = pure renaming).
+    move_latency: int = 0
+
+    @property
+    def effective_retire_width(self) -> int:
+        return self.retire_width or self.issue_width
+
+
+@dataclass(frozen=True)
+class DynamicResult:
+    """Outcome of one trace simulation."""
+
+    cycles: int
+    ops: int
+
+    @property
+    def ipc(self) -> float:
+        return self.ops / self.cycles if self.cycles else 0.0
+
+
+def simulate_trace(
+    trace: List[TraceOp],
+    params: DynamicParams,
+    machine: Optional[MachineModel] = None,
+) -> DynamicResult:
+    """Cycle count for executing ``trace`` on the out-of-order core."""
+    if machine is None:
+        machine = universal_machine(params.issue_width, name="ooo")
+    n = len(trace)
+    if n == 0:
+        return DynamicResult(cycles=0, ops=0)
+
+    producers = build_dependencies(
+        trace, disambiguate_memory=params.disambiguate_memory
+    )
+    complete: List[Optional[int]] = [None] * n
+
+    def latency_of(op: TraceOp) -> int:
+        if op.is_move:
+            return params.move_latency
+        return machine.latency_of(op.opcode)
+
+    head = 0            # oldest un-retired op
+    dispatched = 0      # ops brought into the window so far
+    issued = [False] * n
+    cycle = 0
+
+    while head < n:
+        cycle += 1
+
+        # 1. Dispatch in order into the window.
+        dispatch_budget = params.issue_width
+        while (dispatched < n and dispatch_budget > 0
+               and dispatched - head < params.window):
+            dispatched += 1
+            dispatch_budget -= 1
+
+        # 2. Issue ready ops, oldest first.
+        slots = params.issue_width
+        for i in range(head, dispatched):
+            if slots == 0:
+                break
+            if issued[i]:
+                continue
+            ready = all(
+                complete[p] is not None and complete[p] <= cycle
+                for p in producers[i]
+            )
+            if not ready:
+                continue
+            issued[i] = True
+            latency = latency_of(trace[i])
+            complete[i] = cycle + max(0, latency)
+            if not (trace[i].is_move and params.move_latency == 0):
+                slots -= 1
+
+        # 3. Retire in order.
+        retire_budget = params.effective_retire_width
+        while (head < n and retire_budget > 0 and issued[head]
+               and complete[head] is not None and complete[head] <= cycle):
+            head += 1
+            retire_budget -= 1
+
+        if cycle > 64 * n + 1024:
+            raise RuntimeError("dynamic simulation failed to make progress")
+
+    return DynamicResult(cycles=cycle, ops=n)
+
+
+def dataflow_limit(trace: List[TraceOp],
+                   machine: Optional[MachineModel] = None,
+                   disambiguate_memory: bool = True) -> int:
+    """Critical-path length of the trace: infinite width and window.
+
+    The oracle bound any schedule — static or dynamic — is limited by.
+    """
+    if machine is None:
+        machine = universal_machine(1024, name="oracle")
+    producers = build_dependencies(trace,
+                                   disambiguate_memory=disambiguate_memory)
+    finish = [0] * len(trace)
+    longest = 0
+    for i, op in enumerate(trace):
+        start = 0
+        for p in producers[i]:
+            if finish[p] > start:
+                start = finish[p]
+        latency = 0 if op.is_move else machine.latency_of(op.opcode)
+        finish[i] = start + max(latency, 1 if not op.is_move else 0)
+        if finish[i] > longest:
+            longest = finish[i]
+    return longest

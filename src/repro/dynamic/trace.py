@@ -1,0 +1,197 @@
+"""Execution trace collection for the dynamic-scheduling study.
+
+A :class:`TraceOp` is one *executed* operation with its registers
+qualified by activation (each function call gets a fresh activation id, so
+virtual register reuse across calls cannot alias) and, for memory ops, the
+concrete effective address — which is what lets the out-of-order model
+disambiguate memory perfectly where the static scheduler had to serialize.
+
+Calls dissolve into the trace: argument passing and return-value delivery
+become explicit ``move`` records (renaming traffic, default latency 0 in
+the dynamic model), and the callee's ops follow inline.  Branches and
+compares are ordinary trace ops occupying issue slots; their outcomes are
+taken from the actual execution, i.e. perfect branch prediction, matching
+the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function, Program
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.ir.types import Opcode
+from repro.interp.interpreter import Interpreter
+from repro.interp.state import MachineState
+
+#: An activation-qualified register.
+QualifiedReg = Tuple[int, Register]
+
+
+class TraceOp:
+    """One dynamic instance of an operation."""
+
+    __slots__ = ("seq", "opcode", "defs", "uses", "address", "is_move")
+
+    def __init__(self, seq: int, opcode: Opcode,
+                 defs: Sequence[QualifiedReg], uses: Sequence[QualifiedReg],
+                 address: Optional[int] = None, is_move: bool = False):
+        self.seq = seq
+        self.opcode = opcode
+        self.defs = list(defs)
+        self.uses = list(uses)
+        self.address = address
+        self.is_move = is_move
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST
+
+    def __repr__(self) -> str:
+        tag = "move" if self.is_move else self.opcode.value
+        return f"<trace#{self.seq} {tag}>"
+
+
+class _TracingInterpreter(Interpreter):
+    """Interpreter that records every executed op, activation-qualified."""
+
+    def __init__(self, program: Program, max_steps: int = 5_000_000):
+        super().__init__(program, max_steps=max_steps)
+        self.trace: List[TraceOp] = []
+        self._activations: List[int] = []
+        self._next_activation = 0
+        #: (caller activation, CALL op) stack, pushed just before recursing.
+        self._pending_calls: List[Tuple[int, Operation]] = []
+        #: Return source of the most recent RET: (activation, reg or None).
+        self._last_return: Optional[Tuple[int, Optional[Register]]] = None
+
+    # ------------------------------------------------------------------
+
+    def _qualify(self, registers) -> List[QualifiedReg]:
+        activation = self._activations[-1]
+        return [(activation, register) for register in registers]
+
+    def _record(self, op: Operation, address: Optional[int] = None) -> None:
+        self.trace.append(TraceOp(
+            len(self.trace), op.opcode,
+            defs=self._qualify(op.defined_registers()),
+            uses=self._qualify(op.source_registers()),
+            address=address,
+        ))
+
+    # ------------------------------------------------------------------
+
+    def call(self, function: Function, args):
+        activation = self._next_activation
+        self._next_activation += 1
+
+        if self._pending_calls:
+            caller_activation, call_op = self._pending_calls[-1]
+            # Argument-passing moves: callee param <- caller source reg.
+            for param, src in zip(function.params, call_op.srcs):
+                uses = (
+                    [(caller_activation, src)]
+                    if isinstance(src, Register) else []
+                )
+                self.trace.append(TraceOp(
+                    len(self.trace), Opcode.MOV,
+                    defs=[(activation, param)], uses=uses, is_move=True,
+                ))
+
+        self._activations.append(activation)
+        try:
+            result = super().call(function, args)
+        finally:
+            self._activations.pop()
+
+        if self._pending_calls:
+            caller_activation, call_op = self._pending_calls[-1]
+            if call_op.dests and self._last_return is not None:
+                ret_activation, ret_src = self._last_return
+                uses = (
+                    [(ret_activation, ret_src)] if ret_src is not None else []
+                )
+                self.trace.append(TraceOp(
+                    len(self.trace), Opcode.MOV,
+                    defs=[(caller_activation, call_op.dest)], uses=uses,
+                    is_move=True,
+                ))
+        return result
+
+    def _execute_op(self, function: Function, op: Operation,
+                    state: MachineState) -> None:
+        opcode = op.opcode
+        if opcode is Opcode.LD or opcode is Opcode.ST:
+            base = self._value(state, op.srcs[0])
+            offset = self._value(state, op.srcs[1])
+            self._record(op, address=int(base) + int(offset))
+            super()._execute_op(function, op, state)
+            return
+        if opcode is Opcode.CALL:
+            self._pending_calls.append((self._activations[-1], op))
+            try:
+                super()._execute_op(function, op, state)
+            finally:
+                self._pending_calls.pop()
+            return
+        self._record(op)
+        super()._execute_op(function, op, state)
+
+    def _terminate(self, function: Function, block, op: Operation, state):
+        self._record(op)
+        if op.opcode is Opcode.RET:
+            src = op.srcs[0] if op.srcs and isinstance(op.srcs[0], Register) \
+                else None
+            self._last_return = (self._activations[-1], src)
+        return super()._terminate(function, block, op, state)
+
+
+def collect_trace(program: Program, args: Sequence[object] = (),
+                  max_steps: int = 5_000_000):
+    """Execute the program and return (result, trace)."""
+    interpreter = _TracingInterpreter(program, max_steps=max_steps)
+    result = interpreter.run(list(args))
+    return result, interpreter.trace
+
+
+def build_dependencies(
+    trace: List[TraceOp],
+    disambiguate_memory: bool = True,
+) -> List[List[int]]:
+    """producers[i] = trace indices op i truly depends on.
+
+    Register flow uses activation-qualified last-writer maps.  Memory flow
+    is either address-precise (``disambiguate_memory=True`` — the dynamic
+    hardware's view) or fully serialized, loads ordered behind *every*
+    earlier store (the paper's static no-aliasing model).
+    """
+    producers: List[List[int]] = []
+    last_writer: Dict[QualifiedReg, int] = {}
+    last_store_at: Dict[int, int] = {}
+    last_store_any: Optional[int] = None
+
+    for op in trace:
+        deps: List[int] = []
+        for qualified in op.uses:
+            producer = last_writer.get(qualified)
+            if producer is not None:
+                deps.append(producer)
+        if op.is_load:
+            if disambiguate_memory:
+                producer = last_store_at.get(op.address)
+                if producer is not None:
+                    deps.append(producer)
+            elif last_store_any is not None:
+                deps.append(last_store_any)
+        producers.append(deps)
+        for qualified in op.defs:
+            last_writer[qualified] = op.seq
+        if op.is_store:
+            last_store_at[op.address] = op.seq
+            last_store_any = op.seq
+    return producers

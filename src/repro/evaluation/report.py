@@ -1,0 +1,211 @@
+"""One-shot experiment report generation.
+
+``generate_report`` runs a configurable-scale version of every study in
+the repository — region statistics, heuristic speedups, tail duplication
+vs superblocks, hyperblocks, profile variation, and the dynamic-core
+comparison — and renders a single markdown document.  Used by
+``examples/full_report.py``; the committed EXPERIMENTS.md was produced
+from the full-scale benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import form_treegions
+from repro.core.tail_duplication import TreegionLimits
+from repro.interp import profile_program
+from repro.machine import PAPER_MACHINES, VLIW_4U, VLIW_8U, universal_machine
+from repro.regions import form_slrs, partition_stats
+from repro.schedule import ScheduleOptions
+from repro.schedule.priorities import HEURISTICS
+from repro.evaluation.runner import baseline_time, evaluate_program
+from repro.evaluation.schemes import (
+    bb_scheme,
+    hyperblock_scheme,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.evaluation.variation import variation_study
+from repro.workloads.specint import BENCHMARK_NAMES, build_benchmark
+
+
+def _geomean(values: Sequence[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return lines
+
+
+class ReportBuilder:
+    """Collects study results and renders markdown."""
+
+    def __init__(self, benchmarks: Optional[List[str]] = None):
+        self.benchmarks = benchmarks or list(BENCHMARK_NAMES)
+        self.lines: List[str] = [
+            "# Treegion scheduling — experiment report",
+            "",
+            f"Benchmarks: {', '.join(self.benchmarks)}",
+            "",
+        ]
+        self._baselines: Dict[str, float] = {}
+
+    def _baseline(self, name: str) -> float:
+        if name not in self._baselines:
+            self._baselines[name] = baseline_time(build_benchmark(name))
+        return self._baselines[name]
+
+    # ------------------------------------------------------------------
+
+    def add_region_statistics(self) -> None:
+        rows = []
+        for name in self.benchmarks:
+            function = build_benchmark(name).entry_function
+            tree = partition_stats([form_treegions(function.cfg)])
+            slr = partition_stats([form_slrs(function.cfg)])
+            rows.append([
+                name,
+                f"{tree.avg_blocks:.2f}", f"{tree.avg_ops:.1f}",
+                f"{slr.avg_blocks:.2f}", f"{slr.avg_ops:.1f}",
+            ])
+        self.lines.append("## Region statistics (Tables 1 & 2)")
+        self.lines.append("")
+        self.lines.extend(_table(
+            ["program", "tree bb", "tree ops", "slr bb", "slr ops"], rows
+        ))
+
+    def add_heuristic_speedups(self, machine_name: str = "4U") -> None:
+        machine = PAPER_MACHINES[machine_name]
+        rows = []
+        means = {heuristic: [] for heuristic in HEURISTICS}
+        for name in self.benchmarks:
+            program = build_benchmark(name)
+            base = self._baseline(name)
+            cells = [name]
+            for heuristic in HEURISTICS:
+                result = evaluate_program(
+                    program, treegion_scheme(), machine,
+                    ScheduleOptions(heuristic=heuristic),
+                )
+                speedup = base / result.time
+                means[heuristic].append(speedup)
+                cells.append(f"{speedup:.2f}")
+            rows.append(cells)
+        rows.append(["geomean"] + [
+            f"{_geomean(means[h]):.2f}" for h in HEURISTICS
+        ])
+        self.lines.append(
+            f"## Treegion heuristics, {machine_name} (Figure 8)"
+        )
+        self.lines.append("")
+        self.lines.extend(_table(["program"] + list(HEURISTICS), rows))
+
+    def add_scheme_comparison(self, machine_name: str = "8U") -> None:
+        machine = PAPER_MACHINES[machine_name]
+        schemes = [
+            ("bb", bb_scheme()),
+            ("slr", slr_scheme()),
+            ("superblock", superblock_scheme()),
+            ("hyperblock", hyperblock_scheme()),
+            ("treegion", treegion_scheme()),
+            ("treegion-td(3.0)",
+             treegion_td_scheme(TreegionLimits(code_expansion=3.0))),
+        ]
+        options = ScheduleOptions(heuristic="global_weight",
+                                  dominator_parallelism=True)
+        rows = []
+        means: Dict[str, List[float]] = {label: [] for label, _ in schemes}
+        for name in self.benchmarks:
+            program = build_benchmark(name)
+            base = self._baseline(name)
+            cells = [name]
+            for label, scheme in schemes:
+                result = evaluate_program(program, scheme, machine, options)
+                speedup = base / result.time
+                means[label].append(speedup)
+                cells.append(f"{speedup:.2f}")
+            rows.append(cells)
+        rows.append(["geomean"] + [
+            f"{_geomean(means[label]):.2f}" for label, _ in schemes
+        ])
+        self.lines.append(
+            f"## All schemes, {machine_name}, global weight "
+            "(Figures 6 & 13 + hyperblocks)"
+        )
+        self.lines.append("")
+        self.lines.extend(_table(
+            ["program"] + [label for label, _ in schemes], rows
+        ))
+
+    def add_variation_study(self, seeds: Sequence[int] = (7, 19)) -> None:
+        rows = []
+        for name in self.benchmarks[:4]:
+            program = build_benchmark(name)
+            results = variation_study(
+                program, treegion_scheme, VLIW_4U,
+                heuristics=list(HEURISTICS), seeds=list(seeds),
+            )
+            rows.append([name] + [
+                f"{results[h]['degradation']:.3f}" for h in HEURISTICS
+            ])
+        self.lines.append("## Profile-variation robustness (Section 6)")
+        self.lines.append("")
+        self.lines.extend(_table(["program"] + list(HEURISTICS), rows))
+
+    def add_dynamic_comparison(self) -> None:
+        from repro.dynamic import DynamicParams, collect_trace, simulate_trace
+        from repro.vliw import simulate
+        from repro.workloads.minic_programs import (
+            build_minic_program,
+            minic_program_names,
+        )
+
+        options = ScheduleOptions(heuristic="global_weight")
+        rows = []
+        for name in minic_program_names():
+            program, args = build_minic_program(name)
+            _result, trace = collect_trace(program, args)
+            profile_program(program, inputs=[args])
+            _res, bb1 = simulate(program, bb_scheme(), universal_machine(1),
+                                 args, options)
+            _res, tree = simulate(program, treegion_scheme(), VLIW_4U, args,
+                                  options)
+            ooo = simulate_trace(trace, DynamicParams(issue_width=4,
+                                                      window=32))
+            rows.append([
+                name,
+                f"{bb1.cycles / tree.cycles:.2f}",
+                f"{bb1.cycles / ooo.cycles:.2f}",
+            ])
+        self.lines.append("## Static treegions vs out-of-order core "
+                          "(Section 6)")
+        self.lines.append("")
+        self.lines.extend(_table(["program", "treegion 4U", "ooo 4-wide"],
+                                 rows))
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_report(benchmarks: Optional[List[str]] = None) -> str:
+    """Run every study and return the markdown report."""
+    builder = ReportBuilder(benchmarks)
+    builder.add_region_statistics()
+    builder.add_heuristic_speedups("4U")
+    builder.add_scheme_comparison("8U")
+    builder.add_variation_study()
+    builder.add_dynamic_comparison()
+    return builder.render()

@@ -1,0 +1,77 @@
+"""Region-formation schemes, packaged for the experiment runner.
+
+A :class:`Scheme` bundles a region former with its parameters and records
+whether formation mutates the CFG (tail duplication does), so the runner
+knows to work on a clone.  The five schemes the paper compares:
+
+* ``bb`` — basic blocks (the speedup baseline, Section 3);
+* ``slr`` — simple linear regions (Section 3);
+* ``treegion`` — treegions without tail duplication (Section 3);
+* ``superblock`` — profile traces + tail duplication (Section 4);
+* ``treegion-td`` — treegions with tail duplication (Section 4), with the
+  code-expansion limit in the name (``treegion-td(2.0)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.ir.cfg import CFG
+from repro.regions.basic import form_basic_block_regions
+from repro.regions.hyperblock import HyperblockLimits, form_hyperblocks
+from repro.regions.region import RegionPartition
+from repro.regions.slr import form_slrs
+from repro.regions.superblock import SuperblockLimits, form_superblocks
+from repro.core.formation import form_treegions
+from repro.core.tail_duplication import TreegionLimits, form_treegions_td
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """A named region-formation strategy."""
+
+    name: str
+    form: Callable[[CFG], RegionPartition]
+    #: True when formation tail-duplicates (the runner clones the program).
+    mutates: bool = False
+
+
+def bb_scheme() -> Scheme:
+    return Scheme("bb", form_basic_block_regions)
+
+
+def slr_scheme() -> Scheme:
+    return Scheme("slr", form_slrs)
+
+
+def treegion_scheme() -> Scheme:
+    return Scheme("treegion", form_treegions)
+
+
+def superblock_scheme(limits: Optional[SuperblockLimits] = None) -> Scheme:
+    limits = limits or SuperblockLimits()
+    return Scheme(
+        "superblock",
+        lambda cfg: form_superblocks(cfg, limits),
+        mutates=True,
+    )
+
+
+def treegion_td_scheme(limits: Optional[TreegionLimits] = None) -> Scheme:
+    limits = limits or TreegionLimits()
+    return Scheme(
+        f"treegion-td({limits.code_expansion:g})",
+        lambda cfg: form_treegions_td(cfg, limits),
+        mutates=True,
+    )
+
+
+def hyperblock_scheme(limits: Optional[HyperblockLimits] = None) -> Scheme:
+    """If-converted hyperblocks (the paper's Section 6 comparison point:
+    predication instead of tail duplication + speculation)."""
+    limits = limits or HyperblockLimits()
+    return Scheme(
+        "hyperblock",
+        lambda cfg: form_hyperblocks(cfg, limits),
+    )

@@ -1,0 +1,24 @@
+"""Sequential IR interpretation and profiling.
+
+The paper profiles SPECint95 with training inputs to obtain the block and
+edge weights its heuristics consume.  This package plays that role for
+programs we can execute (hand-built IR and minic programs): a reference
+interpreter defines the IR's sequential semantics, and the profiler turns
+execution counts into the ``weight`` fields region formation and
+scheduling read.
+
+The interpreter doubles as the *oracle* for schedule correctness: the VLIW
+simulator (:mod:`repro.vliw`) must produce identical results and memory.
+"""
+
+from repro.interp.state import MachineState
+from repro.interp.interpreter import Interpreter, run_program
+from repro.interp.profiler import Profiler, profile_program
+
+__all__ = [
+    "MachineState",
+    "Interpreter",
+    "run_program",
+    "Profiler",
+    "profile_program",
+]

@@ -1,0 +1,199 @@
+"""The sequential IR interpreter — the library's semantic oracle.
+
+Executes a program block by block, following CFG edges, with a Python call
+stack for ``CALL``.  An optional observer receives block-entry and
+edge-traversal events, which is how the profiler collects weights without
+the interpreter knowing about profiling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.util.errors import InterpreterError
+from repro.ir.cfg import BasicBlock, Edge
+from repro.ir.function import Function, Program
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.ir.types import EdgeKind, Immediate, Opcode
+from repro.interp.ops import PURE_OPCODES, evaluate
+from repro.interp.state import MachineState
+
+
+class Interpreter:
+    """Executes IR programs with precise sequential semantics."""
+
+    def __init__(self, program: Program, max_steps: int = 5_000_000,
+                 observer: Optional["ExecutionObserver"] = None):
+        self.program = program
+        self.max_steps = max_steps
+        self.observer = observer
+        self.steps = 0
+        self.memory: Dict[int, object] = MachineState.initial_memory(program)
+
+    # ------------------------------------------------------------------
+
+    def run(self, args: Sequence[object] = ()):
+        """Execute the program's entry function; returns its return value."""
+        return self.call(self.program.entry_function, list(args))
+
+    def call(self, function: Function, args: Sequence[object]):
+        state = MachineState(memory=self.memory)
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                f"{function.name} expects {len(function.params)} args, "
+                f"got {len(args)}"
+            )
+        for param, value in zip(function.params, args):
+            state.write(param, value)
+
+        block = function.cfg.entry
+        if block is None:
+            raise InterpreterError(f"{function.name} has no entry block")
+        while True:
+            if self.observer is not None:
+                self.observer.on_block(function, block)
+            outcome = self._execute_block(function, block, state)
+            if outcome.returned:
+                return outcome.value
+            edge = outcome.edge
+            if self.observer is not None:
+                self.observer.on_edge(function, edge)
+            block = edge.dst
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpreterError(
+                f"execution exceeded {self.max_steps} steps (infinite loop?)"
+            )
+
+    def _value(self, state: MachineState, operand):
+        if isinstance(operand, Immediate):
+            return operand.value
+        if isinstance(operand, Register):
+            return state.read(operand)
+        raise InterpreterError(f"bad operand {operand!r}")
+
+    def _guard_holds(self, state: MachineState, op: Operation) -> bool:
+        if op.guard is None:
+            return True
+        return bool(state.read(op.guard))
+
+    def _execute_block(self, function: Function, block: BasicBlock,
+                       state: MachineState) -> "_BlockOutcome":
+        for op in block.ops:
+            self._tick()
+            if op.is_terminator:
+                return self._terminate(function, block, op, state)
+            self._execute_op(function, op, state)
+        edge = block.fallthrough_edge
+        if edge is None:
+            raise InterpreterError(
+                f"control fell off bb{block.bid} in {function.name}"
+            )
+        return _BlockOutcome(edge=edge)
+
+    def _execute_op(self, function: Function, op: Operation,
+                    state: MachineState) -> None:
+        if not self._guard_holds(state, op):
+            return
+        opcode = op.opcode
+        if opcode in PURE_OPCODES:
+            values = [self._value(state, s) for s in op.srcs]
+            state.write(op.dest, evaluate(opcode, values))
+        elif opcode is Opcode.LD:
+            base = self._value(state, op.srcs[0])
+            offset = self._value(state, op.srcs[1])
+            state.write(op.dest, state.load(base + offset))
+        elif opcode is Opcode.ST:
+            base = self._value(state, op.srcs[0])
+            offset = self._value(state, op.srcs[1])
+            value = self._value(state, op.srcs[2])
+            state.store(base + offset, value)
+        elif opcode is Opcode.CMPP:
+            result = op.cond.evaluate(
+                self._value(state, op.srcs[0]), self._value(state, op.srcs[1])
+            )
+            state.write(op.dests[0], bool(result))
+            if len(op.dests) > 1:
+                state.write(op.dests[1], not result)
+        elif opcode is Opcode.PAND:
+            values = [bool(self._value(state, s)) for s in op.srcs]
+            state.write(op.dest, all(values))
+        elif opcode is Opcode.PANDCN:
+            values = [bool(self._value(state, s)) for s in op.srcs]
+            rest = all(values[1:]) if len(values) > 1 else True
+            state.write(op.dest, (not values[0]) and rest)
+        elif opcode is Opcode.POR:
+            values = [bool(self._value(state, s)) for s in op.srcs]
+            state.write(op.dest, any(values))
+        elif opcode is Opcode.NINSET:
+            selector = self._value(state, op.srcs[0])
+            members = {self._value(state, s) for s in op.srcs[1:]}
+            state.write(op.dest, selector not in members)
+        elif opcode is Opcode.PBR:
+            state.write(op.dest, op.target)
+        elif opcode is Opcode.CALL:
+            callee = self.program.function(op.callee)
+            values = [self._value(state, s) for s in op.srcs]
+            result = self.call(callee, values)
+            if op.dests:
+                state.write(op.dest, result)
+        elif opcode is Opcode.NOP:
+            pass
+        else:
+            raise InterpreterError(
+                f"unexpected opcode {opcode.value} mid-block"
+            )
+
+    def _terminate(self, function: Function, block: BasicBlock,
+                   op: Operation, state: MachineState) -> "_BlockOutcome":
+        opcode = op.opcode
+        if opcode is Opcode.RET:
+            value = self._value(state, op.srcs[0]) if op.srcs else None
+            return _BlockOutcome(returned=True, value=value)
+        if opcode is Opcode.BRU:
+            return _BlockOutcome(edge=block.taken_edge)
+        if opcode in (Opcode.BRCT, Opcode.BRCF):
+            predicate = bool(self._value(state, op.srcs[0]))
+            taken = predicate if opcode is Opcode.BRCT else not predicate
+            edge = block.taken_edge if taken else block.fallthrough_edge
+            return _BlockOutcome(edge=edge)
+        if opcode is Opcode.SWITCH:
+            selector = self._value(state, op.srcs[0])
+            for edge in block.case_edges():
+                if edge.case_value == selector:
+                    return _BlockOutcome(edge=edge)
+            return _BlockOutcome(edge=block.out_edge(EdgeKind.DEFAULT))
+        raise InterpreterError(f"unknown terminator {opcode.value}")
+
+
+class _BlockOutcome:
+    __slots__ = ("edge", "returned", "value")
+
+    def __init__(self, edge: Optional[Edge] = None, returned: bool = False,
+                 value=None):
+        self.edge = edge
+        self.returned = returned
+        self.value = value
+
+
+class ExecutionObserver:
+    """Callbacks the interpreter invokes; see the profiler for a user."""
+
+    def on_block(self, function: Function, block: BasicBlock) -> None:
+        pass
+
+    def on_edge(self, function: Function, edge: Edge) -> None:
+        pass
+
+
+def run_program(program: Program, args: Sequence[object] = (),
+                max_steps: int = 5_000_000):
+    """Convenience: run the entry function; returns (result, memory)."""
+    interpreter = Interpreter(program, max_steps=max_steps)
+    result = interpreter.run(args)
+    return result, interpreter.memory

@@ -1,0 +1,94 @@
+"""Scalar semantics of individual opcodes, shared by the sequential
+interpreter and the VLIW schedule simulator.
+
+Integer division and modulus truncate toward zero (C semantics, matching
+what the minic frontend promises).  In *dismissible* mode — used for
+speculatively executed ops, following Play-Doh's dismissible loads —
+divide-by-zero yields 0 instead of trapping, since a speculated op's
+inputs may be garbage that the taken path never uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import InterpreterError
+from repro.ir.types import Opcode
+
+
+def _int_div(a, b, dismissible: bool):
+    if b == 0:
+        if dismissible:
+            return 0
+        raise InterpreterError("integer division by zero")
+    return int(math.trunc(a / b))
+
+
+def _int_mod(a, b, dismissible: bool):
+    if b == 0:
+        if dismissible:
+            return 0
+        raise InterpreterError("integer modulus by zero")
+    return a - b * int(math.trunc(a / b))
+
+
+def _fdiv(a, b, dismissible: bool):
+    if b == 0:
+        if dismissible:
+            return 0.0
+        raise InterpreterError("floating-point division by zero")
+    return a / b
+
+
+def _shift_amount(b) -> int:
+    return int(b) & 63
+
+
+def evaluate(opcode: Opcode, operands, dismissible: bool = False):
+    """Apply a pure compute opcode to evaluated operand values."""
+    a = operands[0] if operands else None
+    b = operands[1] if len(operands) > 1 else None
+    if opcode is Opcode.ADD:
+        return a + b
+    if opcode is Opcode.SUB:
+        return a - b
+    if opcode is Opcode.MUL:
+        return a * b
+    if opcode is Opcode.DIV:
+        return _int_div(a, b, dismissible)
+    if opcode is Opcode.MOD:
+        return _int_mod(a, b, dismissible)
+    if opcode is Opcode.NEG:
+        return -a
+    if opcode is Opcode.AND:
+        return int(a) & int(b)
+    if opcode is Opcode.OR:
+        return int(a) | int(b)
+    if opcode is Opcode.XOR:
+        return int(a) ^ int(b)
+    if opcode is Opcode.NOT:
+        return ~int(a)
+    if opcode is Opcode.SHL:
+        return int(a) << _shift_amount(b)
+    if opcode is Opcode.SHR:
+        return int(a) >> _shift_amount(b)
+    if opcode is Opcode.FADD:
+        return float(a) + float(b)
+    if opcode is Opcode.FSUB:
+        return float(a) - float(b)
+    if opcode is Opcode.FMUL:
+        return float(a) * float(b)
+    if opcode is Opcode.FDIV:
+        return _fdiv(float(a), float(b), dismissible)
+    if opcode in (Opcode.MOV, Opcode.COPY):
+        return a
+    raise InterpreterError(f"evaluate() cannot handle opcode {opcode.value}")
+
+
+#: Opcodes evaluate() accepts (everything pure and single-destination).
+PURE_OPCODES = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD, Opcode.NEG,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.SHL, Opcode.SHR,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.MOV, Opcode.COPY,
+})

@@ -1,0 +1,68 @@
+"""The intermediate representation (IR) substrate.
+
+This package plays the role of the Rebel IR / LEGO compiler infrastructure
+used by the paper: a VLIW-oriented IR with Playdoh-style operations
+(compare-to-predicate, prepare-to-branch, predicated branches), virtual
+registers in three classes (general ``r``, predicate ``p``, branch-target
+``b``), basic blocks, an explicit CFG with typed edges carrying profile
+weights, dominators, liveness, a builder, a textual printer/parser, and a
+structural verifier.
+
+Public entry points:
+
+* :class:`~repro.ir.operation.Operation`, :class:`~repro.ir.registers.Register`
+* :class:`~repro.ir.cfg.BasicBlock`, :class:`~repro.ir.cfg.Edge`,
+  :class:`~repro.ir.cfg.CFG`
+* :class:`~repro.ir.function.Function`, :class:`~repro.ir.function.Program`
+* :class:`~repro.ir.builder.IRBuilder` for constructing functions by hand
+* :func:`~repro.ir.verify.verify_function` / ``verify_cfg``
+* :func:`~repro.ir.printer.format_function` and
+  :func:`~repro.ir.parser.parse_program`
+"""
+
+from repro.ir.types import (
+    Opcode,
+    RegClass,
+    CompareCond,
+    EdgeKind,
+    Immediate,
+    LabelRef,
+)
+from repro.ir.registers import Register, RegisterFactory
+from repro.ir.operation import Operation
+from repro.ir.cfg import BasicBlock, Edge, CFG
+from repro.ir.function import Function, Program
+from repro.ir.builder import IRBuilder
+from repro.ir.dominators import DominatorTree
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.verify import verify_cfg, verify_function, verify_program
+from repro.ir.printer import format_function, format_program, format_operation
+from repro.ir.parser import parse_program
+
+__all__ = [
+    "Opcode",
+    "RegClass",
+    "CompareCond",
+    "EdgeKind",
+    "Immediate",
+    "LabelRef",
+    "Register",
+    "RegisterFactory",
+    "Operation",
+    "BasicBlock",
+    "Edge",
+    "CFG",
+    "Function",
+    "Program",
+    "IRBuilder",
+    "DominatorTree",
+    "LivenessInfo",
+    "compute_liveness",
+    "verify_cfg",
+    "verify_function",
+    "verify_program",
+    "format_function",
+    "format_program",
+    "format_operation",
+    "parse_program",
+]

@@ -1,0 +1,241 @@
+"""A fluent builder for constructing IR functions by hand.
+
+Used heavily by tests, the examples, and the reconstruction of the paper's
+Figure 1 CFG.  The builder keeps a current insertion block; emit methods
+wrap plain Python numbers into :class:`Immediate` operands and mint fresh
+destination registers unless one is supplied.
+
+Example::
+
+    fn = Function("main")
+    b = IRBuilder(fn)
+    entry = b.block("entry")
+    b.at(entry)
+    x = b.ld(b.addr_of(0))
+    p = b.cmpp(CompareCond.GT, x, 10)
+    then_bb, else_bb = b.block("then"), b.block("else")
+    b.br_true(p, then_bb, else_bb)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.util.errors import IRValidationError
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function
+from repro.ir.operation import Operation, Operand
+from repro.ir.registers import Register
+from repro.ir.types import CompareCond, EdgeKind, Immediate, Opcode, RegClass
+
+Value = Union[Register, Immediate, int, float]
+
+
+def as_operand(value: Value) -> Operand:
+    """Wrap plain numbers in :class:`Immediate`; pass operands through."""
+    if isinstance(value, (Register, Immediate)):
+        return value
+    if isinstance(value, bool):
+        return Immediate(int(value))
+    if isinstance(value, (int, float)):
+        return Immediate(value)
+    raise IRValidationError(f"cannot use {value!r} as an operand")
+
+
+class IRBuilder:
+    """Builds ops into a current block of one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.cfg = function.cfg
+        self._block: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------
+    # Block management
+
+    def block(self, name: str = "") -> BasicBlock:
+        """Create a new block (does not change the insertion point)."""
+        return self.cfg.new_block(name)
+
+    def at(self, block: BasicBlock) -> "IRBuilder":
+        """Set the insertion point; returns self for chaining."""
+        self._block = block
+        return self
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._block is None:
+            raise IRValidationError("no insertion block set; call .at(block)")
+        return self._block
+
+    # ------------------------------------------------------------------
+    # Register helpers
+
+    def fresh(self, rclass: RegClass = RegClass.GPR) -> Register:
+        return self.function.regs.fresh(rclass)
+
+    # ------------------------------------------------------------------
+    # Generic emission
+
+    def emit(self, opcode: Opcode, dests: Sequence[Register] = (),
+             srcs: Sequence[Value] = (), guard: Optional[Register] = None,
+             **kwargs) -> Operation:
+        op = self.cfg.new_op(
+            opcode,
+            dests=dests,
+            srcs=[as_operand(s) for s in srcs],
+            guard=guard,
+            **kwargs,
+        )
+        self.current.ops.append(op)
+        return op
+
+    def _binary(self, opcode: Opcode, a: Value, b: Value,
+                dest: Optional[Register] = None) -> Register:
+        dest = dest or self.fresh()
+        self.emit(opcode, dests=[dest], srcs=[a, b])
+        return dest
+
+    def _unary(self, opcode: Opcode, a: Value,
+               dest: Optional[Register] = None) -> Register:
+        dest = dest or self.fresh()
+        self.emit(opcode, dests=[dest], srcs=[a])
+        return dest
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic
+
+    def add(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.ADD, a, b, dest)
+
+    def sub(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.SUB, a, b, dest)
+
+    def mul(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.MUL, a, b, dest)
+
+    def div(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.DIV, a, b, dest)
+
+    def mod(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.MOD, a, b, dest)
+
+    def and_(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.AND, a, b, dest)
+
+    def or_(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.OR, a, b, dest)
+
+    def xor(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.XOR, a, b, dest)
+
+    def shl(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.SHL, a, b, dest)
+
+    def shr(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.SHR, a, b, dest)
+
+    def neg(self, a: Value, dest: Optional[Register] = None) -> Register:
+        return self._unary(Opcode.NEG, a, dest)
+
+    def not_(self, a: Value, dest: Optional[Register] = None) -> Register:
+        return self._unary(Opcode.NOT, a, dest)
+
+    def fadd(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.FADD, a, b, dest)
+
+    def fsub(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.FSUB, a, b, dest)
+
+    def fmul(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.FMUL, a, b, dest)
+
+    def fdiv(self, a: Value, b: Value, dest: Optional[Register] = None) -> Register:
+        return self._binary(Opcode.FDIV, a, b, dest)
+
+    def mov(self, value: Value, dest: Optional[Register] = None) -> Register:
+        return self._unary(Opcode.MOV, value, dest)
+
+    # ------------------------------------------------------------------
+    # Memory
+
+    def ld(self, base: Value, offset: Value = 0,
+           dest: Optional[Register] = None) -> Register:
+        dest = dest or self.fresh()
+        self.emit(Opcode.LD, dests=[dest], srcs=[base, offset])
+        return dest
+
+    def st(self, base: Value, offset: Value, value: Value) -> Operation:
+        return self.emit(Opcode.ST, srcs=[base, offset, value])
+
+    # ------------------------------------------------------------------
+    # Predicates and control
+
+    def cmpp(self, cond: CompareCond, a: Value, b: Value,
+             dest: Optional[Register] = None,
+             dest_false: Optional[Register] = None,
+             guard: Optional[Register] = None,
+             both: bool = False) -> Union[Register, Tuple[Register, Register]]:
+        """Emit a compare-to-predicate.
+
+        With ``both=True`` (or an explicit ``dest_false``) the op writes the
+        complement predicate too, returning a (true, false) pair — the
+        two-destination CMPP form of Playdoh that the treegion scheduler
+        uses for guard chains.
+        """
+        dest = dest or self.fresh(RegClass.PRED)
+        dests: List[Register] = [dest]
+        if both and dest_false is None:
+            dest_false = self.fresh(RegClass.PRED)
+        if dest_false is not None:
+            dests.append(dest_false)
+        self.emit(Opcode.CMPP, dests=dests, srcs=[a, b], cond=cond, guard=guard)
+        if dest_false is not None:
+            return dest, dest_false
+        return dest
+
+    def br_true(self, pred: Register, target: BasicBlock,
+                fallthrough: BasicBlock) -> Operation:
+        op = self.emit(Opcode.BRCT, srcs=[pred], target=target.bid)
+        self.cfg.add_edge(self.current, target, EdgeKind.TAKEN)
+        self.cfg.add_edge(self.current, fallthrough, EdgeKind.FALLTHROUGH)
+        return op
+
+    def br_false(self, pred: Register, target: BasicBlock,
+                 fallthrough: BasicBlock) -> Operation:
+        op = self.emit(Opcode.BRCF, srcs=[pred], target=target.bid)
+        self.cfg.add_edge(self.current, target, EdgeKind.TAKEN)
+        self.cfg.add_edge(self.current, fallthrough, EdgeKind.FALLTHROUGH)
+        return op
+
+    def jump(self, target: BasicBlock) -> Operation:
+        op = self.emit(Opcode.BRU, target=target.bid)
+        self.cfg.add_edge(self.current, target, EdgeKind.TAKEN)
+        return op
+
+    def fallthrough(self, target: BasicBlock) -> None:
+        """Add a plain fallthrough edge (no branch op)."""
+        self.cfg.add_edge(self.current, target, EdgeKind.FALLTHROUGH)
+
+    def switch(self, selector: Value,
+               cases: Sequence[Tuple[int, BasicBlock]],
+               default: BasicBlock) -> Operation:
+        """Emit a multiway branch with one CASE edge per (value, block)."""
+        op = self.emit(Opcode.SWITCH, srcs=[selector])
+        for value, block in cases:
+            self.cfg.add_edge(self.current, block, EdgeKind.CASE, case_value=value)
+        self.cfg.add_edge(self.current, default, EdgeKind.DEFAULT)
+        return op
+
+    def call(self, callee: str, args: Sequence[Value] = (),
+             dest: Optional[Register] = None) -> Register:
+        dest = dest or self.fresh()
+        self.emit(Opcode.CALL, dests=[dest], srcs=list(args), callee=callee)
+        return dest
+
+    def ret(self, value: Optional[Value] = None) -> Operation:
+        srcs = [] if value is None else [value]
+        return self.emit(Opcode.RET, srcs=srcs)
+
+    def nop(self) -> Operation:
+        return self.emit(Opcode.NOP)

@@ -1,0 +1,106 @@
+"""Dominator analysis.
+
+Dominator parallelism (Section 4 of the paper) relies on the fact that in a
+treegion every block dominates all blocks below it; the general CFG
+dominator tree computed here is used by the verifier, by tests asserting
+that property, and by the scheduler's de-speculation step.
+
+The implementation is the classic Cooper–Harvey–Kennedy iterative algorithm
+over reverse postorder, which is simple and fast enough for the CFG sizes
+this library handles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import CFG, BasicBlock
+
+
+class DominatorTree:
+    """Immediate-dominator map for a CFG, computed on construction."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self._idom: Dict[int, Optional[int]] = {}
+        self._order_index: Dict[int, int] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        entry = self.cfg.entry
+        if entry is None:
+            return
+        rpo = [b for b in self.cfg.reverse_postorder() if self._reachable(b)]
+        self._order_index = {b.bid: i for i, b in enumerate(rpo)}
+        idom: Dict[int, Optional[int]] = {entry.bid: entry.bid}
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                new_idom: Optional[int] = None
+                for pred in block.predecessors:
+                    if pred.bid in idom:
+                        if new_idom is None:
+                            new_idom = pred.bid
+                        else:
+                            new_idom = self._intersect(idom, new_idom, pred.bid)
+                if new_idom is not None and idom.get(block.bid) != new_idom:
+                    idom[block.bid] = new_idom
+                    changed = True
+        idom[entry.bid] = None  # the entry has no immediate dominator
+        self._idom = idom
+
+    def _reachable(self, block: BasicBlock) -> bool:
+        # reverse_postorder appends unreachable blocks at the end; detect
+        # them as blocks with no path from entry (no in-edges and not entry).
+        # A cheap over-approximation is fine for dominators: do a real
+        # reachability walk once.
+        if not hasattr(self, "_reach_set"):
+            reach = set()
+            stack = [self.cfg.entry]
+            while stack:
+                b = stack.pop()
+                if b.bid in reach:
+                    continue
+                reach.add(b.bid)
+                stack.extend(b.successors)
+            self._reach_set = reach
+        return block.bid in self._reach_set
+
+    def _intersect(self, idom: Dict[int, Optional[int]], a: int, b: int) -> int:
+        index = self._order_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    # ------------------------------------------------------------------
+
+    def idom(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """The immediate dominator of ``block`` (None for the entry)."""
+        parent = self._idom.get(block.bid)
+        if parent is None:
+            return None
+        return self.cfg.block(parent)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        if a.bid not in self._idom or b.bid not in self._idom:
+            return False
+        current: Optional[int] = b.bid
+        while current is not None:
+            if current == a.bid:
+                return True
+            current = self._idom.get(current)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominated_by(self, block: BasicBlock) -> List[BasicBlock]:
+        """All blocks dominated by ``block`` (reflexive), in id order."""
+        return [b for b in self.cfg.blocks() if self.dominates(block, b)]

@@ -1,0 +1,84 @@
+"""Graphviz DOT export for CFGs and region partitions.
+
+Debugging/teaching aid: render a function's CFG with blocks clustered by
+region (treegions show up as the dotted groups of the paper's Figure 1).
+
+    dot = cfg_to_dot(fn.cfg, partition=form_treegions(fn.cfg))
+    pathlib.Path("cfg.dot").write_text(dot)
+    # then: dot -Tsvg cfg.dot -o cfg.svg
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.cfg import CFG, BasicBlock
+from repro.ir.printer import format_operation
+from repro.ir.types import EdgeKind
+from repro.regions.region import RegionPartition
+
+
+def _block_label(block: BasicBlock, max_ops: int) -> str:
+    lines = [f"{block.name} (w={block.weight:g})"]
+    for op in block.ops[:max_ops]:
+        lines.append(format_operation(op))
+    if len(block.ops) > max_ops:
+        lines.append(f"... +{len(block.ops) - max_ops} ops")
+    escaped = "\\l".join(line.replace('"', '\\"') for line in lines)
+    return escaped + "\\l"
+
+
+def cfg_to_dot(
+    cfg: CFG,
+    partition: Optional[RegionPartition] = None,
+    name: str = "cfg",
+    max_ops_per_block: int = 6,
+) -> str:
+    """Render a CFG (optionally clustered by region) as DOT text."""
+    lines: List[str] = [
+        f"digraph {name} {{",
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+        "  rankdir=TB;",
+    ]
+
+    if partition is not None:
+        for region in partition:
+            lines.append(f"  subgraph cluster_r{region.rid} {{")
+            lines.append(f'    label="{region.kind} #{region.rid}";')
+            lines.append("    style=dotted;")
+            for block in region.blocks:
+                lines.append(
+                    f'    bb{block.bid} '
+                    f'[label="{_block_label(block, max_ops_per_block)}"];'
+                )
+            lines.append("  }")
+        covered = {b.bid for r in partition for b in r.blocks}
+    else:
+        covered = set()
+
+    for block in cfg.blocks():
+        if block.bid not in covered:
+            lines.append(
+                f'  bb{block.bid} '
+                f'[label="{_block_label(block, max_ops_per_block)}"];'
+            )
+
+    styles = {
+        EdgeKind.TAKEN: "solid",
+        EdgeKind.FALLTHROUGH: "dashed",
+        EdgeKind.CASE: "solid",
+        EdgeKind.DEFAULT: "dotted",
+    }
+    for block in cfg.blocks():
+        for edge in block.out_edges:
+            attributes = [f'style={styles[edge.kind]}']
+            label = f"{edge.weight:g}"
+            if edge.kind is EdgeKind.CASE:
+                label = f"case {edge.case_value}: {label}"
+            attributes.append(f'label="{label}"')
+            lines.append(
+                f"  bb{block.bid} -> bb{edge.dst.bid} "
+                f"[{', '.join(attributes)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

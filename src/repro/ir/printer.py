@@ -1,0 +1,100 @@
+"""Textual IR printing.
+
+The format is line-oriented and designed to round-trip through
+``repro.ir.parser``: one op per line, blocks introduced by ``block`` lines
+carrying profile weights, and out-edges printed explicitly after each
+block's ops (edges are the CFG's source of truth, so they are never
+inferred from branch mnemonics).
+
+Example::
+
+    func main(r0) {
+      block bb1 weight=100
+        r1 = ld r0, #0
+        p1 = cmpp.gt r1, #10
+        brct p1 -> bb2
+      edge bb1 -> bb2 taken weight=60
+      edge bb1 -> bb3 fallthrough weight=40
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import BasicBlock, Edge
+from repro.ir.function import Function, Program
+from repro.ir.operation import Operation
+from repro.ir.types import EdgeKind, Opcode
+
+
+def format_operand(operand) -> str:
+    return str(operand)
+
+
+def format_operation(op: Operation) -> str:
+    """One-line textual form of an op."""
+    mnemonic = op.opcode.value
+    if op.cond is not None:
+        mnemonic += f".{op.cond.value}"
+    parts: List[str] = []
+    if op.dests:
+        parts.append(", ".join(str(d) for d in op.dests))
+        parts.append("=")
+    parts.append(mnemonic)
+    if op.opcode is Opcode.CALL:
+        parts.append(op.callee or "?")
+    if op.srcs:
+        parts.append(", ".join(format_operand(s) for s in op.srcs))
+    if op.guard is not None:
+        parts.append(f"? {op.guard}")
+    if op.target is not None:
+        parts.append(f"-> bb{op.target}")
+    if op.speculative:
+        parts.append("!spec")
+    return " ".join(parts)
+
+
+def format_edge(edge: Edge) -> str:
+    kind = edge.kind.value
+    if edge.kind is EdgeKind.CASE:
+        kind = f"case({edge.case_value})"
+    return (
+        f"edge bb{edge.src.bid} -> bb{edge.dst.bid} {kind} "
+        f"weight={edge.weight:g}"
+    )
+
+
+def format_block(block: BasicBlock, entry: bool = False) -> str:
+    lines = [f"  block bb{block.bid} weight={block.weight:g}"
+             + (" entry" if entry else "")]
+    for op in block.ops:
+        lines.append(f"    {format_operation(op)}")
+    for edge in block.out_edges:
+        lines.append(f"  {format_edge(edge)}")
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    params = ", ".join(str(p) for p in function.params)
+    lines = [f"func {function.name}({params}) {{"]
+    entry = function.cfg.entry
+    for block in function.cfg.blocks():
+        lines.append(format_block(block, entry=block is entry))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    lines = [f"program entry={program.entry_name}"]
+    for var in program.globals.values():
+        line = f"global {var.name} size={var.size}"
+        if var.initial:
+            init = ", ".join(str(v) for v in var.initial)
+            line += f" init=[{init}]"
+        lines.append(line)
+    for function in program.functions():
+        lines.append("")
+        lines.append(format_function(function))
+    return "\n".join(lines) + "\n"

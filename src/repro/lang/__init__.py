@@ -1,0 +1,28 @@
+"""minic: a small C-like language compiled to the IR.
+
+The paper's pipeline starts from C (SPECint95) compiled by IMPACT; minic
+plays that role for programs small enough to write by hand.  It supports
+globals and global arrays, functions with parameters and recursion,
+``if``/``else``, ``while``, ``for``, ``break``/``continue``,
+``switch``/``case``/``default`` (lowered to the IR's multiway branch),
+short-circuit ``&&``/``||``, and the usual integer/float arithmetic.
+
+    >>> from repro.lang import compile_source
+    >>> program = compile_source('''
+    ...     func main(n) {
+    ...         var acc = 0;
+    ...         var i = 0;
+    ...         while (i < n) { acc = acc + i; i = i + 1; }
+    ...         return acc;
+    ...     }
+    ... ''')
+
+The produced :class:`~repro.ir.function.Program` is ready for the
+interpreter, the profiler, region formation, and scheduling.
+"""
+
+from repro.lang.compiler import compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+__all__ = ["compile_source", "tokenize", "parse"]

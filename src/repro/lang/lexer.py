@@ -1,0 +1,111 @@
+"""minic tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.errors import FrontendError
+
+KEYWORDS = frozenset({
+    "func", "var", "array", "if", "else", "while", "for", "return",
+    "break", "continue", "switch", "case", "default",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"int"``, ``"float"``, ``"op"``, a
+    keyword (its own kind), or ``"eof"``.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Produce the token list for a minic source string."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+
+    def error(message: str):
+        raise FrontendError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = source[index:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+
+        if char.isdigit():
+            start = index
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                index += 1
+            text = source[start:index]
+            if text.count(".") > 1:
+                error(f"bad number {text!r}")
+            kind = "float" if "." in text else "int"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+
+        for operator in OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token("op", operator, line, column))
+                index += len(operator)
+                column += len(operator)
+                break
+        else:
+            error(f"unexpected character {char!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,19 @@
+"""VLIW machine models (the paper's 4U / 8U Playdoh-style targets)."""
+
+from repro.machine.model import MachineModel
+from repro.machine.presets import (
+    SCALAR_1U,
+    VLIW_4U,
+    VLIW_8U,
+    universal_machine,
+    PAPER_MACHINES,
+)
+
+__all__ = [
+    "MachineModel",
+    "SCALAR_1U",
+    "VLIW_4U",
+    "VLIW_8U",
+    "universal_machine",
+    "PAPER_MACHINES",
+]

@@ -1,0 +1,77 @@
+"""The statically-scheduled VLIW machine model.
+
+The paper's machines (Section 3) are:
+
+* statically scheduled VLIW, *universal* fully-pipelined function units —
+  so the only per-cycle resource is the issue width;
+* unit latency for every op except load (2 cycles), floating-point multiply
+  (3 cycles), and floating-point divide (9 cycles);
+* memory ops serialized (no aliasing information), but Playdoh semantics
+  allow a store and a dependent memory op in the same cycle;
+* Playdoh-style branch architecture: branches read branch-target registers
+  prepared by ``PBR`` ops, branches may be predicated, and several branches
+  may issue in one MultiOp.
+
+``MachineModel`` captures the parameters the scheduler and estimator need.
+Custom latency tables and non-universal restrictions (a cap on memory ops or
+branches per cycle) are supported for ablation studies; the paper presets in
+``repro.machine.presets`` leave them unlimited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.ir.operation import Operation
+from repro.ir.types import Opcode
+
+#: Latencies from Section 3 of the paper; ops not listed take 1 cycle.
+DEFAULT_LATENCIES: Dict[Opcode, int] = {
+    Opcode.LD: 2,
+    Opcode.FMUL: 3,
+    Opcode.FDIV: 9,
+}
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A wide-issue, universal-unit VLIW target.
+
+    Attributes:
+        name: Display name ("4U", "8U", ...).
+        issue_width: Ops per MultiOp (cycle).
+        latencies: Opcode → cycles override map; unlisted opcodes take
+            ``default_latency``.
+        default_latency: Latency for opcodes not in ``latencies``.
+        use_btr: When True the scheduler materializes ``PBR`` ops one per
+            branch, and branches depend on them — the Playdoh branch model
+            used throughout the paper's examples.
+        max_memory_per_cycle: Optional cap on LD/ST ops per cycle
+            (None = universal units, the paper's configuration).
+        max_branches_per_cycle: Optional cap on branch ops per cycle
+            (None = unlimited; the paper notes multiple predicated branches
+            per cycle "providing the architecture allows it").
+    """
+
+    name: str
+    issue_width: int
+    latencies: Dict[Opcode, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+    default_latency: int = 1
+    use_btr: bool = True
+    max_memory_per_cycle: Optional[int] = None
+    max_branches_per_cycle: Optional[int] = None
+
+    def latency(self, op: Operation) -> int:
+        """Cycles from issue until the op's results are readable."""
+        return self.latencies.get(op.opcode, self.default_latency)
+
+    def latency_of(self, opcode: Opcode) -> int:
+        return self.latencies.get(opcode, self.default_latency)
+
+    def __post_init__(self):
+        if self.issue_width < 1:
+            raise ValueError(f"issue width must be >= 1, got {self.issue_width}")
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.issue_width}-issue)"

@@ -1,0 +1,33 @@
+"""The machine configurations used by the paper's experiments.
+
+Section 3: "Two machine models were used for this study: a 4-issue
+processor (4U) and a 8-issue processor (8U), both with universal units";
+the speedup baseline is "basic block scheduling on a single-issue,
+pipelined universal unit machine".
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+
+
+def universal_machine(issue_width: int, name: str = "", use_btr: bool = True) -> MachineModel:
+    """A universal-unit machine of arbitrary width with paper latencies."""
+    return MachineModel(
+        name=name or f"{issue_width}U",
+        issue_width=issue_width,
+        use_btr=use_btr,
+    )
+
+
+#: The single-issue baseline machine (speedup denominator).
+SCALAR_1U = universal_machine(1, name="1U")
+
+#: The paper's 4-issue machine model.
+VLIW_4U = universal_machine(4, name="4U")
+
+#: The paper's 8-issue machine model.
+VLIW_8U = universal_machine(8, name="8U")
+
+#: The two evaluation machines, keyed as the figures label them.
+PAPER_MACHINES = {"4U": VLIW_4U, "8U": VLIW_8U}

@@ -1,0 +1,22 @@
+"""Classic scalar optimizations.
+
+Section 2 of the paper: "The programs had classic optimizations and a
+profiling run using training inputs applied to them" before region
+formation.  This package provides that preconditioning for minic-compiled
+code (the synthetic workloads are generated directly in optimized shape):
+
+* constant folding + algebraic simplification   (``repro.opt.fold``)
+* block-local copy/constant propagation and CSE (``repro.opt.local``)
+* liveness-based dead code elimination           (``repro.opt.dce``)
+* branch simplification + unreachable-block removal + straightening
+  (``repro.opt.cfgopt``)
+
+all driven to a fixed point by :func:`optimize_function` /
+:func:`optimize_program`.  Every pass preserves semantics — verified by
+interpreting the whole minic workload library before and after
+(``tests/test_opt.py``).
+"""
+
+from repro.opt.pipeline import OptStats, optimize_function, optimize_program
+
+__all__ = ["OptStats", "optimize_function", "optimize_program"]

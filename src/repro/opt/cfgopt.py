@@ -1,0 +1,123 @@
+"""Control-flow optimizations: branch simplification, unreachable-code
+removal, and straightening.
+
+``simplify_branches`` retires conditional branches whose predicate became
+a known constant (after folding/propagation — minic's ``while (1)`` is the
+common case) and switches with constant selectors, deleting the dead
+edges.  ``remove_unreachable`` then garbage-collects blocks no longer
+reachable from the entry, and ``straighten`` merges trivial fallthrough
+chains (single successor into single predecessor), shrinking region
+bookkeeping downstream.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import CFG, BasicBlock
+from repro.ir.types import EdgeKind, Immediate, Opcode
+
+
+def simplify_branches(cfg: CFG) -> int:
+    """Resolve constant-predicate branches; returns branches removed."""
+    changed = 0
+    for block in cfg.blocks():
+        term = block.terminator
+        if term is None:
+            continue
+        if term.opcode in (Opcode.BRCT, Opcode.BRCF):
+            predicate = term.srcs[0]
+            if not isinstance(predicate, Immediate):
+                continue
+            taken = bool(predicate.value)
+            if term.opcode is Opcode.BRCF:
+                taken = not taken
+            taken_edge = block.taken_edge
+            fall_edge = block.fallthrough_edge
+            if taken:
+                term.opcode = Opcode.BRU
+                term.srcs = []
+                cfg.remove_edge(fall_edge)
+            else:
+                block.ops.pop()  # drop the branch; pure fallthrough remains
+                cfg.remove_edge(taken_edge)
+            changed += 1
+        elif term.opcode is Opcode.SWITCH:
+            selector = term.srcs[0]
+            if not isinstance(selector, Immediate):
+                continue
+            chosen = None
+            for edge in block.case_edges():
+                if edge.case_value == selector.value:
+                    chosen = edge
+                    break
+            if chosen is None:
+                chosen = block.out_edge(EdgeKind.DEFAULT)
+            for edge in list(block.out_edges):
+                if edge is not chosen:
+                    cfg.remove_edge(edge)
+            chosen.kind = EdgeKind.TAKEN
+            chosen.case_value = None
+            term.opcode = Opcode.BRU
+            term.srcs = []
+            term.target = chosen.dst.bid
+            changed += 1
+    return changed
+
+
+def remove_unreachable(cfg: CFG) -> int:
+    """Delete blocks unreachable from the entry; returns blocks removed."""
+    reachable = set()
+    stack = [cfg.entry] if cfg.entry is not None else []
+    while stack:
+        block = stack.pop()
+        if block.bid in reachable:
+            continue
+        reachable.add(block.bid)
+        stack.extend(block.successors)
+
+    doomed = [b for b in cfg.blocks() if b.bid not in reachable]
+    for block in doomed:
+        for edge in list(block.out_edges):
+            cfg.remove_edge(edge)
+        for edge in list(block.in_edges):
+            cfg.remove_edge(edge)  # only from other unreachable blocks
+        cfg.remove_block(block)
+    return len(doomed)
+
+
+def _mergeable(block: BasicBlock) -> bool:
+    term = block.terminator
+    if term is None:
+        return block.fallthrough_edge is not None
+    return term.opcode is Opcode.BRU
+
+
+def straighten(cfg: CFG) -> int:
+    """Merge single-successor/single-predecessor chains; returns merges."""
+    merged = 0
+    again = True
+    while again:
+        again = False
+        for block in cfg.blocks():
+            if not _mergeable(block) or len(block.out_edges) != 1:
+                continue
+            succ = block.out_edges[0].dst
+            if succ is block or succ is cfg.entry:
+                continue
+            if len(succ.in_edges) != 1:
+                continue
+            # Merge succ into block.
+            if block.terminator is not None:
+                block.ops.pop()  # the BRU
+            cfg.remove_edge(block.out_edges[0])
+            block.ops.extend(succ.ops)
+            for edge in list(succ.out_edges):
+                cfg.add_edge(block, edge.dst, edge.kind,
+                             case_value=edge.case_value, weight=edge.weight)
+                cfg.remove_edge(edge)
+            cfg.remove_block(succ)
+            merged += 1
+            again = True
+            break
+    return merged

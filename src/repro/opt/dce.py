@@ -1,0 +1,54 @@
+"""Liveness-based dead code elimination.
+
+A pure op (no side effects, not a terminator) is dead when none of its
+destinations is read later in its own block nor live out of it.  Global
+liveness is recomputed per sweep; the fixpoint driver iterates until no
+op dies (removing one op can kill its producers).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.cfg import CFG
+from repro.ir.liveness import compute_liveness
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.ir.types import Opcode
+from repro.interp.ops import PURE_OPCODES
+
+#: Opcodes safe to delete when their results are unused.
+_REMOVABLE = PURE_OPCODES | {Opcode.LD, Opcode.CMPP, Opcode.PAND,
+                             Opcode.PANDCN, Opcode.POR, Opcode.NINSET,
+                             Opcode.PBR, Opcode.NOP}
+
+
+def eliminate_dead_code(cfg: CFG) -> int:
+    """One DCE sweep; returns the number of ops removed."""
+    liveness = compute_liveness(cfg)
+    removed = 0
+    for block in cfg.blocks():
+        live: Set[Register] = set(liveness.live_out(block))
+        kept = []
+        # Walk backwards so uses ahead of a def are seen first.
+        for op in reversed(block.ops):
+            defines = op.defined_registers()
+            is_dead = (
+                op.opcode in _REMOVABLE
+                and not op.is_terminator
+                and op.guard is None
+                and (op.opcode is Opcode.NOP
+                     or (defines
+                         and not any(r in live for r in defines)))
+            )
+            if is_dead:
+                removed += 1
+                continue
+            kept.append(op)
+            for register in defines:
+                live.discard(register)
+            for register in op.used_registers():
+                live.add(register)
+        kept.reverse()
+        block.ops = kept
+    return removed

@@ -1,0 +1,130 @@
+"""Constant folding and algebraic simplification.
+
+Rewrites, in place:
+
+* pure ops with all-constant operands → ``MOV #result`` (evaluated with
+  the interpreter's own scalar semantics, so folding can never disagree
+  with execution — division by zero is left unfolded to preserve the
+  trap);
+* algebraic identities: ``x+0``, ``0+x``, ``x-0``, ``x*1``, ``1*x``,
+  ``x*0``, ``x|0``, ``x^0``, ``x&0``, ``x<<0``, ``x>>0``, ``x/1`` →
+  copies or constants;
+* ``CMPP`` over constants → constant predicate moves (enabling branch
+  simplification downstream).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.errors import InterpreterError
+from repro.ir.cfg import CFG
+from repro.ir.operation import Operation
+from repro.ir.types import Immediate, Opcode
+from repro.interp.ops import PURE_OPCODES, evaluate
+
+_COMMUTE_ZERO = {Opcode.ADD, Opcode.OR, Opcode.XOR}
+_RIGHT_ZERO = {Opcode.SUB, Opcode.SHL, Opcode.SHR}
+
+
+def _to_mov(op: Operation, value) -> None:
+    op.opcode = Opcode.MOV
+    op.srcs = [value if isinstance(value, Immediate) else Immediate(value)]
+    op.cond = None
+
+
+def _to_copy(op: Operation, source) -> None:
+    op.opcode = Opcode.MOV
+    op.srcs = [source]
+    op.cond = None
+
+
+def _fold_pure(op: Operation) -> bool:
+    if op.opcode in (Opcode.MOV, Opcode.COPY):
+        return False
+    values = [s.value for s in op.srcs if isinstance(s, Immediate)]
+    if len(values) != len(op.srcs):
+        return False
+    try:
+        result = evaluate(op.opcode, values)
+    except InterpreterError:
+        return False  # e.g. constant division by zero: keep the trap
+    _to_mov(op, result)
+    return True
+
+
+def _simplify_algebraic(op: Operation) -> bool:
+    if len(op.srcs) != 2:
+        return False
+    left, right = op.srcs
+    left_const = left.value if isinstance(left, Immediate) else None
+    right_const = right.value if isinstance(right, Immediate) else None
+
+    if op.opcode in _COMMUTE_ZERO:
+        if right_const == 0:
+            _to_copy(op, left)
+            return True
+        if left_const == 0:
+            _to_copy(op, right)
+            return True
+    if op.opcode in _RIGHT_ZERO and right_const == 0:
+        _to_copy(op, left)
+        return True
+    if op.opcode is Opcode.MUL:
+        if right_const == 1:
+            _to_copy(op, left)
+            return True
+        if left_const == 1:
+            _to_copy(op, right)
+            return True
+        if right_const == 0 or left_const == 0:
+            _to_mov(op, 0)
+            return True
+    if op.opcode is Opcode.AND and (right_const == 0 or left_const == 0):
+        _to_mov(op, 0)
+        return True
+    if op.opcode is Opcode.DIV and right_const == 1:
+        _to_copy(op, left)
+        return True
+    # Same-register identities: x-x = x^x = 0; x&x = x|x = x.
+    if (not isinstance(left, Immediate) and left == right):
+        if op.opcode in (Opcode.SUB, Opcode.XOR):
+            _to_mov(op, 0)
+            return True
+        if op.opcode in (Opcode.AND, Opcode.OR):
+            _to_copy(op, left)
+            return True
+    return False
+
+
+def _fold_cmpp(op: Operation) -> bool:
+    if op.guard is not None:
+        return False
+    values = [s.value for s in op.srcs if isinstance(s, Immediate)]
+    if len(values) != 2:
+        return False
+    result = bool(op.cond.evaluate(values[0], values[1]))
+    # A two-destination CMPP folds into two predicate moves; to stay one
+    # op we only fold the single-destination form (the frontend's usual
+    # output) — the second dest case is rare and left for DCE to shrink.
+    if len(op.dests) != 1:
+        return False
+    _to_mov(op, int(result))
+    op.cond = None
+    return True
+
+
+def fold_constants(cfg: CFG) -> int:
+    """One folding sweep; returns the number of ops rewritten."""
+    changed = 0
+    for block in cfg.blocks():
+        for op in block.ops:
+            if op.opcode is Opcode.CMPP:
+                if _fold_cmpp(op):
+                    changed += 1
+                continue
+            if op.opcode not in PURE_OPCODES:
+                continue
+            if _fold_pure(op) or _simplify_algebraic(op):
+                changed += 1
+    return changed

@@ -1,0 +1,109 @@
+"""Block-local copy/constant propagation and common-subexpression
+elimination.
+
+Classic local value tracking: within one block,
+
+* ``MOV r <- #c`` makes later reads of ``r`` read ``#c`` directly;
+* ``MOV r <- s`` makes later reads of ``r`` read ``s`` (until either is
+  redefined);
+* a pure op recomputing an available expression (same opcode/cond and
+  post-propagation operands, no intervening redefinition) is replaced by a
+  ``MOV`` from the first computation's destination — loads participate
+  until a store or call kills memory-derived values.
+
+The walk is a single forward pass per block; the fixpoint driver in
+``pipeline.py`` reruns it as folding/DCE expose more opportunities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.ir.types import Immediate, Opcode
+from repro.interp.ops import PURE_OPCODES
+
+
+def _propagate_operands(op: Operation, values: Dict[Register, object]) -> int:
+    changed = 0
+    for index, src in enumerate(op.srcs):
+        if isinstance(src, Register) and src in values:
+            op.srcs[index] = values[src]
+            changed += 1
+    # Guards must stay registers (predicated execution reads a register),
+    # so only register-to-register copies propagate into them.
+    if op.guard is not None:
+        replacement = values.get(op.guard)
+        if isinstance(replacement, Register):
+            op.guard = replacement
+            changed += 1
+    return changed
+
+
+def _kill(defined: Register, values: Dict[Register, object]) -> None:
+    values.pop(defined, None)
+    for key in [k for k, v in values.items() if v == defined]:
+        del values[key]
+
+
+def _expression_key(op: Operation) -> Optional[Tuple]:
+    if op.opcode is Opcode.LD:
+        return (op.opcode, tuple(_freeze(s) for s in op.srcs))
+    if op.opcode in PURE_OPCODES and op.opcode not in (Opcode.MOV, Opcode.COPY):
+        return (op.opcode, op.cond, tuple(_freeze(s) for s in op.srcs))
+    if op.opcode is Opcode.CMPP and len(op.dests) == 1 and op.guard is None:
+        return (op.opcode, op.cond, tuple(_freeze(s) for s in op.srcs))
+    return None
+
+
+def _freeze(operand):
+    if isinstance(operand, Immediate):
+        return ("imm", operand.value)
+    return ("reg", operand)
+
+
+def propagate_block_local(cfg: CFG) -> int:
+    """One local propagation + CSE sweep; returns rewrites performed."""
+    changed = 0
+    for block in cfg.blocks():
+        values: Dict[Register, object] = {}
+        available: Dict[Tuple, Register] = {}
+        for op in block.ops:
+            if op.guard is None:
+                changed += _propagate_operands(op, values)
+
+            if op.opcode is Opcode.ST or op.opcode is Opcode.CALL:
+                # Memory changed: loads are no longer available.
+                available = {
+                    key: reg for key, reg in available.items()
+                    if key[0] is not Opcode.LD
+                }
+
+            key = _expression_key(op) if op.guard is None else None
+            if key is not None:
+                existing = available.get(key)
+                if existing is not None and len(op.dests) == 1:
+                    op.opcode = Opcode.MOV
+                    op.srcs = [existing]
+                    op.cond = None
+                    changed += 1
+                    key = None  # the MOV below records the copy instead
+
+            for defined in op.defined_registers():
+                _kill(defined, values)
+                available = {
+                    k: r for k, r in available.items()
+                    if r != defined and ("reg", defined) not in k[-1]
+                }
+
+            if (op.opcode in (Opcode.MOV, Opcode.COPY) and op.guard is None
+                    and len(op.dests) == 1):
+                source = op.srcs[0]
+                if isinstance(source, (Immediate, Register)) and \
+                        source != op.dest:
+                    values[op.dest] = source
+            elif key is not None and len(op.dests) == 1:
+                available[key] = op.dest
+    return changed

@@ -1,0 +1,39 @@
+"""Scheduling regions: the shared framework plus the *linear* baselines.
+
+The paper compares treegions (in :mod:`repro.core`) against three linear
+region types, all implemented here:
+
+* basic-block regions (:func:`form_basic_block_regions`);
+* simple linear regions, SLRs (:func:`form_slrs`) — superblock-like chains
+  grown along the heaviest successor, with no tail duplication (Section 3);
+* superblocks (:func:`form_superblocks`) — profile-driven traces made
+  single-entry by tail duplication (Section 4's comparison baseline).
+
+A key observation the implementation leans on (and the paper makes
+explicitly for SLRs): every region type here is a *tree* of basic blocks —
+linear regions are just degenerate trees — so one :class:`Region` class and
+one scheduler serve every scheme.
+"""
+
+from repro.regions.region import Region, RegionExit, RegionPartition
+from repro.regions.basic import form_basic_block_regions
+from repro.regions.slr import form_slrs
+from repro.regions.superblock import form_superblocks, SuperblockLimits
+from repro.regions.stats import (
+    RegionStats,
+    partition_stats,
+    code_expansion,
+)
+
+__all__ = [
+    "Region",
+    "RegionExit",
+    "RegionPartition",
+    "form_basic_block_regions",
+    "form_slrs",
+    "form_superblocks",
+    "SuperblockLimits",
+    "RegionStats",
+    "partition_stats",
+    "code_expansion",
+]

@@ -1,0 +1,114 @@
+"""The generic region-growing machinery behind Figure 2 of the paper.
+
+``treeform`` (Figure 2) grows regions from the CFG entry: each root absorbs
+reachable non-merge-point blocks, and the merge points left hanging off the
+region's leaves — its *saplings* — seed new regions.  SLR formation is the
+same loop with a restricted successor function ("the successor node with the
+highest profile weight is selected next for possible inclusion"), so both
+share this module; treegion formation proper lives in
+:mod:`repro.core.formation` and plugs in the absorb-everything policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.ordered import OrderedSet
+from repro.ir.cfg import BasicBlock, CFG
+from repro.regions.region import Region, RegionPartition
+
+#: An absorb policy: fills ``region`` starting from ``node``; must not touch
+#: blocks already claimed by ``partition``.
+AbsorbFn = Callable[[Region, BasicBlock, RegionPartition], None]
+
+
+def absorb_into_tree(
+    region: Region,
+    node: BasicBlock,
+    partition: RegionPartition,
+    successors_of: Optional[Callable[[BasicBlock], List[BasicBlock]]] = None,
+    parent: Optional[BasicBlock] = None,
+) -> None:
+    """Figure 2's ``absorb-into-tree``: DFS absorption of non-merge-points.
+
+    Successors are pushed to the *front* of the candidate queue (line 26 of
+    the paper's listing), giving depth-first growth.  ``successors_of``
+    restricts which successors are considered (SLR formation passes the
+    single heaviest one); by default all CFG successors are candidates.
+
+    ``parent`` attaches ``node`` below an existing member instead of making
+    it the root — Figure 11's tail-duplication flow absorbs each duplicate
+    under the tree block whose edge was retargeted to it.
+    """
+    if successors_of is None:
+        successors_of = lambda block: block.successors  # noqa: E731
+
+    candidates: List[Tuple[BasicBlock, Optional[BasicBlock]]] = [(node, parent)]
+    while candidates:
+        block, parent = candidates.pop(0)
+        if block in region:
+            continue
+        if region.blocks and block.is_merge_point():
+            continue
+        if partition.region_of(block) is not None:
+            continue
+        region.add_block(block, parent)
+        new_candidates = [(succ, block) for succ in successors_of(block)]
+        candidates = new_candidates + candidates
+
+
+def region_saplings(region: Region) -> List[BasicBlock]:
+    """Successor blocks just outside the region, in discovery order.
+
+    These are the merge points (or unselected successors, for SLRs) that
+    delimit the region; ``treeform`` seeds new regions from them.
+    """
+    seen = OrderedSet()
+    for block in region.blocks:
+        for succ in block.successors:
+            if succ not in region or succ is region.root:
+                if succ is not region.root:
+                    seen.add(succ)
+    return list(seen)
+
+
+def grow_partition(
+    cfg: CFG,
+    kind: str,
+    absorb: AbsorbFn,
+    make_region: Optional[Callable[[], Region]] = None,
+) -> RegionPartition:
+    """Figure 2's ``treeform`` driver, generic over the absorb policy.
+
+    Starts from the CFG entry, then repeatedly roots new regions at
+    saplings until the whole CFG is consumed; blocks unreachable from the
+    entry are swept up afterwards in id order so the partition always
+    covers the CFG.
+    """
+    if make_region is None:
+        make_region = lambda: Region(kind)  # noqa: E731
+
+    partition = RegionPartition(kind)
+    unprocessed: OrderedSet = OrderedSet()
+    if cfg.entry is not None:
+        unprocessed.add(cfg.entry)
+
+    def drain() -> None:
+        while unprocessed:
+            node = unprocessed.pop_first()
+            if partition.region_of(node) is not None:
+                continue
+            region = make_region()
+            absorb(region, node, partition)
+            partition.add(region)
+            for sapling in region_saplings(region):
+                if partition.region_of(sapling) is None:
+                    unprocessed.add(sapling)
+
+    drain()
+    for block in cfg.blocks():
+        if partition.region_of(block) is None:
+            unprocessed.add(block)
+            drain()
+    partition.verify_covering(cfg)
+    return partition

@@ -1,0 +1,21 @@
+"""Basic-block regions: the paper's baseline scheme.
+
+One region per block.  Scheduled on the single-issue machine this is the
+denominator of every speedup the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.regions.region import Region, RegionPartition
+
+
+def form_basic_block_regions(cfg: CFG) -> RegionPartition:
+    """Wrap every block of the CFG in its own one-block region."""
+    partition = RegionPartition("basic-block")
+    for block in cfg.blocks():
+        region = Region("basic-block")
+        region.add_block(block)
+        partition.add(region)
+    partition.verify_covering(cfg)
+    return partition

@@ -1,0 +1,40 @@
+"""Simple linear region (SLR) formation.
+
+Section 3 of the paper: "Simple linear regions are formed in the same
+manner as superblocks, but tail duplication is not permitted.  In fact,
+their formation is implemented as a special case of treegion formation,
+where for a given node (basic block) placed into an SLR, the successor node
+with the highest profile weight is selected next for possible inclusion
+rather than all successors of the node.  The result is a single-entry,
+multiple-exit region formed without tail duplication."
+
+We follow that construction literally: the treegion absorb loop with a
+successor function returning only the heaviest out-edge's destination
+(ties broken by edge order, deterministically).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import BasicBlock, CFG, Edge
+from repro.regions.absorb import absorb_into_tree, grow_partition
+from repro.regions.region import Region, RegionPartition
+
+
+def heaviest_successor(block: BasicBlock) -> List[BasicBlock]:
+    """The destination of the heaviest out-edge (first edge wins ties)."""
+    best: Edge = None  # type: ignore[assignment]
+    for edge in block.out_edges:
+        if best is None or edge.weight > best.weight:
+            best = edge
+    return [best.dst] if best is not None else []
+
+
+def form_slrs(cfg: CFG) -> RegionPartition:
+    """Partition the CFG into simple linear regions."""
+
+    def absorb(region: Region, node: BasicBlock, partition: RegionPartition) -> None:
+        absorb_into_tree(region, node, partition, successors_of=heaviest_successor)
+
+    return grow_partition(cfg, "slr", absorb)

@@ -1,0 +1,75 @@
+"""Region statistics: the raw numbers behind Tables 1–4.
+
+The paper reports, per benchmark and region scheme: region count, average
+and maximum basic blocks per region, average ops per region (Tables 1, 2,
+4), and the code-expansion factor introduced by tail duplication (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.ir.cfg import CFG
+from repro.regions.region import RegionPartition
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Aggregate shape statistics for one partition (or several combined)."""
+
+    region_count: int
+    avg_blocks: float
+    max_blocks: int
+    avg_ops: float
+    total_blocks: int
+    total_ops: int
+
+    def __str__(self) -> str:
+        return (
+            f"regions={self.region_count} avg_bb={self.avg_blocks:.2f} "
+            f"max_bb={self.max_blocks} avg_ops={self.avg_ops:.2f}"
+        )
+
+
+def partition_stats(
+    partitions: Iterable[RegionPartition], multi_block_only: bool = False
+) -> RegionStats:
+    """Combine statistics over one or more partitions (e.g. all functions
+    of a benchmark).
+
+    ``multi_block_only`` restricts to regions with at least two blocks —
+    useful when reporting "superblocks formed" in the style of Table 4,
+    where single leftover blocks are not counted as superblocks.
+    """
+    block_counts: List[int] = []
+    op_counts: List[int] = []
+    for partition in partitions:
+        for region in partition:
+            if multi_block_only and region.block_count < 2:
+                continue
+            block_counts.append(region.block_count)
+            op_counts.append(region.op_count)
+    count = len(block_counts)
+    if count == 0:
+        return RegionStats(0, 0.0, 0, 0.0, 0, 0)
+    return RegionStats(
+        region_count=count,
+        avg_blocks=sum(block_counts) / count,
+        max_blocks=max(block_counts),
+        avg_ops=sum(op_counts) / count,
+        total_blocks=sum(block_counts),
+        total_ops=sum(op_counts),
+    )
+
+
+def code_expansion(original_ops: int, cfg: CFG) -> float:
+    """Code-size growth factor after formation (Table 3).
+
+    ``original_ops`` is the function's op count before any tail
+    duplication; the paper's numbers are program-level aggregates of
+    exactly this ratio.
+    """
+    if original_ops <= 0:
+        return 1.0
+    return cfg.total_ops / original_ops

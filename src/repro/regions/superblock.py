@@ -1,0 +1,239 @@
+"""Superblock formation: profile-driven traces made single-entry.
+
+Follows the Hwu et al. construction the paper compares against (its
+footnote 2 notes LEGO reimplements the published algorithm):
+
+1. **Trace selection.**  Seeds are picked heaviest-first; traces grow
+   forward and backward along *mutually most likely* edges (the edge must
+   be both the source's heaviest out-edge and the destination's heaviest
+   in-edge), never revisiting a block, never including the same original
+   block twice (no implicit unrolling across back edges).
+2. **Tail duplication.**  Side entrances into the middle of a trace are
+   removed by cloning the trace suffix and retargeting the side edges to
+   the clone chain, which re-enters the pool and is formed into its own
+   region(s) later.  A global code-expansion budget truncates traces
+   instead of duplicating once exceeded, bounding both code growth and the
+   formation loop itself.
+
+The resulting regions are single-entry chains — degenerate trees — so the
+common region scheduler handles them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ir.cfg import BasicBlock, CFG, Edge
+from repro.regions.region import Region, RegionPartition
+
+
+@dataclass(frozen=True)
+class SuperblockLimits:
+    """Knobs bounding superblock formation.
+
+    Attributes:
+        max_blocks: Maximum trace length in blocks.
+        expansion_limit: Cap on total function code size as a multiple of
+            its pre-formation size; side entrances whose removal would
+            exceed it truncate the trace instead of duplicating.  The
+            default is calibrated so realized expansion matches the
+            paper's Table 3 superblock column (~1.18 average).
+        require_mutual: Grow only along mutually-most-likely edges (the
+            published heuristic); disabling it gives greedier traces.
+    """
+
+    max_blocks: int = 64
+    expansion_limit: float = 1.25
+    require_mutual: bool = True
+
+
+def _best_out_edge(block: BasicBlock) -> Optional[Edge]:
+    best: Optional[Edge] = None
+    for edge in block.out_edges:
+        if best is None or edge.weight > best.weight:
+            best = edge
+    return best
+
+
+def _best_in_edge(block: BasicBlock) -> Optional[Edge]:
+    best: Optional[Edge] = None
+    for edge in block.in_edges:
+        if best is None or edge.weight > best.weight:
+            best = edge
+    return best
+
+
+class _SuperblockFormer:
+    def __init__(self, cfg: CFG, limits: SuperblockLimits):
+        self.cfg = cfg
+        self.limits = limits
+        self.visited: Dict[int, bool] = {}
+        self.original_ops = max(1, cfg.total_ops)
+        self.partition = RegionPartition("superblock")
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RegionPartition:
+        while True:
+            seed = self._pick_seed()
+            if seed is None:
+                break
+            trace = self._grow_trace(seed)
+            trace = self._remove_side_entrances(trace)
+            region = Region("superblock")
+            parent: Optional[BasicBlock] = None
+            for block in trace:
+                region.add_block(block, parent)
+                parent = block
+            self.partition.add(region)
+        self.partition.verify_covering(self.cfg)
+        return self.partition
+
+    # ------------------------------------------------------------------
+
+    def _pick_seed(self) -> Optional[BasicBlock]:
+        """Heaviest unclaimed block; ties go to the lowest id."""
+        best: Optional[BasicBlock] = None
+        for block in self.cfg.blocks():
+            if self.partition.region_of(block) is not None:
+                continue
+            if self.visited.get(block.bid):
+                continue
+            if best is None or block.weight > best.weight:
+                best = block
+        return best
+
+    def _claimed(self, block: BasicBlock) -> bool:
+        return (
+            self.visited.get(block.bid, False)
+            or self.partition.region_of(block) is not None
+        )
+
+    def _grow_trace(self, seed: BasicBlock) -> List[BasicBlock]:
+        trace = [seed]
+        origins = {seed.origin}
+        self.visited[seed.bid] = True
+
+        # Grow forward.
+        while len(trace) < self.limits.max_blocks:
+            last = trace[-1]
+            if last.terminator is not None and not last.out_edges:
+                break
+            edge = _best_out_edge(last)
+            if edge is None:
+                break
+            nxt = edge.dst
+            if self._claimed(nxt) or nxt.origin in origins:
+                break
+            if self.limits.require_mutual and _best_in_edge(nxt) is not edge:
+                break
+            trace.append(nxt)
+            origins.add(nxt.origin)
+            self.visited[nxt.bid] = True
+
+        # Grow backward from the seed.
+        while len(trace) < self.limits.max_blocks:
+            first = trace[0]
+            edge = _best_in_edge(first)
+            if edge is None:
+                break
+            prev = edge.src
+            if self._claimed(prev) or prev.origin in origins:
+                break
+            if self.limits.require_mutual and _best_out_edge(prev) is not edge:
+                break
+            trace.insert(0, prev)
+            origins.add(prev.origin)
+            self.visited[prev.bid] = True
+
+        return trace
+
+    # ------------------------------------------------------------------
+
+    def _expansion_budget_left(self) -> int:
+        cap = int(self.limits.expansion_limit * self.original_ops)
+        return cap - self.cfg.total_ops
+
+    def _remove_side_entrances(self, trace: List[BasicBlock]) -> List[BasicBlock]:
+        """Tail-duplicate suffixes so every non-root block is single-entry.
+
+        Scans the trace top-down; each side-entered block either has the
+        remaining suffix cloned (side edges retargeted to the clone chain)
+        or, when the expansion budget is exhausted, the trace is truncated
+        there and the released blocks return to the pool.
+        """
+        i = 1
+        while i < len(trace):
+            block = trace[i]
+            side_edges = [e for e in block.in_edges if e.src is not trace[i - 1]]
+            if not side_edges:
+                i += 1
+                continue
+            suffix = trace[i:]
+            suffix_ops = sum(len(b.ops) for b in suffix)
+            if suffix_ops > self._expansion_budget_left():
+                # Truncate: release the suffix back to the pool.
+                for released in suffix:
+                    self.visited[released.bid] = False
+                return trace[:i]
+            self._duplicate_suffix(suffix, side_edges)
+            i += 1
+        return trace
+
+    def _duplicate_suffix(self, suffix: List[BasicBlock], side_edges: List[Edge]) -> None:
+        """Clone ``suffix`` as a chain and move ``side_edges`` onto it."""
+        moved = sum(e.weight for e in side_edges)
+        clones: List[BasicBlock] = []
+        for block in suffix:
+            clone = self.cfg.new_block(name=f"{block.name}.sbdup")
+            clone.origin = block.origin
+            for op in block.ops:
+                clones_op = op.clone(self.cfg._op_ids.allocate())
+                clone.ops.append(clones_op)
+            clones.append(clone)
+
+        # Wire clone out-edges: internal trace edges chain the clones;
+        # everything else targets the original destinations.  Weights move
+        # proportionally with the diverted flow.
+        flowing = moved
+        for idx, block in enumerate(suffix):
+            clone = clones[idx]
+            clone.weight = flowing
+            block.weight = max(0.0, block.weight - flowing)
+            total_out = sum(e.weight for e in block.out_edges)
+            next_flow = 0.0
+            for edge in block.out_edges:
+                if total_out > 0:
+                    share = flowing * (edge.weight / total_out)
+                elif block.out_edges:
+                    share = flowing / len(block.out_edges)
+                else:
+                    share = 0.0
+                internal = (
+                    idx + 1 < len(suffix) and edge.dst is suffix[idx + 1]
+                )
+                dst = clones[idx + 1] if internal else edge.dst
+                new_edge = self.cfg.add_edge(
+                    clone, dst, edge.kind, case_value=edge.case_value, weight=share
+                )
+                term = clone.terminator
+                if term is not None and edge.kind.value == "taken" and internal:
+                    term.target = dst.bid
+                edge.weight = max(0.0, edge.weight - share)
+                if internal:
+                    next_flow = share
+            flowing = next_flow
+
+        for edge in side_edges:
+            self.cfg.retarget_edge(edge, clones[0])
+
+
+def form_superblocks(
+    cfg: CFG, limits: Optional[SuperblockLimits] = None
+) -> RegionPartition:
+    """Partition ``cfg`` into superblocks.  **Mutates the CFG** (tail
+    duplication adds blocks); clone the function first if the original
+    must survive (see :func:`repro.ir.clone.clone_function`).
+    """
+    return _SuperblockFormer(cfg, limits or SuperblockLimits()).run()

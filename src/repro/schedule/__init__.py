@@ -1,0 +1,37 @@
+"""Region scheduling: DDG construction, priority heuristics, list
+scheduling, register renaming, and dominator parallelism.
+
+This package implements Section 3 (and the scheduling half of Section 4)
+of the paper for *any* tree-shaped region — treegions, SLRs, superblocks,
+and basic blocks all go through the same three-step process of Figure 3:
+
+    1. Form the DDG for the region           (:mod:`repro.schedule.ddg`)
+    2. Sort its nodes with a heuristic       (:mod:`repro.schedule.priorities`)
+    3. List-schedule the sorted nodes        (:mod:`repro.schedule.list_scheduler`)
+
+plus the supporting passes the paper describes in prose: guard/predication
+synthesis (:mod:`repro.schedule.prep`), compile-time register renaming
+(:mod:`repro.schedule.renaming`), and dominator-parallelism elimination
+(inside the list scheduler).
+
+The entry point is :func:`~repro.schedule.scheduler.schedule_region`.
+"""
+
+from repro.schedule.schedule import RegionSchedule, SchedOp, ExitRecord
+from repro.schedule.priorities import (
+    HEURISTICS,
+    Heuristic,
+    priority_order,
+)
+from repro.schedule.scheduler import ScheduleOptions, schedule_region
+
+__all__ = [
+    "RegionSchedule",
+    "SchedOp",
+    "ExitRecord",
+    "HEURISTICS",
+    "Heuristic",
+    "priority_order",
+    "ScheduleOptions",
+    "schedule_region",
+]

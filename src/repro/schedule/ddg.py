@@ -1,0 +1,320 @@
+"""Data dependence graph construction (step 1 of Figure 3).
+
+The DDG spans every op of the region — all paths at once.  Because the
+region is a tree, dependences only exist *along* root-to-leaf paths; ops in
+sibling subtrees are independent by construction (cross-path register
+conflicts were removed by renaming before this runs).  One depth-first walk
+down the tree therefore builds all edges, carrying per-path state:
+
+* **flow** (RAW) edges with the producer's latency, including guard
+  predicate reads;
+* **anti** (WAR) edges at latency 0 (a MultiOp reads before it writes) and
+  **output** (WAW) edges spaced so the later def's write lands last;
+* **memory** edges under the paper's no-aliasing rule — loads never bypass
+  stores — with the Playdoh concession that "a store and any dependent
+  memory operation can be scheduled in the same cycle" (store→load latency
+  0; store→store and load→store are spaced a full cycle); calls fence
+  everything;
+* **exit** edges: a region exit may not retire before the ops on its
+  root-to-source path *that the exit actually needs* have issued: every
+  side-effecting op (stores, calls — they must happen before control
+  leaves) and every op defining a value that is live into the exit.  Ops
+  whose results are dead at the exit may issue later — they only matter
+  to deeper or sibling paths, and anything they transitively feed is
+  ordered behind them by its own dependence edges.  Edge latency is 0:
+  issuing *in* the exit cycle is allowed, as ``r6 = 5`` does in the
+  paper's Figure 5.
+
+Op indices are assigned in tree preorder, so every edge points from a lower
+to a higher index and the graph is a DAG by construction; heights are
+computed in one reverse sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.liveness import LivenessInfo
+from repro.ir.registers import Register
+from repro.ir.types import Opcode
+from repro.machine.model import MachineModel
+from repro.regions.region import RegionExit
+from repro.schedule.prep import ScheduleProblem
+from repro.schedule.renaming import ExitCopy
+from repro.schedule.schedule import SchedOp
+
+
+class DDG:
+    """Dependence edges + heights over a :class:`ScheduleProblem`.
+
+    Two edge populations share the graph:
+
+    * **placement edges** (``preds``/``succs``) constrain the list
+      scheduler: flow, anti, output, memory, and exit requirements;
+    * **height-only control edges** (``control_succs``) reproduce the
+      control dependences of the paper's DDG: every op below a branch is
+      control-dependent on it.  Speculation means the scheduler is free
+      to *break* these at placement time (they never constrain placement
+      here), but dependence heights are computed over both populations —
+      which is what makes branches and compare chains tall and therefore
+      urgent under the dependence-height heuristic, exactly as in the
+      paper's Figure 5 schedule where the CMPPs and branches issue as
+      early as their data allows.
+    """
+
+    def __init__(self, problem: ScheduleProblem):
+        self.problem = problem
+        n = len(problem.sched_ops)
+        self.preds: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        self.succs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        self.control_succs: List[List[int]] = [[] for _ in range(n)]
+        self.control_preds: List[List[int]] = [[] for _ in range(n)]
+        #: producers[i][reg] = index of the SchedOp whose def of ``reg``
+        #: op ``i`` reads (register flow only); used by dominator
+        #: parallelism to prove two duplicates read identical values.
+        self.producers: List[Dict[Register, int]] = [{} for _ in range(n)]
+        #: For loads: index of the last store/call on the op's path (None
+        #: when memory is untouched above it).  Dominator parallelism may
+        #: only merge two duplicated loads when these match — otherwise
+        #: they observe different memory states.
+        self.mem_producers: List[Optional[int]] = [None] * n
+        self.heights: List[int] = [0] * n
+        self._edge_set = set()
+
+    # ------------------------------------------------------------------
+
+    def add_edge(self, src: int, dst: int, latency: int) -> None:
+        if src == dst:
+            return
+        key = (src, dst, latency)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self.succs[src].append((dst, latency))
+        self.preds[dst].append((src, latency))
+
+    def add_control_edge(self, src: int, dst: int) -> None:
+        """A breakable (height-only) control dependence at latency 1."""
+        if src != dst:
+            self.control_succs[src].append(dst)
+            self.control_preds[dst].append(src)
+
+    def compute_heights(self, machine: MachineModel) -> None:
+        """Longest path to any sink over placement + control edges.
+
+        Computed in reverse topological (Kahn) order so late insertions —
+        the scheduled-copies ablation adds COPY ops that *precede* the
+        exit branches created before them — are handled regardless of
+        index order.
+        """
+        n = len(self.problem.sched_ops)
+        if n != len(self.heights):
+            # Ops were appended after construction (copy insertion).
+            grow = n - len(self.heights)
+            self.heights.extend([0] * grow)
+        ops = self.problem.sched_ops
+        unresolved = [
+            len(self.succs[i]) + len(self.control_succs[i]) for i in range(n)
+        ]
+        ready = [i for i in range(n) if unresolved[i] == 0]
+        resolved = 0
+        while ready:
+            i = ready.pop()
+            resolved += 1
+            best = machine.latency(ops[i].op)
+            for j, latency in self.succs[i]:
+                candidate = latency + self.heights[j]
+                if candidate > best:
+                    best = candidate
+            for j in self.control_succs[i]:
+                candidate = 1 + self.heights[j]
+                if candidate > best:
+                    best = candidate
+            self.heights[i] = best
+            for j, _latency in self.preds[i]:
+                unresolved[j] -= 1
+                if unresolved[j] == 0:
+                    ready.append(j)
+            for j in self.control_preds[i]:
+                unresolved[j] -= 1
+                if unresolved[j] == 0:
+                    ready.append(j)
+        if resolved != n:
+            raise AssertionError("DDG has a cycle; heights undefined")
+
+    def pred_count(self, i: int) -> int:
+        return len(self.preds[i])
+
+
+class _PathState:
+    """Per-path dependence state carried down the tree walk."""
+
+    __slots__ = ("last_def", "uses_since", "last_store", "loads_since",
+                 "side_ops")
+
+    def __init__(self):
+        self.last_def: Dict[Register, int] = {}
+        self.uses_since: Dict[Register, List[int]] = {}
+        self.last_store: Optional[int] = None   # last ST or CALL
+        self.loads_since: List[int] = []
+        self.side_ops: List[int] = []           # stores/calls on the path
+
+    def fork(self) -> "_PathState":
+        child = _PathState()
+        child.last_def = dict(self.last_def)
+        child.uses_since = {reg: list(ops) for reg, ops in self.uses_since.items()}
+        child.last_store = self.last_store
+        child.loads_since = list(self.loads_since)
+        child.side_ops = list(self.side_ops)
+        return child
+
+
+def _live_at_exit(
+    exit: RegionExit,
+    liveness: Optional[LivenessInfo],
+    copies: Optional[List[ExitCopy]],
+) -> FrozenSet[Register]:
+    """Registers (post-renaming names) whose values the exit must carry."""
+    if exit.edge is None or liveness is None:
+        return frozenset()
+    live = set(liveness.live_into_edge(exit.edge))
+    if copies:
+        for copy_exit, original, renamed in copies:
+            if copy_exit is exit and original in live:
+                live.discard(original)
+                live.add(renamed)
+    return frozenset(live)
+
+
+def build_ddg(
+    problem: ScheduleProblem,
+    machine: MachineModel,
+    liveness: Optional[LivenessInfo] = None,
+    copies: Optional[List[ExitCopy]] = None,
+) -> DDG:
+    """Build the region DDG (after renaming) and compute heights.
+
+    ``liveness`` and the renaming ``copies`` pin down which values each
+    exit must wait for; without them every exit conservatively waits for
+    all path ops.
+    """
+    ddg = DDG(problem)
+    region = problem.region
+    live_cache: Dict[int, FrozenSet[Register]] = {}
+    if liveness is not None:
+        for exit in problem.exits:
+            live_cache[id(exit)] = _live_at_exit(exit, liveness, copies)
+
+    stack: List[Tuple[BasicBlock, _PathState]] = [(region.root, _PathState())]
+    while stack:
+        block, state = stack.pop()
+        for sop in problem.by_block[block.bid]:
+            _add_op_edges(ddg, machine, sop, state,
+                          live_cache if liveness is not None else None)
+        for child in reversed(region.children(block)):
+            stack.append((child, state.fork()))
+
+    _add_control_height_edges(ddg)
+    ddg.compute_heights(machine)
+    return ddg
+
+
+def _add_control_height_edges(ddg: DDG) -> None:
+    """Height-only control dependences: branch-role ops (exit branches,
+    returns, and the guard predicate ops standing in for internal
+    branches) control everything homed strictly below their block."""
+    problem = ddg.problem
+    region = problem.region
+    guard_opcodes = (Opcode.CMPP, Opcode.PAND, Opcode.PANDCN, Opcode.NINSET)
+
+    subtree_ops: Dict[int, List[int]] = {}
+    # Reverse preorder = children before parents.
+    for block in reversed(list(_preorder(region))):
+        own = [sop.index for sop in problem.by_block[block.bid]]
+        below: List[int] = []
+        for child in region.children(block):
+            below.extend(subtree_ops[child.bid])
+        subtree_ops[block.bid] = own + below
+        if not below:
+            continue
+        for sop in problem.by_block[block.bid]:
+            is_branch_role = sop.exit is not None or (
+                sop.source is None and sop.op.opcode in guard_opcodes
+            )
+            if is_branch_role:
+                for target in below:
+                    ddg.add_control_edge(sop.index, target)
+
+
+def _preorder(region) -> List[BasicBlock]:
+    order: List[BasicBlock] = []
+    stack = [region.root]
+    while stack:
+        block = stack.pop()
+        order.append(block)
+        stack.extend(reversed(region.children(block)))
+    return order
+
+
+def _add_op_edges(ddg: DDG, machine: MachineModel, sop: SchedOp,
+                  state: _PathState,
+                  live_cache: Optional[Dict[int, FrozenSet[Register]]]) -> None:
+    i = sop.index
+    op = sop.op
+    ops = ddg.problem.sched_ops
+
+    # Flow dependences (sources + guard).
+    for reg in op.used_registers():
+        producer = state.last_def.get(reg)
+        if producer is not None:
+            ddg.add_edge(producer, i, machine.latency(ops[producer].op))
+            ddg.producers[i][reg] = producer
+        state.uses_since.setdefault(reg, []).append(i)
+
+    # Output / anti dependences.
+    for reg in op.defined_registers():
+        previous = state.last_def.get(reg)
+        if previous is not None:
+            spacing = max(
+                1,
+                machine.latency(ops[previous].op) - machine.latency(op) + 1,
+            )
+            ddg.add_edge(previous, i, spacing)
+        for user in state.uses_since.get(reg, []):
+            ddg.add_edge(user, i, 0)
+        state.last_def[reg] = i
+        state.uses_since[reg] = []
+
+    # Memory ordering (loads never bypass stores; Playdoh same-cycle rule).
+    if op.opcode is Opcode.LD:
+        ddg.mem_producers[i] = state.last_store
+        if state.last_store is not None:
+            producer = ops[state.last_store].op
+            latency = 0 if producer.opcode is Opcode.ST else 1
+            ddg.add_edge(state.last_store, i, latency)
+        state.loads_since.append(i)
+    elif op.opcode is Opcode.ST or op.opcode is Opcode.CALL:
+        if state.last_store is not None:
+            ddg.add_edge(state.last_store, i, 1)
+        for load in state.loads_since:
+            ddg.add_edge(load, i, 1)
+        state.last_store = i
+        state.loads_since = []
+
+    # Track side-effecting ops; record exit requirements.
+    if sop.exit is not None:
+        # Side effects on the path must all have issued before leaving.
+        for side_op in state.side_ops:
+            ddg.add_edge(side_op, i, 0)
+        if live_cache is None:
+            # No liveness: conservatively wait for every path def.
+            for producer in state.last_def.values():
+                ddg.add_edge(producer, i, 0)
+        else:
+            for reg in sorted(live_cache[id(sop.exit)]):
+                producer = state.last_def.get(reg)
+                if producer is not None:
+                    ddg.add_edge(producer, i, 0)
+    elif op.opcode is Opcode.ST or op.opcode is Opcode.CALL:
+        state.side_ops.append(i)

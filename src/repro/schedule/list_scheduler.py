@@ -1,0 +1,252 @@
+"""The list scheduler (step 3 of Figure 3) with dominator parallelism.
+
+This is a *placement-order* list scheduler: ops are visited in heuristic
+priority order (the sorted DDG node list of Figure 3) and each is placed at
+the earliest cycle that satisfies its dependences and has a free slot.
+High-priority ops get first pick of the slots; lower-priority ops fill the
+holes left over.  This matches the paper's observed behaviour — under the
+dependence-height heuristic, ops far down the treegion share early slots
+with ops near the root instead of starving them outright, and "on a very
+wide machine a large amount of speculation will occur due to abundant
+processor resources".
+
+Placement runs through a heap of *placeable* ops (all DDG predecessors
+already placed), keyed by priority rank.  For tree-shaped regions the four
+priority orders are almost topological over the DDG — along a path,
+dependence height never increases and block weight / exit count never
+increase either — so the heap nearly always pops ops in exact priority
+order; the heap exists to stay correct when floating-point profile weights
+break monotonicity by an ulp.
+
+Dominator parallelism (Section 4) is folded in exactly where the paper puts
+it — at schedule time: "if a tail duplicated Op A' is speculated into a
+block where one of its duplicates A'' is already scheduled, A' can be
+eliminated."  In the flattened predicated schedule an unguarded op executes
+on every path through the region, so a duplicate about to be placed can be
+merged into an already-placed sibling (same tail-duplication ``origin``)
+whenever both clones still compute the same values — same opcode and
+operands *and* the same DDG producers for every register source (per-path
+renaming makes operand equality meaningful).  The merged op consumes no
+slot; its consumers are rewired to read the survivor's destinations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.util.errors import SchedulingError
+from repro.ir.registers import Register
+from repro.machine.model import MachineModel
+from repro.schedule.ddg import DDG
+from repro.schedule.prep import ScheduleProblem
+from repro.schedule.renaming import ExitCopy
+from repro.schedule.schedule import ExitRecord, RegionSchedule, SchedOp
+
+
+class _ResourceTable:
+    """Per-cycle slot occupancy (issue width plus optional class caps)."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.used: List[int] = []
+        self.memory: List[int] = []
+        self.branches: List[int] = []
+
+    def _grow(self, cycle: int) -> None:
+        while len(self.used) < cycle:
+            self.used.append(0)
+            self.memory.append(0)
+            self.branches.append(0)
+
+    def fits(self, sop: SchedOp, cycle: int) -> bool:
+        self._grow(cycle)
+        i = cycle - 1
+        if self.used[i] >= self.machine.issue_width:
+            return False
+        if (
+            self.machine.max_memory_per_cycle is not None
+            and sop.op.is_memory
+            and self.memory[i] >= self.machine.max_memory_per_cycle
+        ):
+            return False
+        if (
+            self.machine.max_branches_per_cycle is not None
+            and sop.op.is_branch
+            and self.branches[i] >= self.machine.max_branches_per_cycle
+        ):
+            return False
+        return True
+
+    def take(self, sop: SchedOp, cycle: int) -> None:
+        self._grow(cycle)
+        i = cycle - 1
+        self.used[i] += 1
+        if sop.op.is_memory:
+            self.memory[i] += 1
+        if sop.op.is_branch:
+            self.branches[i] += 1
+
+
+def list_schedule(
+    problem: ScheduleProblem,
+    ddg: DDG,
+    order: List[SchedOp],
+    machine: MachineModel,
+    dominator_parallelism: bool = False,
+    copies: Optional[List[ExitCopy]] = None,
+    max_cycles: int = 1_000_000,
+) -> RegionSchedule:
+    """Place every op of ``order`` (the heuristic-sorted DDG node list)."""
+    import heapq
+
+    schedule = RegionSchedule(problem.region)
+    copies = copies if copies is not None else []
+    resources = _ResourceTable(machine)
+    merge_table: Dict[int, List[SchedOp]] = {}
+
+    n = len(problem.sched_ops)
+    ranks = [0] * n
+    for position, sop in enumerate(order):
+        ranks[sop.index] = position
+    waiting = [len(ddg.preds[i]) for i in range(n)]
+    ready = [(ranks[i], i) for i in range(n) if waiting[i] == 0]
+    heapq.heapify(ready)
+
+    placed = 0
+    while ready:
+        _rank, index = heapq.heappop(ready)
+        sop = problem.sched_ops[index]
+        earliest = 1
+        for pred, latency in ddg.preds[index]:
+            cycle = problem.sched_ops[pred].effective_cycle
+            assert cycle is not None  # guaranteed by the readiness heap
+            if cycle + latency > earliest:
+                earliest = cycle + latency
+
+        survivor = None
+        if dominator_parallelism:
+            survivor = _find_merge_target(problem, ddg, merge_table, sop)
+        if survivor is not None:
+            _merge(problem, ddg, schedule, copies, sop, survivor)
+        else:
+            cycle = earliest
+            while not resources.fits(sop, cycle):
+                cycle += 1
+                if cycle > max_cycles:
+                    raise SchedulingError(
+                        f"schedule exceeded {max_cycles} cycles placing {sop!r}"
+                    )
+            resources.take(sop, cycle)
+            schedule.place(sop, cycle)
+            if (sop.source is not None and sop.op.guard is None
+                    and sop.op.can_speculate):
+                merge_table.setdefault(sop.source.origin, []).append(sop)
+
+        placed += 1
+        for succ, _latency in ddg.succs[index]:
+            waiting[succ] -= 1
+            if waiting[succ] == 0:
+                heapq.heappush(ready, (ranks[succ], succ))
+
+    if placed != n:
+        raise SchedulingError(
+            f"DDG has a cycle: only {placed}/{n} ops were placeable"
+        )
+
+    _record_exits(problem, schedule)
+    _mark_speculation(problem, schedule)
+    schedule.copies = list(copies)
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# Dominator parallelism
+
+def _find_merge_target(
+    problem: ScheduleProblem,
+    ddg: DDG,
+    merge_table: Dict[int, List[SchedOp]],
+    sop: SchedOp,
+) -> Optional[SchedOp]:
+    """A scheduled duplicate that provably computes the same values."""
+    if sop.source is None or sop.exit is not None:
+        return None
+    if sop.op.guard is not None or not sop.op.can_speculate:
+        return None
+    for candidate in merge_table.get(sop.source.origin, []):
+        if candidate.home is sop.home:
+            continue  # same block: that is CSE, not dominator parallelism
+        if candidate.source is sop.source:
+            continue
+        if not candidate.op.same_computation(sop.op):
+            continue
+        if len(candidate.op.dests) != len(sop.op.dests):
+            continue
+        if not _same_producers(ddg, candidate, sop):
+            continue
+        return candidate
+    return None
+
+
+def _same_producers(ddg: DDG, a: SchedOp, b: SchedOp) -> bool:
+    for src in b.op.srcs:
+        if isinstance(src, Register):
+            if ddg.producers[a.index].get(src) != ddg.producers[b.index].get(src):
+                return False
+    if a.op.is_load or b.op.is_load:
+        # Loads only merge when they observe the same memory state.
+        if ddg.mem_producers[a.index] != ddg.mem_producers[b.index]:
+            return False
+    return True
+
+
+def _merge(
+    problem: ScheduleProblem,
+    ddg: DDG,
+    schedule: RegionSchedule,
+    copies: List[ExitCopy],
+    sop: SchedOp,
+    survivor: SchedOp,
+) -> None:
+    """Eliminate ``sop``; route its consumers to ``survivor``."""
+    sop.merged_into = survivor
+    schedule.merged.append(sop)
+    replacements = dict(zip(sop.op.dests, survivor.op.dests))
+    # Rewrite every (necessarily unplaced) consumer reading sop's dests.
+    for succ, _latency in ddg.succs[sop.index]:
+        consumer = problem.sched_ops[succ].op
+        for old, new in replacements.items():
+            if old != new:
+                consumer.replace_uses(old, new)
+    for position, (exit, original, renamed) in enumerate(copies):
+        if renamed in replacements:
+            copies[position] = (exit, original, replacements[renamed])
+
+
+# ----------------------------------------------------------------------
+# Post-pass bookkeeping
+
+def _record_exits(problem: ScheduleProblem, schedule: RegionSchedule) -> None:
+    for exit in problem.exits:
+        sop = problem.exit_op_for(exit)
+        if sop.cycle is None:
+            raise SchedulingError(f"exit op for {exit!r} was never scheduled")
+        schedule.exits.append(ExitRecord(exit, sop.cycle))
+
+
+def _mark_speculation(problem: ScheduleProblem, schedule: RegionSchedule) -> None:
+    """Mark ops issued before their home guard resolves as speculative."""
+    count = 0
+    for sop in schedule.all_ops():
+        if sop.source is None or sop.exit is not None:
+            continue
+        guard = problem.guards.get(sop.home.bid)
+        if guard is None:
+            continue  # root ops are never speculative
+        guard_def = problem.guard_def.get(guard)
+        if guard_def is None or guard_def.effective_cycle is None:
+            continue
+        if sop.cycle is not None and sop.cycle <= guard_def.effective_cycle:
+            sop.op.speculative = True
+            count += 1
+    schedule.speculated_count = count

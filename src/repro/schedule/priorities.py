@@ -1,0 +1,103 @@
+"""The four treegion scheduling heuristics (Section 3, step 2 of Figure 3).
+
+Each heuristic is a sort key over DDG nodes; the list scheduler then picks
+ready ops in sorted order.  Quoting the paper:
+
+* **dependence height** — "the DDG nodes are sorted by their heights";
+  critical-path scheduling, maximally eager speculation.
+* **exit count** — "the priority of an Op is equal to the Op's exit count,
+  which is the number of exits that follow the Op in control flow in the
+  treegion"; ties broken by dependence height.  Adapted from speculative
+  hedge's *helped count*.
+* **global weight** — "the priority value assigned to an Op is the profile
+  weight of the original basic block which contains it"; ties broken by
+  dependence height.  Adapted from speculative hedge's *helped weight*
+  (in a tree, the weight of all exits below an op equals its block's
+  weight).
+* **weighted count** — weight first, then exit count, then height.
+
+All four fall back to op creation order as the final tie-break, making
+schedules fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.schedule.ddg import DDG
+from repro.schedule.prep import ScheduleProblem
+from repro.schedule.schedule import SchedOp
+
+#: Heuristic names as used throughout the benchmarks and figures.
+Heuristic = str
+
+DEP_HEIGHT: Heuristic = "dep_height"
+EXIT_COUNT: Heuristic = "exit_count"
+GLOBAL_WEIGHT: Heuristic = "global_weight"
+WEIGHTED_COUNT: Heuristic = "weighted_count"
+
+HEURISTICS: Tuple[Heuristic, ...] = (
+    DEP_HEIGHT,
+    EXIT_COUNT,
+    GLOBAL_WEIGHT,
+    WEIGHTED_COUNT,
+)
+
+
+def _exit_counts(problem: ScheduleProblem) -> Dict[int, int]:
+    region = problem.region
+    return {
+        block.bid: region.exit_count_below(block) for block in region
+    }
+
+
+def priority_keys(
+    problem: ScheduleProblem, ddg: DDG, heuristic: Heuristic
+) -> List[Tuple]:
+    """Per-op sort keys (higher = more urgent), indexed like sched_ops."""
+    heights = ddg.heights
+    if heuristic == DEP_HEIGHT:
+        return [(heights[sop.index],) for sop in problem.sched_ops]
+    if heuristic == EXIT_COUNT:
+        counts = _exit_counts(problem)
+        return [
+            (counts[sop.home.bid], heights[sop.index])
+            for sop in problem.sched_ops
+        ]
+    if heuristic == GLOBAL_WEIGHT:
+        return [
+            (sop.home.weight, heights[sop.index])
+            for sop in problem.sched_ops
+        ]
+    if heuristic == WEIGHTED_COUNT:
+        counts = _exit_counts(problem)
+        return [
+            (sop.home.weight, counts[sop.home.bid], heights[sop.index])
+            for sop in problem.sched_ops
+        ]
+    raise ValueError(
+        f"unknown heuristic {heuristic!r}; choose one of {HEURISTICS}"
+    )
+
+
+def priority_order(
+    problem: ScheduleProblem, ddg: DDG, heuristic: Heuristic
+) -> List[SchedOp]:
+    """Step 2 of Figure 3: the DDG nodes sorted by the chosen heuristic."""
+    keys = priority_keys(problem, ddg, heuristic)
+    return sorted(
+        problem.sched_ops,
+        key=lambda sop: tuple(-component for component in keys[sop.index])
+        + (sop.index,),
+    )
+
+
+def priority_ranks(
+    problem: ScheduleProblem, ddg: DDG, heuristic: Heuristic
+) -> List[int]:
+    """rank[i] = position of op i in the sorted list (0 = most urgent)."""
+    order = priority_order(problem, ddg, heuristic)
+    ranks = [0] * len(order)
+    for position, sop in enumerate(order):
+        ranks[sop.index] = position
+    return ranks

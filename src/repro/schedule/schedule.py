@@ -1,0 +1,186 @@
+"""Schedule data structures.
+
+A :class:`SchedOp` is the scheduler's private view of one operation: the
+underlying (possibly synthesized) :class:`~repro.ir.operation.Operation`
+is cloned on entry, so scheduling never mutates the program IR.  A
+:class:`RegionSchedule` is the result: MultiOps (one list of SchedOps per
+cycle), per-exit retire cycles, and the bookkeeping the paper's metrics
+need (copy ops from renaming, dominator-parallelism merges, speculation
+counts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.regions.region import Region, RegionExit
+
+
+class SchedOp:
+    """One schedulable operation inside a region scheduling problem."""
+
+    __slots__ = (
+        "index",
+        "op",
+        "home",
+        "exit",
+        "source",
+        "cycle",
+        "slot",
+        "merged_into",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        op: Operation,
+        home: BasicBlock,
+        exit: Optional[RegionExit] = None,
+        source: Optional[Operation] = None,
+    ):
+        #: Dense index; DDG adjacency and priority vectors are keyed on it.
+        self.index = index
+        #: The operation as scheduled (a private clone; mutation is safe).
+        self.op = op
+        #: The block this op belongs to in the region tree (its position
+        #: *before* any speculation) — priorities read weight/exit counts
+        #: from here.
+        self.home = home
+        #: For exit branch / RET ops: the region exit this op retires.
+        self.exit = exit
+        #: The original program op this was derived from (None for
+        #: synthesized guards/PBRs/exit branches).
+        self.source = source
+        #: Assigned issue cycle (1-based) and slot, once scheduled.
+        self.cycle: Optional[int] = None
+        self.slot: Optional[int] = None
+        #: Set when dominator parallelism eliminated this op in favour of
+        #: an already-scheduled duplicate.
+        self.merged_into: Optional["SchedOp"] = None
+
+    @property
+    def is_exit(self) -> bool:
+        return self.exit is not None
+
+    @property
+    def scheduled(self) -> bool:
+        return self.cycle is not None or self.merged_into is not None
+
+    @property
+    def effective_cycle(self) -> Optional[int]:
+        """The cycle whose results this op's consumers see."""
+        if self.merged_into is not None:
+            return self.merged_into.effective_cycle
+        return self.cycle
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import format_operation
+
+        tag = f"c{self.cycle}" if self.cycle is not None else "unsched"
+        return f"<sop{self.index} [{tag}] {format_operation(self.op)}>"
+
+
+class ExitRecord:
+    """A region exit with its retire cycle (1-based) after scheduling."""
+
+    __slots__ = ("exit", "cycle")
+
+    def __init__(self, exit: RegionExit, cycle: int):
+        self.exit = exit
+        self.cycle = cycle
+
+    @property
+    def weight(self) -> float:
+        return self.exit.weight
+
+    @property
+    def weighted_cycles(self) -> float:
+        return self.exit.weight * self.cycle
+
+    def __repr__(self) -> str:
+        return f"<exit {self.exit!r} retires @ cycle {self.cycle}>"
+
+
+class RegionSchedule:
+    """The scheduled form of one region."""
+
+    def __init__(self, region: Region):
+        self.region = region
+        #: cycles[c] = the MultiOp issued at cycle c+1 (list of SchedOps).
+        self.cycles: List[List[SchedOp]] = []
+        #: Exit retire records, in region exit order.
+        self.exits: List[ExitRecord] = []
+        #: Copy ops recorded by renaming: (exit, dest original register,
+        #: renamed source register).  Recorded but not scheduled, matching
+        #: the paper's accounting ("Copy Ops added due to renaming were
+        #: not used in computing speedup").
+        self.copies: List[Tuple[RegionExit, Register, Register]] = []
+        #: SchedOps eliminated by dominator parallelism.
+        self.merged: List[SchedOp] = []
+        #: Count of ops that issued above their home guard (speculated).
+        self.speculated_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Schedule height in cycles."""
+        return len(self.cycles)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(multiop) for multiop in self.cycles)
+
+    def place(self, sop: SchedOp, cycle: int) -> None:
+        """Record ``sop`` issuing at ``cycle`` (1-based)."""
+        while len(self.cycles) < cycle:
+            self.cycles.append([])
+        multiop = self.cycles[cycle - 1]
+        sop.cycle = cycle
+        sop.slot = len(multiop)
+        multiop.append(sop)
+
+    def ops_at(self, cycle: int) -> List[SchedOp]:
+        if cycle < 1 or cycle > len(self.cycles):
+            return []
+        return self.cycles[cycle - 1]
+
+    def all_ops(self) -> List[SchedOp]:
+        return [sop for multiop in self.cycles for sop in multiop]
+
+    def exit_cycle(self, exit: RegionExit) -> int:
+        for record in self.exits:
+            if record.exit is exit:
+                return record.cycle
+        raise KeyError(f"{exit!r} not in schedule")
+
+    @property
+    def weighted_time(self) -> float:
+        """Profile-weighted execution time of this region:
+        ``sum(exit weight * exit retire cycle)`` — the paper's estimate."""
+        return sum(record.weighted_cycles for record in self.exits)
+
+    # ------------------------------------------------------------------
+
+    def format(self) -> str:
+        """Human-readable MultiOp table (like the paper's Figures 4/5)."""
+        from repro.ir.printer import format_operation
+
+        lines = [f"schedule for {self.region!r} ({self.length} cycles)"]
+        for c, multiop in enumerate(self.cycles, start=1):
+            cells = " | ".join(format_operation(sop.op) for sop in multiop)
+            lines.append(f"  {c:3}: {cells}")
+        for record in self.exits:
+            lines.append(f"  {record!r}")
+        if self.copies:
+            lines.append(f"  rename copies: {len(self.copies)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<schedule {self.region.kind} len={self.length} "
+            f"ops={self.op_count} exits={len(self.exits)}>"
+        )

@@ -1,0 +1,142 @@
+"""The region scheduler entry point: Figure 3's three steps plus the
+supporting passes, glued together.
+
+    scheduleTreegion (treegion) {
+        Form DDG for treegion
+        sortDDGNodesBy*** (DDG)
+        listSchedule (DDG)
+    }
+
+``schedule_region`` works for any tree-shaped region, so the same code
+schedules basic blocks, SLRs, superblocks, and treegions — only the region
+former differs between the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.machine.model import MachineModel
+from repro.regions.region import Region, RegionPartition
+from repro.schedule.ddg import build_ddg
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.prep import prepare_region
+from repro.schedule.priorities import GLOBAL_WEIGHT, Heuristic, priority_order
+from repro.schedule.renaming import rename_region
+from repro.schedule.schedule import RegionSchedule
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Knobs for one scheduling run.
+
+    Attributes:
+        heuristic: One of ``repro.schedule.priorities.HEURISTICS``.
+        dominator_parallelism: Enable duplicate elimination at schedule
+            time (Section 4); only has an effect on tail-duplicated code.
+        schedule_copies: Materialize renaming repair copies as real
+            (predicated) ops competing for slots.  The paper's accounting
+            leaves them out ("Copy Ops added due to renaming were not
+            used in computing speedup"); turning this on quantifies that
+            choice.
+        max_cycles: Safety bound on schedule length.
+    """
+
+    heuristic: Heuristic = GLOBAL_WEIGHT
+    dominator_parallelism: bool = False
+    schedule_copies: bool = False
+    max_cycles: int = 1_000_000
+
+
+def schedule_region(
+    region: Region,
+    machine: MachineModel,
+    options: Optional[ScheduleOptions] = None,
+    liveness: Optional[LivenessInfo] = None,
+) -> RegionSchedule:
+    """Schedule one region for the given machine.
+
+    ``liveness`` may be supplied to avoid recomputing it per region when
+    scheduling a whole partition.  The input IR is never modified.
+    """
+    options = options or ScheduleOptions()
+    if liveness is None:
+        liveness = compute_liveness(region.root.cfg)
+    # Hyperblocks go through the if-conversion pipeline: full predication,
+    # DAG dependences, no renaming, no speculation.
+    from repro.regions.hyperblock import Hyperblock
+
+    if isinstance(region, Hyperblock):
+        from repro.schedule.hyperblock import schedule_hyperblock
+
+        return schedule_hyperblock(
+            region, machine, heuristic=options.heuristic,
+            liveness=liveness, max_cycles=options.max_cycles,
+        )
+    problem = prepare_region(region, machine, liveness)
+    copies = rename_region(problem, liveness)
+    if options.schedule_copies:
+        _insert_copy_ops(problem, copies)
+    ddg = build_ddg(problem, machine, liveness=liveness, copies=copies)
+    order = priority_order(problem, ddg, options.heuristic)
+    return list_schedule(
+        problem,
+        ddg,
+        order,
+        machine,
+        dominator_parallelism=options.dominator_parallelism,
+        copies=copies,
+        max_cycles=options.max_cycles,
+    )
+
+
+def _insert_copy_ops(problem, copies) -> None:
+    """Materialize exit repair copies as predicated COPY ops.
+
+    Each copy (exit, original <- renamed) becomes a real op homed at the
+    exit's source block, guarded by the exit's predicate so it only
+    commits on that path, and placed before the exit branch in walk order
+    — the exit's liveness edge then naturally orders the branch after it.
+    """
+    from repro.ir.operation import Operation
+    from repro.ir.types import Opcode
+    from repro.schedule.schedule import SchedOp
+
+    for exit, original, renamed in copies:
+        exit_sop = problem.exit_op_for(exit)
+        branch = exit_sop.op
+        if branch.opcode is Opcode.BRCT:
+            guard = branch.srcs[0]
+        else:  # BRU / RET exits inherit whatever guard they carry.
+            guard = branch.guard
+        copy_op = Operation(
+            -(len(problem.sched_ops) + 1), Opcode.COPY,
+            dests=[original], srcs=[renamed], guard=guard,
+        )
+        sop = SchedOp(len(problem.sched_ops), copy_op, exit.source,
+                      source=None)
+        problem.sched_ops.append(sop)
+        block_list = problem.by_block[exit.source.bid]
+        block_list.insert(block_list.index(exit_sop), sop)
+
+
+def schedule_partition(
+    partition: RegionPartition,
+    machine: MachineModel,
+    options: Optional[ScheduleOptions] = None,
+) -> List[RegionSchedule]:
+    """Schedule every region of a partition (liveness computed once)."""
+    options = options or ScheduleOptions()
+    schedules: List[RegionSchedule] = []
+    liveness_cache: Dict[int, LivenessInfo] = {}
+    for region in partition:
+        cfg = region.root.cfg
+        key = id(cfg)
+        if key not in liveness_cache:
+            liveness_cache[key] = compute_liveness(cfg)
+        schedules.append(
+            schedule_region(region, machine, options, liveness_cache[key])
+        )
+    return schedules

@@ -1,0 +1,13 @@
+"""Small shared utilities: id allocation, ordered sets, validation errors."""
+
+from repro.util.ids import IdAllocator
+from repro.util.ordered import OrderedSet
+from repro.util.errors import ReproError, IRValidationError, SchedulingError
+
+__all__ = [
+    "IdAllocator",
+    "OrderedSet",
+    "ReproError",
+    "IRValidationError",
+    "SchedulingError",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the compiler can catch one type.  Subclasses separate the
+phases: IR construction/validation, the minic frontend, interpretation, and
+scheduling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRValidationError(ReproError):
+    """The IR violates a structural invariant (see ``repro.ir.verify``)."""
+
+
+class FrontendError(ReproError):
+    """A minic source program failed to lex, parse, or type-check."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class InterpreterError(ReproError):
+    """The IR interpreter hit an undefined value or a malformed program."""
+
+
+class SchedulingError(ReproError):
+    """Region formation or list scheduling failed an internal invariant."""

@@ -1,0 +1,40 @@
+"""Deterministic integer id allocation.
+
+Every IR entity (block, operation, register, region) carries a small integer
+id unique within its owning container.  Ids are handed out by an
+:class:`IdAllocator` so that construction order — which is deterministic
+throughout this library — fully determines the ids, making printed IR and
+schedules reproducible across runs.
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Hands out consecutive integer ids starting from a given value."""
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return the next id and advance the counter."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def reserve(self, up_to: int) -> None:
+        """Ensure future ids are strictly greater than ``up_to``.
+
+        Used when importing entities with pre-assigned ids (e.g. the IR
+        parser) so fresh allocations never collide.
+        """
+        if up_to >= self._next:
+            self._next = up_to + 1
+
+    @property
+    def next_id(self) -> int:
+        """The id the next call to :meth:`allocate` will return."""
+        return self._next
+
+    def __repr__(self) -> str:
+        return f"IdAllocator(next={self._next})"

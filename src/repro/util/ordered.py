@@ -1,0 +1,70 @@
+"""An insertion-ordered set.
+
+CPython dicts preserve insertion order, so a dict with ``None`` values gives
+us an ordered set with O(1) membership tests.  Determinism matters here:
+region formation and scheduling iterate over sets of blocks and ops, and the
+paper's algorithms (Figures 2 and 11) are queue-based, so iteration order is
+part of the algorithm, not an implementation detail.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet(Generic[T]):
+    """A set that iterates in insertion order."""
+
+    def __init__(self, items: Optional[Iterable[T]] = None):
+        self._items: dict = {}
+        if items is not None:
+            for item in items:
+                self._items[item] = None
+
+    def add(self, item: T) -> None:
+        """Insert ``item``; a re-insert keeps the original position."""
+        self._items.setdefault(item, None)
+
+    def discard(self, item: T) -> None:
+        """Remove ``item`` if present."""
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raise ``KeyError`` if absent."""
+        del self._items[item]
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    def pop_first(self) -> T:
+        """Remove and return the oldest item; raise ``KeyError`` if empty."""
+        if not self._items:
+            raise KeyError("pop_first from an empty OrderedSet")
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"

@@ -1,0 +1,47 @@
+"""Workloads: synthetic SPECint95 stand-ins and the paper's example CFGs.
+
+The paper evaluates on SPECint95 compiled by IMPACT/Elcor/LEGO with
+training-input profiles.  Neither the benchmarks nor those compilers are
+available here, so this package provides the substitution documented in
+DESIGN.md: a deterministic *structured* CFG generator
+(:mod:`repro.workloads.synthetic`) with one parameter preset per SPECint95
+program (:mod:`repro.workloads.specint`), tuned so the region-shape
+statistics and branch-bias pathologies that drive the paper's results are
+reproduced:
+
+* ijpeg's *biased* treegions (Figure 7),
+* gcc/perl's *wide, shallow* switch-rooted treegions (Figure 9),
+* vortex's *linearized* equal-weight treegions (Figure 10),
+
+each of which is also available in isolation from
+:mod:`repro.workloads.pathological`.  The worked example of Figures 1/4/5
+is built exactly (registers and weights included) by
+:mod:`repro.workloads.paper_example`.
+"""
+
+from repro.workloads.synthetic import SynthParams, generate_program
+from repro.workloads.specint import (
+    SPECINT95,
+    BENCHMARK_NAMES,
+    build_benchmark,
+    build_suite,
+)
+from repro.workloads.paper_example import build_paper_example
+from repro.workloads.pathological import (
+    build_biased_treegion,
+    build_wide_shallow_treegion,
+    build_linearized_treegion,
+)
+
+__all__ = [
+    "SynthParams",
+    "generate_program",
+    "SPECINT95",
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_suite",
+    "build_paper_example",
+    "build_biased_treegion",
+    "build_wide_shallow_treegion",
+    "build_linearized_treegion",
+]

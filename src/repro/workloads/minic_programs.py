@@ -1,0 +1,133 @@
+"""A library of executable minic workloads.
+
+Used by the co-simulation tests, the examples, and the dynamic-scheduling
+study (the paper's future-work item on "dynamically scheduled processor
+models" needs real executed traces, which the synthetic CFG suite cannot
+provide).  Each entry is (source, default arguments); all programs
+terminate on any small non-negative input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.function import Program
+from repro.lang import compile_source
+
+MINIC_PROGRAMS: Dict[str, Tuple[str, List[int]]] = {
+    # Insertion sort + polynomial checksum: data-dependent inner loop.
+    "sort": (
+        """
+        array data[16] = {14, 3, 9, 1, 12, 7, 15, 2, 8, 11, 5, 13, 4, 10, 6, 0};
+        func main(n) {
+            for (var i = 1; i < n; i = i + 1) {
+                var key = data[i];
+                var j = i - 1;
+                while (j >= 0 && data[j] > key) {
+                    data[j + 1] = data[j];
+                    j = j - 1;
+                }
+                data[j + 1] = key;
+            }
+            var acc = 0;
+            for (var k = 0; k < n; k = k + 1) { acc = acc * 3 + data[k]; }
+            return acc;
+        }
+        """,
+        [16],
+    ),
+    # Fibonacci by dynamic programming: a tight dependence chain.
+    "fib": (
+        """
+        func main(n) {
+            var a = 0;
+            var b = 1;
+            for (var i = 0; i < n; i = i + 1) {
+                var t = a + b;
+                a = b;
+                b = t % 9973;
+            }
+            return a;
+        }
+        """,
+        [40],
+    ),
+    # 4x4 matrix multiply over flat arrays: parallel-friendly FMA chains.
+    "matmul": (
+        """
+        array A[16] = {1,2,3,4, 5,6,7,8, 9,10,11,12, 13,14,15,16};
+        array B[16] = {16,15,14,13, 12,11,10,9, 8,7,6,5, 4,3,2,1};
+        array C[16];
+        func main(n) {
+            for (var i = 0; i < 4; i = i + 1) {
+                for (var j = 0; j < 4; j = j + 1) {
+                    var acc = 0;
+                    for (var k = 0; k < 4; k = k + 1) {
+                        acc = acc + A[i * 4 + k] * B[k * 4 + j];
+                    }
+                    C[i * 4 + j] = acc;
+                }
+            }
+            var total = 0;
+            for (var t = 0; t < 16; t = t + 1) { total = total + C[t]; }
+            return total + n;
+        }
+        """,
+        [0],
+    ),
+    # A branchy hash/CRC-style loop: the treegion sweet spot.
+    "hash": (
+        """
+        array msg[12] = {104, 112, 99, 97, 49, 57, 57, 56, 116, 114, 101, 101};
+        func main(n) {
+            var h = 5381;
+            for (var r = 0; r < n; r = r + 1) {
+                for (var i = 0; i < 12; i = i + 1) {
+                    var c = msg[i];
+                    if (c & 1 == 1) { h = h * 33 + c; }
+                    else { h = h ^ (c << 2); }
+                    if (h > 1000000) { h = h % 999983; }
+                }
+            }
+            return h;
+        }
+        """,
+        [3],
+    ),
+    # A state machine driven by a switch: gcc/perl-shaped control flow.
+    "statemachine": (
+        """
+        array input[10] = {0, 1, 2, 1, 0, 2, 2, 1, 0, 1};
+        func main(n) {
+            var state = 0;
+            var count = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                var symbol = input[i % 10];
+                switch (state * 3 + symbol) {
+                    case 0: { state = 1; }
+                    case 1: { state = 2; count = count + 1; }
+                    case 2: { state = 0; }
+                    case 3: { state = 2; }
+                    case 4: { state = 1; count = count + 2; }
+                    case 5: { state = 2; }
+                    case 6: { state = 0; count = count + 3; }
+                    case 7: { state = 1; }
+                    default: { state = 0; }
+                }
+            }
+            return count * 10 + state;
+        }
+        """,
+        [30],
+    ),
+}
+
+
+def build_minic_program(name: str) -> Tuple[Program, List[int]]:
+    """Compile one library workload; returns (program, default args)."""
+    source, args = MINIC_PROGRAMS[name]
+    return compile_source(source), list(args)
+
+
+def minic_program_names() -> List[str]:
+    return list(MINIC_PROGRAMS)

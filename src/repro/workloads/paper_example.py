@@ -1,0 +1,119 @@
+"""The paper's worked example (Figures 1, 4, 5, 12), reconstructed exactly.
+
+The CFG, its ops (register names included), and the profile weights are
+taken from the figures:
+
+* ``bb1``: ``r1 = LD(A); r2 = LD(B); p1 = CMPP(r1 > r2)``, branch to
+  ``bb8`` (weight 40) else fall into ``bb2`` (weight 60);
+* ``bb2``: ``r3 = r1 + r2; p3 = CMPP(r3 < 100)``, branch to ``bb4``
+  (weight 25) else ``bb3`` (weight 35);
+* ``bb3``: ``r4 = 1; r5 = 2`` → ``bb5``;
+* ``bb4``: ``r4 = 3; r5 = 4`` → ``bb5``  (the defs renamed in Figure 5);
+* ``bb5`` (merge): ``r6 = 0; r7 = r4 + r5`` → ``bb9``;
+* ``bb8``: ``r6 = 5`` → ``bb9``  (not live-out of the treegion's other
+  exits, hence executed speculatively without renaming in Figure 5);
+* ``bb9`` (merge): ``ST(C) = r6``, return.
+
+The example section of the paper assumes a 4-issue universal machine with
+*unit* latencies for every op (unlike the main experiments, where loads
+take 2 cycles), so :func:`paper_example_machine` provides exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Program
+from repro.ir.registers import Register
+from repro.ir.types import CompareCond, RegClass
+from repro.machine.model import MachineModel
+
+#: Profile weights of the three paths (Figures 4/5).
+W_BB3, W_BB4, W_BB8 = 35.0, 25.0, 40.0
+
+
+def paper_example_machine(issue_width: int = 4) -> MachineModel:
+    """The example's machine: universal units, everything unit latency."""
+    return MachineModel(
+        name=f"{issue_width}U-unit", issue_width=issue_width, latencies={},
+        use_btr=True,
+    )
+
+
+def build_paper_example() -> Program:
+    """Figure 1's CFG with the figures' registers, ops, and weights."""
+    program = Program(entry="example")
+    program.add_global("A", initial=[7])
+    program.add_global("B", initial=[3])
+    program.add_global("C")
+
+    fn = program.new_function("example")
+    b = IRBuilder(fn)
+
+    def gpr(i: int) -> Register:
+        reg = Register(RegClass.GPR, i)
+        fn.regs.reserve(reg)
+        return reg
+
+    r1, r2, r3, r4, r5, r6, r7 = (gpr(i) for i in range(1, 8))
+
+    bb1 = b.block("bb1")
+    bb2 = b.block("bb2")
+    bb3 = b.block("bb3")
+    bb4 = b.block("bb4")
+    bb5 = b.block("bb5")
+    bb8 = b.block("bb8")
+    bb9 = b.block("bb9")
+
+    b.at(bb1)
+    b.ld(0, 0, dest=r1)   # r1 = LD (A)
+    b.ld(1, 0, dest=r2)   # r2 = LD (B)
+    p1 = b.cmpp(CompareCond.GT, r1, r2)
+    b.br_true(p1, bb8, bb2)
+
+    b.at(bb2)
+    b.add(r1, r2, dest=r3)
+    p3 = b.cmpp(CompareCond.LT, r3, 100)
+    b.br_true(p3, bb4, bb3)
+
+    b.at(bb3)
+    b.mov(1, dest=r4)
+    b.mov(2, dest=r5)
+    b.jump(bb5)
+
+    b.at(bb4)
+    b.mov(3, dest=r4)
+    b.mov(4, dest=r5)
+    b.jump(bb5)
+
+    b.at(bb5)
+    b.mov(0, dest=r6)
+    b.add(r4, r5, dest=r7)
+    b.jump(bb9)
+
+    b.at(bb8)
+    b.mov(5, dest=r6)
+    b.jump(bb9)
+
+    b.at(bb9)
+    b.st(2, 0, r6)        # ST (C) = r6
+    b.ret(r6)             # r7 is defined only along bb5 (kept live into
+    #                       bb5 so the figures' r4/r5 renaming triggers)
+
+    # Profile weights from the figures.
+    total = W_BB3 + W_BB4 + W_BB8
+    bb1.weight = total
+    bb2.weight = W_BB3 + W_BB4
+    bb3.weight = W_BB3
+    bb4.weight = W_BB4
+    bb5.weight = W_BB3 + W_BB4
+    bb8.weight = W_BB8
+    bb9.weight = total
+    bb1.taken_edge.weight = W_BB8
+    bb1.fallthrough_edge.weight = W_BB3 + W_BB4
+    bb2.taken_edge.weight = W_BB4
+    bb2.fallthrough_edge.weight = W_BB3
+    bb3.taken_edge.weight = W_BB3
+    bb4.taken_edge.weight = W_BB4
+    bb5.taken_edge.weight = W_BB3 + W_BB4
+    bb8.taken_edge.weight = W_BB8
+    return program

@@ -1,0 +1,179 @@
+"""The three pathological treegion shapes the paper analyses.
+
+* :func:`build_biased_treegion` — Figure 7: "the leftmost path is the only
+  path executed in the treegion" (the ijpeg case, where SLRs match
+  treegions because one path has all the weight).
+* :func:`build_wide_shallow_treegion` — Figure 9: a treegion rooted by a
+  very wide multiway branch whose destinations have roughly equal (small)
+  exit counts; the destinations with the highest exit counts are *not* the
+  most executed, which defeats the exit-count heuristic (the gcc/perl
+  case).
+* :func:`build_linearized_treegion` — Figure 10: a single-path treegion of
+  equal-weight blocks whose only taken exit is at the *bottom*; sorting by
+  exit count (as weighted count does under equal weights) retires the
+  never-taken upper exits first and delays the real one (the vortex case).
+
+Each builder returns a :class:`Program` whose entry function's topmost
+treegion has the shape in question, with profile weights as annotated in
+the figures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Program
+from repro.ir.types import CompareCond
+
+
+def _ops(b: IRBuilder, n: int) -> None:
+    """Emit n chained ALU ops (a little dependence height everywhere)."""
+    value = b.ld(0, 0)
+    for i in range(n - 1):
+        value = b.add(value, i + 1)
+
+
+def build_biased_treegion(depth: int = 3, hot_weight: float = 100.0) -> Program:
+    """Figure 7: a binary tree where only the leftmost path executes."""
+    program = Program(entry="biased")
+    program.add_global("G")
+    fn = program.new_function("biased")
+    b = IRBuilder(fn)
+
+    merge = None
+    current = b.block("root")
+    current.weight = hot_weight
+    frontier: List[BasicBlock] = []
+    merge = b.block("merge")
+
+    block = current
+    for level in range(depth):
+        b.at(block)
+        _ops(b, 3)
+        pred = b.cmpp(CompareCond.GT, b.ld(0, level), 0)
+        hot = b.block(f"hot{level}")
+        cold = b.block(f"cold{level}")
+        b.br_true(pred, cold, hot)  # taken = cold (never), fall = hot
+        block.taken_edge.weight = 0.0
+        block.fallthrough_edge.weight = block.weight
+        cold.weight = 0.0
+        hot.weight = block.weight
+        b.at(cold)
+        _ops(b, 2)
+        b.jump(merge)
+        cold.taken_edge.weight = 0.0
+        block = hot
+    b.at(block)
+    _ops(b, 3)
+    b.jump(merge)
+    block.taken_edge.weight = block.weight
+
+    b.at(merge)
+    merge.weight = hot_weight
+    b.ret(0)
+    return program
+
+
+def build_wide_shallow_treegion(fanout: int = 8,
+                                hot_case: int = 5,
+                                weight: float = 100.0) -> Program:
+    """Figure 9: switch-rooted, shallow; high exit count != high weight.
+
+    Even-numbered destinations contain an inner branch (two exits each);
+    odd destinations exit directly (one exit).  All the profile weight goes
+    through ``hot_case`` — chosen odd so the hottest destination has the
+    *lowest* exit count, reproducing the heuristic failure.
+    """
+    if hot_case % 2 == 0:
+        raise ValueError("hot_case must be odd (a low-exit-count destination)")
+    program = Program(entry="wide")
+    program.add_global("G")
+    fn = program.new_function("wide")
+    b = IRBuilder(fn)
+
+    root = b.block("root")
+    merge = b.block("merge")
+    root.weight = weight
+    b.at(root)
+    _ops(b, 2)
+    selector = b.ld(0, 0)
+    cases = [b.block(f"dest{i}") for i in range(fanout)]
+    default = b.block("default")
+    b.at(root)
+    b.switch(selector, [(i, c) for i, c in enumerate(cases)], default)
+    for i, edge in enumerate(root.case_edges()):
+        edge.weight = weight if i == hot_case else 0.0
+
+    for i, dest in enumerate(cases):
+        w = weight if i == hot_case else 0.0
+        dest.weight = w
+        b.at(dest)
+        _ops(b, 3)
+        if i % 2 == 0:
+            # Two exits: an inner conditional splitting to merge twice.
+            pred = b.cmpp(CompareCond.LT, b.ld(0, i), 10)
+            side = b.block(f"side{i}")
+            b.br_true(pred, merge, side)
+            dest.taken_edge.weight = 0.0
+            dest.fallthrough_edge.weight = w
+            side.weight = w
+            b.at(side)
+            _ops(b, 2)
+            b.jump(merge)
+            side.taken_edge.weight = w
+        else:
+            b.jump(merge)
+            dest.taken_edge.weight = w
+
+    b.at(default)
+    default.weight = 0.0
+    _ops(b, 2)
+    b.jump(merge)
+    default.taken_edge.weight = 0.0
+
+    b.at(merge)
+    merge.weight = weight
+    b.ret(0)
+    return program
+
+
+def build_linearized_treegion(length: int = 5, weight: float = 100.0) -> Program:
+    """Figure 10: one execution path; only the bottom exit is ever taken."""
+    program = Program(entry="linearized")
+    program.add_global("G")
+    fn = program.new_function("linearized")
+    b = IRBuilder(fn)
+
+    cold = b.block("cold")
+    hot_exit = b.block("hot_exit")
+
+    block = b.block("top")
+    fn.cfg.set_entry(block)
+    block.weight = weight
+    for i in range(length):
+        b.at(block)
+        _ops(b, 3)
+        pred = b.cmpp(CompareCond.EQ, b.ld(0, i), -1)
+        nxt = b.block(f"step{i}")
+        b.br_true(pred, cold, nxt)
+        block.taken_edge.weight = 0.0
+        block.fallthrough_edge.weight = weight
+        nxt.weight = weight
+        block = nxt
+    b.at(block)
+    _ops(b, 3)
+    b.jump(hot_exit)
+    block.taken_edge.weight = weight
+
+    b.at(cold)
+    cold.weight = 0.0
+    _ops(b, 2)
+    b.fallthrough(hot_exit)
+    cold.fallthrough_edge.weight = 0.0
+
+    b.at(hot_exit)
+    hot_exit.weight = weight
+    b.ret(0)
+    return program

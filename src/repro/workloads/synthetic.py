@@ -1,0 +1,402 @@
+"""Structured synthetic CFG generation.
+
+Programs are generated as structured control flow — sequences, if-then,
+if-then-else, switch, while, and "check chains" (a run of blocks each
+conditionally bailing to a cold shared exit, the shape behind vortex's
+linearized treegions) — because real compilers produce CFGs whose merge
+structure comes from structured source.  Random digraphs would not exhibit
+the treegion shapes the paper measures.
+
+Profile weights are assigned *analytically* during generation: every
+construct splits its incoming weight along its arms using the preset's
+branch-bias distribution, and loops multiply by an expected trip count, so
+the "profile" is exact flow-conserving data without needing execution.
+
+Everything is driven by a seeded ``random.Random``; generation is fully
+deterministic per (preset, seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function, Program
+from repro.ir.registers import Register
+from repro.ir.types import CompareCond
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """Generator knobs; one preset per benchmark lives in ``specint.py``."""
+
+    name: str
+    seed: int = 1
+    #: Rough block budget; generation stops opening constructs beyond it.
+    target_blocks: int = 150
+    #: Top-level statement count and maximum construct nesting depth.
+    toplevel: int = 12
+    depth: int = 3
+    #: Ops per block ~ max(1, round(gauss(mean, sd))).
+    block_ops_mean: float = 6.0
+    block_ops_sd: float = 2.5
+    #: Op mix (remaining mass is integer ALU).
+    load_frac: float = 0.22
+    store_frac: float = 0.10
+    fp_frac: float = 0.04
+    #: Probability that an op reuses an existing register as destination
+    #: (creates cross-path conflicts exercising renaming).
+    reuse_frac: float = 0.15
+    #: Probability that an op consumes the immediately preceding result,
+    #: forming sequential dependence chains.  Integer SPEC code is heavily
+    #: chain-bound (address arithmetic -> load -> compare -> branch), which
+    #: is precisely why wide-issue machines idle on linear regions and
+    #: speculation across treegion paths pays off.
+    chain_frac: float = 0.65
+    #: Construct mix (relative odds when opening a construct).
+    ite_odds: float = 4.0
+    it_odds: float = 2.0
+    switch_odds: float = 0.4
+    loop_odds: float = 1.0
+    chain_odds: float = 0.5
+    #: Switch fanout range and check-chain length range.
+    switch_fanout: Tuple[int, int] = (3, 8)
+    chain_len: Tuple[int, int] = (3, 6)
+    #: Switch cases are small in real code (set a value, jump): their op
+    #: count is sampled with this mean, and they nest further constructs
+    #: with this (low) probability.  Keeps wide switch treegions *shallow*
+    #: (Figure 9) instead of huge.
+    switch_case_ops_mean: float = 2.5
+    case_nest_prob: float = 0.15
+    #: Probability that a construct arm opens a nested construct.  Hot
+    #: regions (loop bodies) nest one level shallower so the hottest
+    #: treegions stay modest, as real inner loops are.
+    nest_prob: float = 0.3
+    #: Branch bias: the hot arm of a two-way branch receives
+    #: ``uniform(bias_lo, bias_hi)`` of the incoming weight.
+    bias_lo: float = 0.55
+    bias_hi: float = 0.8
+    #: Probability that a two-way branch is *fully* biased (one arm never
+    #: executes) — ijpeg-style biased treegions.
+    full_bias_prob: float = 0.05
+    #: Switch case weights: a Zipf-ish skew; with ``switch_skew`` high,
+    #: most cases get (near-)zero weight — gcc/perl's Figure 9 shape.
+    switch_skew: float = 1.0
+    #: Expected loop trip counts.
+    loop_iters: Tuple[float, float] = (2.0, 12.0)
+    entry_count: float = 1000.0
+
+
+class _Generator:
+    def __init__(self, params: SynthParams):
+        self.p = params
+        self.rng = random.Random(params.seed)
+        self.function = Function(params.name)
+        self.b = IRBuilder(self.function)
+        self.pool: List[Register] = []
+        self.blocks_made = 0
+
+    # ------------------------------------------------------------------
+    # Block content
+
+    def _operand(self):
+        if self.pool and self.rng.random() < 0.75:
+            return self.rng.choice(self.pool[-24:])
+        return self.rng.randrange(0, 256)
+
+    def _dest(self) -> Optional[Register]:
+        if self.pool and self.rng.random() < self.p.reuse_frac:
+            return self.rng.choice(self.pool[-24:])
+        return None  # builder mints a fresh one
+
+    def _chained_operand(self):
+        """Prefer the previous result (dependence chain), else the pool."""
+        if self.pool and self.rng.random() < self.p.chain_frac:
+            return self.pool[-1]
+        return self._operand()
+
+    def _fill_block(self, n_ops: Optional[int] = None) -> None:
+        """Emit straight-line ops into the builder's current block."""
+        p, rng, b = self.p, self.rng, self.b
+        if n_ops is None:
+            n_ops = max(1, round(rng.gauss(p.block_ops_mean, p.block_ops_sd)))
+        for _ in range(n_ops):
+            roll = rng.random()
+            if roll < p.load_frac:
+                reg = b.ld(self._chained_operand(), rng.randrange(0, 64),
+                           dest=self._dest())
+                self.pool.append(reg)
+            elif roll < p.load_frac + p.store_frac:
+                b.st(self._operand(), rng.randrange(0, 64),
+                     self._chained_operand())
+            elif roll < p.load_frac + p.store_frac + p.fp_frac:
+                emit = rng.choice((b.fadd, b.fmul, b.fdiv))
+                reg = emit(self._chained_operand(), self._operand(),
+                           dest=self._dest())
+                self.pool.append(reg)
+            else:
+                emit = rng.choice(
+                    (b.add, b.sub, b.mul, b.and_, b.or_, b.xor, b.shl, b.shr)
+                )
+                reg = emit(self._chained_operand(), self._operand(),
+                           dest=self._dest())
+                self.pool.append(reg)
+
+    def _compare(self) -> Register:
+        """Branch conditions read the block's latest result — the classic
+        compute -> compare -> branch critical chain."""
+        cond = self.rng.choice(list(CompareCond))
+        return self.b.cmpp(cond, self._chained_operand(), self._operand())
+
+    def _new_block(self, name: str = "") -> BasicBlock:
+        self.blocks_made += 1
+        return self.b.block(name)
+
+    def _budget_left(self) -> bool:
+        return self.blocks_made < self.p.target_blocks
+
+    # ------------------------------------------------------------------
+    # Weights
+
+    def _two_way_split(self, weight: float) -> Tuple[float, float]:
+        """(hot, cold) split of a two-way branch's incoming weight."""
+        if self.rng.random() < self.p.full_bias_prob:
+            return weight, 0.0
+        hot = self.rng.uniform(self.p.bias_lo, self.p.bias_hi)
+        return weight * hot, weight * (1.0 - hot)
+
+    def _switch_split(self, weight: float, fanout: int) -> List[float]:
+        """Skewed case weights (most mass on few cases when skew high)."""
+        raw = [
+            (1.0 / (rank + 1) ** self.p.switch_skew)
+            * self.rng.uniform(0.5, 1.5)
+            for rank in range(fanout)
+        ]
+        # Randomly zero a fraction of cases under heavy skew (gcc/perl:
+        # "most of them had zero profile weight").
+        for i in range(fanout):
+            if i > 0 and self.rng.random() < min(0.8, self.p.switch_skew / 3):
+                raw[i] = 0.0
+        total = sum(raw) or 1.0
+        self.rng.shuffle(raw)
+        return [weight * r / total for r in raw]
+
+    # ------------------------------------------------------------------
+    # Constructs.  Each takes (current block, weight), emits into it, and
+    # returns the (new current block, weight) control falls into next.
+
+    def _statement(self, block: BasicBlock, weight: float,
+                   depth: int) -> Tuple[BasicBlock, float]:
+        if depth <= 0 or not self._budget_left():
+            return block, weight
+        odds = [
+            (self.p.ite_odds, self._gen_ite),
+            (self.p.it_odds, self._gen_it),
+            (self.p.switch_odds, self._gen_switch),
+            (self.p.loop_odds, self._gen_loop),
+            (self.p.chain_odds, self._gen_chain),
+        ]
+        total = sum(o for o, _ in odds)
+        roll = self.rng.uniform(0, total)
+        for odd, gen in odds:
+            if roll < odd:
+                return gen(block, weight, depth)
+            roll -= odd
+        return block, weight
+
+    def _maybe_nest(self, block: BasicBlock, weight: float,
+                    depth: int) -> Tuple[BasicBlock, float]:
+        if depth > 0 and self._budget_left() and self.rng.random() < self.p.nest_prob:
+            return self._statement(block, weight, depth - 1)
+        return block, weight
+
+    def _gen_ite(self, block, weight, depth):
+        self.b.at(block)
+        self._fill_block()
+        pred = self._compare()
+        then_bb = self._new_block("then")
+        else_bb = self._new_block("else")
+        join = self._new_block("join")
+        w_then, w_else = self._two_way_split(weight)
+        br = self.b.br_true(pred, then_bb, else_bb)
+        block.taken_edge.weight = w_then
+        block.fallthrough_edge.weight = w_else
+
+        self.b.at(then_bb)
+        then_bb.weight = w_then
+        self._fill_block()
+        end_then, w_then_out = self._maybe_nest(then_bb, w_then, depth)
+        self.b.at(end_then)
+        self.b.jump(join)
+        end_then.taken_edge.weight = w_then_out
+
+        self.b.at(else_bb)
+        else_bb.weight = w_else
+        self._fill_block()
+        end_else, w_else_out = self._maybe_nest(else_bb, w_else, depth)
+        self.b.at(end_else)
+        self.b.fallthrough(join)
+        end_else.fallthrough_edge.weight = w_else_out
+
+        join.weight = w_then_out + w_else_out
+        return join, join.weight
+
+    def _gen_it(self, block, weight, depth):
+        self.b.at(block)
+        self._fill_block()
+        pred = self._compare()
+        then_bb = self._new_block("then")
+        join = self._new_block("join")
+        w_then, w_skip = self._two_way_split(weight)
+        self.b.br_true(pred, then_bb, join)
+        block.taken_edge.weight = w_then
+        block.fallthrough_edge.weight = w_skip
+
+        self.b.at(then_bb)
+        then_bb.weight = w_then
+        self._fill_block()
+        end_then, w_then_out = self._maybe_nest(then_bb, w_then, depth)
+        self.b.at(end_then)
+        self.b.jump(join)
+        end_then.taken_edge.weight = w_then_out
+
+        join.weight = w_then_out + w_skip
+        return join, join.weight
+
+    def _gen_switch(self, block, weight, depth):
+        fanout = self.rng.randint(*self.p.switch_fanout)
+        self.b.at(block)
+        self._fill_block()
+        selector = self._operand()
+        if not isinstance(selector, Register):
+            selector = self.b.mov(selector)
+        cases = [self._new_block(f"case{i}") for i in range(fanout)]
+        default = self._new_block("default")
+        join = self._new_block("join")
+        weights = self._switch_split(weight, fanout + 1)
+        self.b.switch(selector, [(i, c) for i, c in enumerate(cases)], default)
+        for edge, w in zip(block.out_edges[-(fanout + 1):], weights):
+            edge.weight = w
+
+        out_weight = 0.0
+        for case_block, w in zip(cases + [default], weights):
+            self.b.at(case_block)
+            case_block.weight = w
+            case_ops = max(1, round(self.rng.gauss(
+                self.p.switch_case_ops_mean, 1.0)))
+            self._fill_block(case_ops)
+            end, w_out = case_block, w
+            if (depth > 0 and self._budget_left()
+                    and self.rng.random() < self.p.case_nest_prob):
+                end, w_out = self._statement(case_block, w, depth - 1)
+                self.b.at(end)
+            self.b.jump(join)
+            end.taken_edge.weight = w_out
+            out_weight += w_out
+        join.weight = out_weight
+        return join, out_weight
+
+    def _gen_loop(self, block, weight, depth):
+        self.b.at(block)
+        self._fill_block()
+        header = self._new_block("header")
+        body = self._new_block("body")
+        exit_bb = self._new_block("exit")
+        iters = self.rng.uniform(*self.p.loop_iters)
+        self.b.fallthrough(header)
+        block.fallthrough_edge.weight = weight
+
+        header.weight = weight * (iters + 1.0)
+        self.b.at(header)
+        pred = self._compare()
+        self.b.br_true(pred, body, exit_bb)
+        header.taken_edge.weight = weight * iters
+        header.fallthrough_edge.weight = weight
+
+        self.b.at(body)
+        body.weight = weight * iters
+        self._fill_block()
+        # Loop bodies carry the most weight; keep their nested control
+        # structure a level shallower than cold code.
+        end_body, w_body = self._maybe_nest(body, body.weight, depth - 1)
+        self.b.at(end_body)
+        self.b.jump(header)
+        end_body.taken_edge.weight = w_body
+        # Flow conservation through nested early structure is preserved by
+        # construction (nested constructs conserve weight).
+
+        exit_bb.weight = weight
+        return exit_bb, weight
+
+    def _gen_chain(self, block, weight, depth):
+        """A vortex-style check chain: k blocks each conditionally bailing
+        to a shared cold block; the intermediate exits are (nearly) never
+        taken, so the whole chain executes with one weight — the Figure 10
+        "linearized treegion" shape."""
+        length = self.rng.randint(*self.p.chain_len)
+        cold = self._new_block("cold")
+        current = block
+        current_weight = weight
+        self.b.at(current)
+        cold_weight = 0.0
+        for _ in range(length):
+            self._fill_block()
+            pred = self._compare()
+            nxt = self._new_block("chk")
+            bail = weight * 0.0005 * self.rng.random()
+            self.b.br_true(pred, cold, nxt)
+            current.taken_edge.weight = bail
+            current.fallthrough_edge.weight = current_weight - bail
+            cold_weight += bail
+            nxt.weight = current_weight - bail
+            current_weight = nxt.weight
+            current = nxt
+            self.b.at(current)
+        join = self._new_block("join")
+        self._fill_block()
+        self.b.jump(join)
+        current.taken_edge.weight = current_weight
+
+        self.b.at(cold)
+        cold.weight = cold_weight
+        self._fill_block(2)
+        self.b.fallthrough(join)
+        cold.fallthrough_edge.weight = cold_weight
+
+        join.weight = current_weight + cold_weight
+        return join, join.weight
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Function:
+        entry = self._new_block("entry")
+        entry.weight = self.p.entry_count
+        self.b.at(entry)
+        # Seed the register pool with a few loads.
+        for offset in range(4):
+            self.pool.append(self.b.ld(0, offset))
+
+        block, weight = entry, self.p.entry_count
+        for _ in range(self.p.toplevel):
+            if not self._budget_left():
+                break
+            block, weight = self._statement(block, weight, self.p.depth)
+        self.b.at(block)
+        self._fill_block()
+        self.b.ret(self._operand())
+        return self.function
+
+
+def generate_function(params: SynthParams) -> Function:
+    """Generate one synthetic function."""
+    return _Generator(params).run()
+
+
+def generate_program(params: SynthParams) -> Program:
+    """Generate a single-function program named after the preset."""
+    program = Program(entry=params.name)
+    program.add_function(generate_function(params))
+    return program

@@ -1,0 +1,121 @@
+"""Shared CFG construction helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.ir import (
+    CompareCond,
+    Function,
+    IRBuilder,
+    Program,
+    RegClass,
+    Register,
+)
+
+
+def diamond_function(name: str = "diamond") -> Function:
+    """entry -> (then | else) -> join -> ret, branch on param > 0.
+
+    The classic if/else shape: ``join`` is a merge point, so treegion
+    formation must stop there.
+    """
+    fn = Function(name, [Register(RegClass.GPR, 0)])
+    fn.regs.reserve(Register(RegClass.GPR, 0))
+    b = IRBuilder(fn)
+    entry = b.block("entry")
+    then_bb = b.block("then")
+    else_bb = b.block("else")
+    join = b.block("join")
+
+    b.at(entry)
+    t = b.mov(0)
+    e = b.mov(0)
+    p = b.cmpp(CompareCond.GT, fn.params[0], 0)
+    b.br_true(p, then_bb, else_bb)
+
+    b.at(then_bb)
+    b.mov(1, dest=t)
+    b.jump(join)
+
+    b.at(else_bb)
+    b.mov(2, dest=e)
+    b.fallthrough(join)
+
+    b.at(join)
+    b.add(t, e)
+    b.ret(0)
+    return fn
+
+
+def straight_line_function(name: str = "line", n_blocks: int = 3) -> Function:
+    """A chain of fallthrough blocks ending in ret."""
+    fn = Function(name)
+    b = IRBuilder(fn)
+    blocks = [b.block(f"b{i}") for i in range(n_blocks)]
+    for i, block in enumerate(blocks):
+        b.at(block)
+        b.mov(i)
+        if i + 1 < n_blocks:
+            b.fallthrough(blocks[i + 1])
+        else:
+            b.ret(0)
+    return fn
+
+
+def loop_function(name: str = "loop") -> Function:
+    """entry -> header <-> body, header -> exit.  Header is a merge point."""
+    fn = Function(name, [Register(RegClass.GPR, 0)])
+    fn.regs.reserve(Register(RegClass.GPR, 0))
+    b = IRBuilder(fn)
+    entry = b.block("entry")
+    header = b.block("header")
+    body = b.block("body")
+    exit_bb = b.block("exit")
+
+    b.at(entry)
+    i = b.mov(0)
+    b.fallthrough(header)
+
+    b.at(header)
+    p = b.cmpp(CompareCond.LT, i, fn.params[0])
+    b.br_true(p, body, exit_bb)
+
+    b.at(body)
+    b.add(i, 1, dest=i)
+    b.jump(header)
+
+    b.at(exit_bb)
+    b.ret(i)
+    return fn
+
+
+def switch_function(name: str = "sw", n_cases: int = 4) -> Function:
+    """entry switches to n case blocks which all merge at a join block."""
+    fn = Function(name, [Register(RegClass.GPR, 0)])
+    fn.regs.reserve(Register(RegClass.GPR, 0))
+    b = IRBuilder(fn)
+    entry = b.block("entry")
+    cases = [b.block(f"case{i}") for i in range(n_cases)]
+    default = b.block("default")
+    join = b.block("join")
+
+    b.at(entry)
+    b.switch(fn.params[0], [(i, blk) for i, blk in enumerate(cases)], default)
+
+    for i, blk in enumerate(cases):
+        b.at(blk)
+        b.mov(i * 10)
+        b.jump(join)
+
+    b.at(default)
+    b.mov(-1)
+    b.fallthrough(join)
+
+    b.at(join)
+    b.ret(0)
+    return fn
+
+
+def program_with(fn: Function) -> Program:
+    program = Program(entry=fn.name)
+    program.add_function(fn)
+    return program

@@ -1,0 +1,253 @@
+"""Co-simulation: scheduled VLIW execution == sequential interpretation.
+
+For every region scheme, machine model, and heuristic, executing the
+schedules must produce the same return value and the same final memory as
+the reference interpreter.  This exercises predication, speculation with
+renaming, exit copies, dominator parallelism, tail duplication, and
+latency handling all at once — if any of them is wrong, some program here
+breaks.
+"""
+
+import pytest
+
+from repro.interp import Interpreter, profile_program
+from repro.lang import compile_source
+from repro.machine import SCALAR_1U, VLIW_4U, VLIW_8U
+from repro.schedule import ScheduleOptions
+from repro.schedule.priorities import HEURISTICS, GLOBAL_WEIGHT
+from repro.core.tail_duplication import TreegionLimits
+from repro.evaluation import (
+    bb_scheme,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.vliw import simulate
+
+PROGRAMS = {
+    "branches": (
+        """
+        var out = 0;
+        func main(a, b) {
+            var x = 0;
+            var y = 0;
+            if (a > b) { x = a - b; y = 1; }
+            else { x = b - a; y = 2; }
+            if (x > 10 && y == 2) { out = x * y; }
+            else { out = x + y; }
+            return out + y;
+        }
+        """,
+        [(3, 9), (9, 3), (0, 100), (5, 5)],
+    ),
+    "loops": (
+        """
+        array acc[4];
+        func main(n) {
+            var i = 0;
+            while (i < n) {
+                acc[i % 4] = acc[i % 4] + i;
+                i = i + 1;
+            }
+            var total = 0;
+            for (var j = 0; j < 4; j = j + 1) { total = total + acc[j]; }
+            return total;
+        }
+        """,
+        [(0,), (1,), (7,), (13,)],
+    ),
+    "switches": (
+        """
+        func classify(v) {
+            switch (v % 5) {
+                case 0: { return 10; }
+                case 1: { return 11; }
+                case 2: { return 22; }
+                case 3: { return 33; }
+                default: { return -1; }
+            }
+        }
+        func main(n) {
+            var total = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                total = total + classify(i);
+            }
+            return total;
+        }
+        """,
+        [(1,), (5,), (12,)],
+    ),
+    "renaming_stress": (
+        """
+        var g = 0;
+        func main(a, b) {
+            var x = 1;
+            var y = 2;
+            var z = 3;
+            if (a < b) { x = 10; y = 20; z = x + y; }
+            else { x = 100; y = 200; z = x - y; }
+            g = x + y + z;
+            if (z > 0) { x = z; } else { x = 0 - z; }
+            return x + g;
+        }
+        """,
+        [(1, 2), (2, 1), (5, 5)],
+    ),
+    "stores_on_paths": (
+        """
+        array buf[8];
+        func main(a) {
+            if (a > 0) { buf[0] = 111; buf[1] = a; }
+            else { buf[0] = 222; buf[2] = 0 - a; }
+            buf[3] = buf[0] + 1;
+            return buf[3];
+        }
+        """,
+        [(4,), (-4,), (0,)],
+    ),
+    "division_guarded": (
+        """
+        func main(a, b) {
+            var q = 0;
+            if (b != 0) { q = a / b; }
+            else { q = a; }
+            return q * 2;
+        }
+        """,
+        [(7, 2), (7, 0), (-9, 4)],
+    ),
+    "recursion": (
+        """
+        func gcd(a, b) {
+            if (b == 0) { return a; }
+            return gcd(b, a % b);
+        }
+        func main(a, b) { return gcd(a, b); }
+        """,
+        [(12, 18), (35, 14), (17, 5)],
+    ),
+}
+
+SCHEME_FACTORIES = {
+    "bb": bb_scheme,
+    "slr": slr_scheme,
+    "treegion": treegion_scheme,
+    "superblock": superblock_scheme,
+    "treegion-td": lambda: treegion_td_scheme(TreegionLimits(code_expansion=3.0)),
+}
+
+
+def _reference(source, args):
+    program = compile_source(source)
+    interpreter = Interpreter(program)
+    result = interpreter.run(list(args))
+    return result, interpreter.memory
+
+
+def _profiled_program(source, inputs):
+    program = compile_source(source)
+    profile_program(program, inputs=[list(i) for i in inputs])
+    return program
+
+
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("scheme_name", sorted(SCHEME_FACTORIES))
+def test_cosim_4U(program_name, scheme_name):
+    source, inputs = PROGRAMS[program_name]
+    program = _profiled_program(source, inputs)
+    options = ScheduleOptions(heuristic=GLOBAL_WEIGHT,
+                              dominator_parallelism=True)
+    for args in inputs:
+        expected, expected_memory = _reference(source, args)
+        result, simulator = simulate(
+            program, SCHEME_FACTORIES[scheme_name](), VLIW_4U, list(args),
+            options,
+        )
+        assert result == expected, (
+            f"{program_name}/{scheme_name}{args}: {result} != {expected}"
+        )
+        assert simulator.memory == expected_memory
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_cosim_all_heuristics(heuristic):
+    source, inputs = PROGRAMS["renaming_stress"]
+    program = _profiled_program(source, inputs)
+    for machine in (SCALAR_1U, VLIW_4U, VLIW_8U):
+        for args in inputs:
+            expected, _ = _reference(source, args)
+            result, _sim = simulate(
+                program, treegion_scheme(), machine, list(args),
+                ScheduleOptions(heuristic=heuristic),
+            )
+            assert result == expected
+
+
+def test_cosim_8U_tail_dup_with_dp():
+    """Tail duplication + dominator parallelism on the widest machine."""
+    source, inputs = PROGRAMS["branches"]
+    program = _profiled_program(source, inputs)
+    options = ScheduleOptions(heuristic=GLOBAL_WEIGHT,
+                              dominator_parallelism=True)
+    for args in inputs:
+        expected, expected_memory = _reference(source, args)
+        result, simulator = simulate(
+            program, treegion_td_scheme(TreegionLimits(code_expansion=3.0)),
+            VLIW_8U, list(args), options,
+        )
+        assert result == expected
+        assert simulator.memory == expected_memory
+
+
+def test_dynamic_cycles_match_static_estimate():
+    """When the profile matches the simulated input, the simulator's
+    dynamic cycle count equals the static estimate exactly — validating
+    the paper's estimation methodology within this framework."""
+    from repro.evaluation import evaluate_program
+
+    source, _ = PROGRAMS["loops"]
+    args = (9,)
+    program = compile_source(source)
+    profile_program(program, inputs=[list(args)])
+    options = ScheduleOptions(heuristic=GLOBAL_WEIGHT)
+
+    static = evaluate_program(program, treegion_scheme(), VLIW_4U, options)
+    _result, simulator = simulate(program, treegion_scheme(), VLIW_4U,
+                                  list(args), options)
+    assert simulator.cycles == pytest.approx(static.time)
+
+
+def test_workload_library_cosimulates_under_all_schemes():
+    """The full minic workload library (sort, fib, matmul, hash, state
+    machine) must execute correctly under every scheme at 4 issue."""
+    from repro.evaluation.schemes import hyperblock_scheme
+    from repro.workloads.minic_programs import (
+        build_minic_program,
+        minic_program_names,
+    )
+
+    options = ScheduleOptions(heuristic=GLOBAL_WEIGHT,
+                              dominator_parallelism=True)
+    for name in minic_program_names():
+        program, args = build_minic_program(name)
+        expected = Interpreter(program).run(args)
+        profile_program(program, inputs=[args])
+        for scheme in (treegion_scheme(),
+                       treegion_td_scheme(TreegionLimits(code_expansion=2.0)),
+                       superblock_scheme(), hyperblock_scheme()):
+            result, _sim = simulate(program, scheme, VLIW_4U, args, options)
+            assert result == expected, f"{name}/{scheme.name}"
+
+
+def test_wider_machines_never_slower_dynamically():
+    source, inputs = PROGRAMS["switches"]
+    program = _profiled_program(source, inputs)
+    options = ScheduleOptions(heuristic=GLOBAL_WEIGHT)
+    args = list(inputs[-1])
+    cycles = []
+    for machine in (SCALAR_1U, VLIW_4U, VLIW_8U):
+        _res, simulator = simulate(program, treegion_scheme(), machine,
+                                   args, options)
+        cycles.append(simulator.cycles)
+    assert cycles[0] >= cycles[1] >= cycles[2]

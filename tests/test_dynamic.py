@@ -1,0 +1,165 @@
+"""Tests for the dynamic-scheduling substrate (trace + OoO engine)."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.lang import compile_source
+from repro.machine import universal_machine
+from repro.ir.types import Opcode
+from repro.dynamic import (
+    DynamicParams,
+    build_dependencies,
+    collect_trace,
+    simulate_trace,
+)
+from repro.dynamic.ooo import dataflow_limit
+from repro.workloads.minic_programs import (
+    build_minic_program,
+    minic_program_names,
+)
+
+
+class TestTraceCollection:
+    def test_trace_matches_execution(self):
+        program = compile_source(
+            "func main(n) { var s = 0; "
+            "for (var i = 0; i < n; i = i + 1) { s = s + i; } return s; }"
+        )
+        result, trace = collect_trace(program, [5])
+        assert result == Interpreter(program).run([5])
+        assert trace, "executed ops must be recorded"
+        # The loop body executes 5 times: its add appears 5 times.
+        adds = [t for t in trace if t.opcode is Opcode.ADD]
+        assert len(adds) >= 5
+
+    def test_memory_ops_carry_addresses(self):
+        program = compile_source("""
+            array a[4];
+            func main(i) { a[i] = 7; return a[i]; }
+        """)
+        _result, trace = collect_trace(program, [2])
+        store = [t for t in trace if t.is_store][0]
+        load = [t for t in trace if t.is_load][0]
+        assert store.address == load.address == 2
+
+    def test_calls_become_linkage_moves(self):
+        program = compile_source("""
+            func double(x) { return x * 2; }
+            func main(a) { return double(a) + 1; }
+        """)
+        result, trace = collect_trace(program, [4])
+        assert result == 9
+        moves = [t for t in trace if t.is_move]
+        # One argument move + one return move.
+        assert len(moves) == 2
+
+    def test_activations_do_not_alias(self):
+        """Recursive calls reuse virtual register names; the qualified
+        trace must keep their dependences separate."""
+        program = compile_source("""
+            func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+            func main(n) { return fact(n); }
+        """)
+        _result, trace = collect_trace(program, [5])
+        producers = build_dependencies(trace)
+        # Every producer index precedes its consumer.
+        for i, deps in enumerate(producers):
+            assert all(p < i for p in deps)
+
+
+class TestDependencies:
+    def test_disambiguation_removes_false_deps(self):
+        program = compile_source("""
+            array a[8];
+            func main(n) {
+                a[0] = 1;
+                a[1] = 2;
+                var x = a[0];
+                var y = a[1];
+                return x + y;
+            }
+        """)
+        _res, trace = collect_trace(program, [0])
+        precise = build_dependencies(trace, disambiguate_memory=True)
+        serialized = build_dependencies(trace, disambiguate_memory=False)
+        loads = [t.seq for t in trace if t.is_load]
+        stores = [t.seq for t in trace if t.is_store]
+        # Serialized: every load depends on the LAST store before it.
+        for load in loads:
+            before = [s for s in stores if s < load]
+            if before:
+                assert max(before) in serialized[load]
+        # Precise: the first load depends only on the store to address 0.
+        first_load = loads[0]
+        assert precise[first_load] != serialized[first_load] or \
+            len(stores) == 1
+
+
+class TestOoOEngine:
+    def _trace(self, name="hash"):
+        program, args = build_minic_program(name)
+        _result, trace = collect_trace(program, args)
+        return trace
+
+    def test_wider_is_never_slower(self):
+        trace = self._trace()
+        cycles = [
+            simulate_trace(trace, DynamicParams(issue_width=w, window=64)).cycles
+            for w in (1, 2, 4, 8)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_bigger_window_is_never_slower(self):
+        trace = self._trace("sort")
+        cycles = [
+            simulate_trace(trace, DynamicParams(issue_width=4, window=w)).cycles
+            for w in (4, 16, 64, 256)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_bounded_by_dataflow_limit_and_ops(self):
+        for name in minic_program_names():
+            program, args = build_minic_program(name)
+            _result, trace = collect_trace(program, args)
+            result = simulate_trace(trace, DynamicParams(issue_width=8,
+                                                         window=128))
+            assert result.cycles >= dataflow_limit(trace)
+            # 1-wide with huge window cannot beat 1 op/cycle.
+            serial = simulate_trace(trace, DynamicParams(issue_width=1,
+                                                         window=4))
+            real_ops = sum(1 for t in trace if not t.is_move)
+            assert serial.cycles >= real_ops
+
+    def test_perfect_disambiguation_helps_or_ties(self):
+        trace = self._trace("sort")
+        precise = simulate_trace(trace, DynamicParams(issue_width=4,
+                                                      window=32))
+        serialized = simulate_trace(
+            trace,
+            DynamicParams(issue_width=4, window=32,
+                          disambiguate_memory=False),
+        )
+        assert precise.cycles <= serialized.cycles
+
+    def test_ipc_reported(self):
+        trace = self._trace("fib")
+        result = simulate_trace(trace, DynamicParams(issue_width=4,
+                                                     window=32))
+        assert 0 < result.ipc <= 4.0
+
+    def test_chain_bound_program_hits_dataflow_limit(self):
+        """fib is one long dependence chain: window/width do not help and
+        the OoO core lands within ~10% of the dataflow limit."""
+        program, args = build_minic_program("fib")
+        _result, trace = collect_trace(program, args)
+        narrow = simulate_trace(trace, DynamicParams(issue_width=4,
+                                                     window=16))
+        wide = simulate_trace(trace, DynamicParams(issue_width=8,
+                                                   window=256))
+        limit = dataflow_limit(trace)
+        assert wide.cycles <= narrow.cycles
+        assert wide.cycles <= 1.2 * limit
+
+    def test_empty_trace(self):
+        result = simulate_trace([], DynamicParams())
+        assert result.cycles == 0 and result.ipc == 0.0

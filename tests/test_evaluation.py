@@ -1,0 +1,151 @@
+"""Tests for the evaluation runner, schemes, and the IR cloner."""
+
+import pytest
+
+from repro.ir import format_program, verify_program
+from repro.ir.clone import clone_cfg, clone_function, clone_program
+from repro.interp import profile_program, run_program
+from repro.lang import compile_source
+from repro.machine import SCALAR_1U, VLIW_4U, VLIW_8U
+from repro.schedule import ScheduleOptions
+from repro.schedule.priorities import DEP_HEIGHT, GLOBAL_WEIGHT
+from repro.core.tail_duplication import TreegionLimits
+from repro.evaluation import (
+    baseline_time,
+    bb_scheme,
+    evaluate_program,
+    slr_scheme,
+    speedup_over_baseline,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.evaluation.schemes import hyperblock_scheme
+
+SOURCE = """
+array tab[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+func main(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (tab[i & 7] > 3) { acc = acc + tab[i & 7]; }
+        else { acc = acc - 1; }
+    }
+    return acc;
+}
+"""
+
+
+@pytest.fixture()
+def program():
+    prog = compile_source(SOURCE)
+    profile_program(prog, inputs=[[20]])
+    return prog
+
+
+class TestCloning:
+    def test_clone_is_deep_and_identical(self, program):
+        clone = clone_program(program)
+        assert format_program(clone) == format_program(program)
+        verify_program(clone)
+        # Mutating the clone leaves the original untouched.
+        fn = clone.entry_function
+        fn.cfg.blocks()[0].ops[0].srcs[0] = fn.cfg.blocks()[0].ops[0].srcs[0]
+        fn.cfg.blocks()[0].weight = 123456.0
+        assert program.entry_function.cfg.blocks()[0].weight != 123456.0
+
+    def test_clone_preserves_ids_and_weights(self, program):
+        fn = program.entry_function
+        clone = clone_function(fn)
+        for original, copied in zip(fn.cfg.blocks(), clone.cfg.blocks()):
+            assert original.bid == copied.bid
+            assert original.weight == copied.weight
+            assert [op.uid for op in original.ops] == [
+                op.uid for op in copied.ops
+            ]
+
+    def test_clone_runs_identically(self, program):
+        clone = clone_program(program)
+        assert run_program(clone, [13])[0] == run_program(program, [13])[0]
+
+    def test_cloned_cfg_fresh_ops_do_not_collide(self, program):
+        fn = program.entry_function
+        clone = clone_cfg(fn.cfg)
+        existing = {op.uid for b in clone.blocks() for op in b.ops}
+        from repro.ir import Opcode
+
+        fresh = clone.new_op(Opcode.NOP)
+        assert fresh.uid not in existing
+
+
+class TestEvaluateProgram:
+    def test_mutating_schemes_do_not_touch_input(self, program):
+        before = format_program(program)
+        for scheme in (superblock_scheme(),
+                       treegion_td_scheme(TreegionLimits())):
+            result = evaluate_program(program, scheme, VLIW_4U)
+            assert format_program(program) == before
+            assert result.program is not program
+
+    def test_non_mutating_schemes_share_input(self, program):
+        result = evaluate_program(program, treegion_scheme(), VLIW_4U)
+        assert result.program is program
+        assert result.code_expansion == 1.0
+
+    def test_expansion_reported_for_duplicating_schemes(self, program):
+        result = evaluate_program(
+            program, treegion_td_scheme(TreegionLimits(code_expansion=3.0)),
+            VLIW_8U,
+        )
+        assert result.code_expansion >= 1.0
+
+    def test_time_positive_and_width_monotone(self, program):
+        times = []
+        for machine in (SCALAR_1U, VLIW_4U, VLIW_8U):
+            result = evaluate_program(program, treegion_scheme(), machine,
+                                      ScheduleOptions(heuristic=GLOBAL_WEIGHT))
+            times.append(result.time)
+            assert result.time > 0
+        assert times[0] >= times[1] >= times[2]
+
+    def test_every_scheme_produces_total_coverage(self, program):
+        for scheme in (bb_scheme(), slr_scheme(), treegion_scheme(),
+                       superblock_scheme(), hyperblock_scheme(),
+                       treegion_td_scheme(TreegionLimits())):
+            result = evaluate_program(program, scheme, VLIW_4U)
+            for partition, function in zip(result.partitions,
+                                           result.program.functions()):
+                partition.verify_covering(function.cfg)
+            assert len(result.schedules) == sum(
+                len(p.regions) for p in result.partitions
+            )
+
+    def test_stats_accessors(self, program):
+        result = evaluate_program(program, treegion_scheme(), VLIW_4U)
+        assert result.stats.region_count == sum(
+            len(p.regions) for p in result.partitions
+        )
+        assert result.multi_block_stats.region_count <= \
+            result.stats.region_count
+
+
+class TestSpeedups:
+    def test_baseline_uses_1U_basic_blocks(self, program):
+        base = baseline_time(program)
+        direct = evaluate_program(program, bb_scheme(), SCALAR_1U,
+                                  ScheduleOptions(heuristic=DEP_HEIGHT))
+        assert base == pytest.approx(direct.time)
+
+    def test_speedup_is_ratio(self, program):
+        base = baseline_time(program)
+        result = evaluate_program(program, treegion_scheme(), VLIW_8U)
+        assert speedup_over_baseline(result, base) == pytest.approx(
+            base / result.time
+        )
+        assert speedup_over_baseline(result, base) > 1.0
+
+    def test_scheme_names(self):
+        assert bb_scheme().name == "bb"
+        assert treegion_td_scheme(
+            TreegionLimits(code_expansion=2.5)
+        ).name == "treegion-td(2.5)"
+        assert hyperblock_scheme().name == "hyperblock"

@@ -1,0 +1,32 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+(The slower studies — minic_pipeline, future_work_studies, full_report —
+are exercised by the benchmark suite's equivalents instead.)
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "paper_example.py",
+    "heuristic_comparison.py",
+    "tail_duplication_demo.py",
+])
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists()
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

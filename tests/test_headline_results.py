@@ -1,0 +1,142 @@
+"""Fast regression guards on the headline experimental shapes.
+
+The full tables live in ``benchmarks/`` (minutes); these trimmed checks run
+on two benchmarks in seconds so that ``pytest tests/`` alone catches a
+change that silently breaks the paper's results:
+
+* treegions give the scheduler more blocks/ops than SLRs (Tables 1-2);
+* global weight beats the other heuristics and treegions beat SLRs with
+  it (Figures 6/8);
+* tail-duplicated treegions beat superblocks at 8 issue (Figure 13);
+* expansion ordering sb < tree(2.0) < tree(3.0) (Table 3).
+"""
+
+import pytest
+
+from repro.core import form_treegions
+from repro.core.tail_duplication import TreegionLimits
+from repro.machine import VLIW_4U, VLIW_8U
+from repro.regions import form_slrs, partition_stats
+from repro.schedule import ScheduleOptions
+from repro.schedule.priorities import (
+    DEP_HEIGHT,
+    EXIT_COUNT,
+    GLOBAL_WEIGHT,
+    WEIGHTED_COUNT,
+)
+from repro.evaluation import (
+    baseline_time,
+    evaluate_program,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+from repro.workloads.specint import build_benchmark
+
+BENCHMARKS = ["compress", "li"]
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: build_benchmark(name) for name in BENCHMARKS}
+
+
+@pytest.fixture(scope="module")
+def baselines(programs):
+    return {name: baseline_time(program)
+            for name, program in programs.items()}
+
+
+def _speedup(program, base, scheme, machine, heuristic, dp=False):
+    result = evaluate_program(
+        program, scheme, machine,
+        ScheduleOptions(heuristic=heuristic, dominator_parallelism=dp),
+    )
+    return base / result.time
+
+
+class TestTables1And2Shape:
+    def test_treegions_strictly_larger_than_slrs(self, programs):
+        for name, program in programs.items():
+            function = program.entry_function
+            tree = partition_stats([form_treegions(function.cfg)])
+            slr = partition_stats([form_slrs(function.cfg)])
+            assert tree.avg_blocks > slr.avg_blocks, name
+            assert tree.avg_ops > slr.avg_ops, name
+
+
+class TestFigure8Shape:
+    def test_global_weight_wins(self, programs, baselines):
+        for name, program in programs.items():
+            base = baselines[name]
+            speedups = {
+                heuristic: _speedup(program, base, treegion_scheme(),
+                                    VLIW_4U, heuristic)
+                for heuristic in (DEP_HEIGHT, EXIT_COUNT, GLOBAL_WEIGHT,
+                                  WEIGHTED_COUNT)
+            }
+            best = max(speedups.values())
+            assert speedups[GLOBAL_WEIGHT] >= best * 0.999, name
+            assert speedups[EXIT_COUNT] <= speedups[DEP_HEIGHT] * 1.01, name
+
+    def test_treegions_beat_slrs_with_global_weight(self, programs,
+                                                    baselines):
+        for name, program in programs.items():
+            base = baselines[name]
+            tree = _speedup(program, base, treegion_scheme(), VLIW_8U,
+                            GLOBAL_WEIGHT)
+            slr = _speedup(program, base, slr_scheme(), VLIW_8U, DEP_HEIGHT)
+            assert tree >= slr * 0.99, name
+
+
+class TestFigure13Shape:
+    def test_tail_dup_treegions_beat_superblocks_at_8U(self, programs,
+                                                       baselines):
+        for name, program in programs.items():
+            base = baselines[name]
+            sb = _speedup(program, base, superblock_scheme(), VLIW_8U,
+                          GLOBAL_WEIGHT)
+            tree = _speedup(
+                program, base,
+                treegion_td_scheme(TreegionLimits(code_expansion=3.0)),
+                VLIW_8U, GLOBAL_WEIGHT, dp=True,
+            )
+            assert tree > sb, name
+
+
+class TestTable3Shape:
+    def test_expansion_ordering(self, programs):
+        for name, program in programs.items():
+            options = ScheduleOptions(heuristic=GLOBAL_WEIGHT)
+            sb = evaluate_program(program, superblock_scheme(), VLIW_4U,
+                                  options).code_expansion
+            tree2 = evaluate_program(
+                program, treegion_td_scheme(TreegionLimits(code_expansion=2.0)),
+                VLIW_4U, options,
+            ).code_expansion
+            tree3 = evaluate_program(
+                program, treegion_td_scheme(TreegionLimits(code_expansion=3.0)),
+                VLIW_4U, options,
+            ).code_expansion
+            assert 1.0 <= sb <= tree2 * 1.02, name
+            assert tree2 <= tree3, name
+            assert tree3 <= 3.0, name
+
+
+class TestDeterminism:
+    def test_full_pipeline_is_deterministic(self, programs, baselines):
+        """Formation, scheduling, and estimation are pure functions of
+        their inputs: two runs agree to the bit."""
+        program = programs["compress"]
+        options = ScheduleOptions(heuristic=GLOBAL_WEIGHT,
+                                  dominator_parallelism=True)
+        scheme = treegion_td_scheme(TreegionLimits(code_expansion=3.0))
+        first = evaluate_program(program, scheme, VLIW_8U, options)
+        second = evaluate_program(program, scheme, VLIW_8U, options)
+        assert first.time == second.time
+        assert first.code_expansion == second.code_expansion
+        assert first.total_copies == second.total_copies
+        assert first.total_merged == second.total_merged
+        assert [s.length for s in first.schedules] == \
+            [s.length for s in second.schedules]

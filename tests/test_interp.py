@@ -1,0 +1,215 @@
+"""Tests for the sequential interpreter and the profiler."""
+
+import pytest
+
+from repro.ir import CompareCond, Function, IRBuilder, Program
+from repro.interp import Interpreter, Profiler, profile_program, run_program
+from repro.util.errors import InterpreterError
+
+from tests.helpers import program_with
+
+
+def _simple_program(body):
+    """program computing body(builder) in one function."""
+    fn = Function("main")
+    b = IRBuilder(fn)
+    blk = b.block()
+    b.at(blk)
+    body(b)
+    return program_with(fn)
+
+
+class TestArithmetic:
+    def test_alu_ops(self):
+        def body(b):
+            x = b.mov(10)
+            y = b.add(x, 5)
+            z = b.mul(y, 2)
+            w = b.sub(z, 3)
+            b.ret(w)
+
+        result, _ = run_program(_simple_program(body))
+        assert result == 27
+
+    def test_division_truncates_toward_zero(self):
+        def body(b):
+            b.ret(b.div(-7, 2))
+
+        result, _ = run_program(_simple_program(body))
+        assert result == -3  # C semantics, not Python floor
+
+    def test_mod_sign_follows_dividend(self):
+        def body(b):
+            b.ret(b.mod(-7, 2))
+
+        result, _ = run_program(_simple_program(body))
+        assert result == -1
+
+    def test_division_by_zero_raises(self):
+        def body(b):
+            b.ret(b.div(1, 0))
+
+        with pytest.raises(InterpreterError):
+            run_program(_simple_program(body))
+
+    def test_bitwise_and_shifts(self):
+        def body(b):
+            x = b.or_(b.and_(12, 10), 1)    # (12&10)|1 = 9
+            y = b.xor(x, 15)                # 9^15 = 6
+            z = b.shl(y, 2)                 # 24
+            b.ret(b.shr(z, 1))              # 12
+
+        result, _ = run_program(_simple_program(body))
+        assert result == 12
+
+    def test_float_ops_and_latished_mix(self):
+        def body(b):
+            x = b.fadd(1.5, 2.25)
+            y = b.fmul(x, 2.0)
+            b.ret(y)
+
+        result, _ = run_program(_simple_program(body))
+        assert result == 7.5
+
+
+class TestMemoryAndGlobals:
+    def test_globals_initialized(self):
+        fn = Function("main")
+        b = IRBuilder(fn)
+        blk = b.block()
+        b.at(blk)
+        v = b.ld(0, 0)
+        b.ret(v)
+        program = program_with(fn)
+        program.add_global("g", initial=[42])
+        result, _ = run_program(program)
+        assert result == 42
+
+    def test_store_then_load(self):
+        def body(b):
+            b.st(100, 0, 7)
+            b.st(100, 1, 9)
+            x = b.ld(100, 0)
+            y = b.ld(100, 1)
+            b.ret(b.add(x, y))
+
+        result, memory = run_program(_simple_program(body))
+        assert result == 16
+        assert memory[100] == 7 and memory[101] == 9
+
+    def test_untouched_memory_reads_zero(self):
+        def body(b):
+            b.ret(b.ld(12345, 0))
+
+        result, _ = run_program(_simple_program(body))
+        assert result == 0
+
+    def test_undefined_register_raises(self):
+        from repro.ir import RegClass, Register
+
+        fn = Function("main")
+        b = IRBuilder(fn)
+        blk = b.block()
+        b.at(blk)
+        b.ret(Register(RegClass.GPR, 99))
+        with pytest.raises(InterpreterError):
+            run_program(program_with(fn))
+
+
+class TestControlFlow:
+    def test_branch_both_arms(self):
+        from tests.helpers import diamond_function
+
+        fn = diamond_function()
+        program = program_with(fn)
+        # param > 0 -> 'then' arm (mov 1); else arm (mov 2); returns 0.
+        result, _ = run_program(program, [5])
+        assert result == 0
+
+    def test_loop_counts(self):
+        from tests.helpers import loop_function
+
+        program = program_with(loop_function())
+        result, _ = run_program(program, [7])
+        assert result == 7
+
+    def test_switch_selects_case(self):
+        from tests.helpers import switch_function
+
+        program = program_with(switch_function(n_cases=4))
+        for selector in range(4):
+            result, _ = run_program(program, [selector])
+            assert result == 0  # all cases return 0, but must not crash
+
+    def test_switch_default(self):
+        from tests.helpers import switch_function
+
+        program = program_with(switch_function())
+        result, _ = run_program(program, [999])
+        assert result == 0
+
+    def test_infinite_loop_detected(self):
+        fn = Function("main")
+        b = IRBuilder(fn)
+        blk = b.block()
+        other = b.block()
+        b.at(blk).jump(other)
+        b.at(other).jump(blk)
+        # Unreachable return block to satisfy the verifier (not needed by
+        # the interpreter, which never reaches it).
+        dead = b.block()
+        b.at(dead).ret(0)
+        with pytest.raises(InterpreterError, match="steps"):
+            run_program(program_with(fn), max_steps=1000)
+
+    def test_calls_and_recursion(self):
+        program = Program(entry="main")
+        fib = program.new_function("fib")
+        n = fib.regs.fresh_gpr()
+        fib.params.append(n)
+        b = IRBuilder(fib)
+        entry, base, rec = b.block(), b.block(), b.block()
+        b.at(entry)
+        p = b.cmpp(CompareCond.LT, n, 2)
+        b.br_true(p, base, rec)
+        b.at(base)
+        b.ret(n)
+        b.at(rec)
+        a = b.call("fib", [b.sub(n, 1)])
+        c = b.call("fib", [b.sub(n, 2)])
+        b.ret(b.add(a, c))
+
+        main = program.new_function("main")
+        m = main.regs.fresh_gpr()
+        main.params.append(m)
+        b2 = IRBuilder(main)
+        blk = b2.block()
+        b2.at(blk)
+        b2.ret(b2.call("fib", [m]))
+        assert run_program(program, [10])[0] == 55
+
+
+class TestProfiler:
+    def test_block_counts_accumulate(self):
+        from tests.helpers import loop_function
+
+        program = program_with(loop_function())
+        profiler = profile_program(program, inputs=[[3], [5]])
+        fn = program.entry_function
+        entry, header, body, exit_bb = fn.cfg.blocks()
+        assert entry.weight == 2.0
+        assert body.weight == 8.0       # 3 + 5 iterations
+        assert header.weight == 10.0    # (3+1) + (5+1) evaluations
+        assert exit_bb.weight == 2.0
+
+    def test_edge_weights_conserve_flow(self):
+        from tests.helpers import diamond_function
+
+        program = program_with(diamond_function())
+        profile_program(program, inputs=[[1], [-1], [2]])
+        fn = program.entry_function
+        entry = fn.cfg.entry
+        assert entry.taken_edge.weight == 2.0      # param > 0 twice
+        assert entry.fallthrough_edge.weight == 1.0
+        total_in = sum(e.weight for e in fn.cfg.blocks()[3].in_edges)
+        assert total_in == 3.0

@@ -1,0 +1,215 @@
+"""Tests for dominators, liveness, the verifier, and text round-trips."""
+
+import pytest
+
+from repro.ir import (
+    CompareCond,
+    DominatorTree,
+    EdgeKind,
+    Function,
+    IRBuilder,
+    Opcode,
+    Program,
+    RegClass,
+    Register,
+    compute_liveness,
+    format_program,
+    parse_program,
+    verify_function,
+)
+from repro.util.errors import IRValidationError
+
+from tests.helpers import (
+    diamond_function,
+    loop_function,
+    program_with,
+    straight_line_function,
+    switch_function,
+)
+
+
+class TestDominators:
+    def test_diamond(self):
+        fn = diamond_function()
+        entry, then_bb, else_bb, join = fn.cfg.blocks()
+        dom = DominatorTree(fn.cfg)
+        assert dom.dominates(entry, join)
+        assert dom.dominates(entry, entry)
+        assert not dom.dominates(then_bb, join)
+        assert dom.idom(join) is entry
+        assert dom.idom(entry) is None
+
+    def test_loop_header_dominates_body(self):
+        fn = loop_function()
+        entry, header, body, exit_bb = fn.cfg.blocks()
+        dom = DominatorTree(fn.cfg)
+        assert dom.dominates(header, body)
+        assert dom.dominates(header, exit_bb)
+        assert not dom.dominates(body, exit_bb)
+
+    def test_strict_dominance_is_irreflexive(self):
+        fn = straight_line_function()
+        blocks = fn.cfg.blocks()
+        dom = DominatorTree(fn.cfg)
+        assert dom.strictly_dominates(blocks[0], blocks[2])
+        assert not dom.strictly_dominates(blocks[0], blocks[0])
+
+    def test_dominated_by(self):
+        fn = diamond_function()
+        entry = fn.cfg.entry
+        dom = DominatorTree(fn.cfg)
+        assert set(b.bid for b in dom.dominated_by(entry)) == {
+            b.bid for b in fn.cfg.blocks()
+        }
+
+
+class TestLiveness:
+    def test_value_live_across_branch(self):
+        fn = diamond_function()
+        entry, then_bb, else_bb, join = fn.cfg.blocks()
+        live = compute_liveness(fn.cfg)
+        # 'then' defines t used in join: t is live out of then, into join.
+        t = then_bb.ops[0].dest
+        assert t in live.live_out(then_bb)
+        assert t in live.live_in(join)
+        # t is NOT defined before 'then', so it is (spuriously, in this
+        # non-SSA IR) live-in to 'then'; what matters for renaming is the
+        # else-path: t reaches join from both arms in the may-analysis.
+        assert t in live.live_out(else_bb)
+
+    def test_dead_value_not_live_out(self):
+        fn = straight_line_function(n_blocks=2)
+        b0, b1 = fn.cfg.blocks()
+        dead = b0.ops[0].dest
+        live = compute_liveness(fn.cfg)
+        assert dead not in live.live_out(b0)
+
+    def test_loop_carried_liveness(self):
+        fn = loop_function()
+        entry, header, body, exit_bb = fn.cfg.blocks()
+        i = entry.ops[0].dest
+        live = compute_liveness(fn.cfg)
+        # i is live around the loop and into the exit (returned).
+        assert i in live.live_out(body)
+        assert i in live.live_in(header)
+        assert i in live.live_in(exit_bb)
+
+    def test_live_into_edge_matches_dest_live_in(self):
+        fn = diamond_function()
+        entry = fn.cfg.entry
+        live = compute_liveness(fn.cfg)
+        for edge in entry.out_edges:
+            assert live.live_into_edge(edge) == live.live_in(edge.dst)
+
+
+class TestVerifier:
+    def test_valid_functions_pass(self):
+        for fn in (diamond_function(), loop_function(),
+                   straight_line_function(), switch_function()):
+            verify_function(fn)
+
+    def test_missing_return_rejected(self):
+        fn = Function("noret")
+        b = IRBuilder(fn)
+        blk = b.block()
+        b.at(blk).mov(1)
+        blk2 = b.block()
+        b.fallthrough(blk2)
+        b.at(blk2).mov(2)
+        b.fallthrough(blk)
+        with pytest.raises(IRValidationError):
+            verify_function(fn)
+
+    def test_terminator_must_be_last(self):
+        fn = straight_line_function()
+        block = fn.cfg.blocks()[0]
+        ret = fn.cfg.new_op(Opcode.RET)
+        block.ops.insert(0, ret)
+        with pytest.raises(IRValidationError):
+            verify_function(fn)
+
+    def test_branch_edge_mismatch_rejected(self):
+        fn = diamond_function()
+        entry = fn.cfg.entry
+        # Corrupt the branch target so it disagrees with the taken edge.
+        entry.terminator.target = 999
+        with pytest.raises(IRValidationError):
+            verify_function(fn)
+
+    def test_conditional_needs_predicate_operand(self):
+        fn = Function("bad")
+        b = IRBuilder(fn)
+        e, t, f = b.block(), b.block(), b.block()
+        b.at(e)
+        r = b.mov(1)
+        op = b.emit(Opcode.BRCT, srcs=[r], target=t.bid)
+        fn.cfg.add_edge(e, t, EdgeKind.TAKEN)
+        fn.cfg.add_edge(e, f, EdgeKind.FALLTHROUGH)
+        b.at(t).ret()
+        b.at(f).ret()
+        with pytest.raises(IRValidationError):
+            verify_function(fn)
+
+    def test_duplicate_switch_cases_rejected(self):
+        fn = switch_function()
+        entry = fn.cfg.entry
+        for edge in entry.case_edges():
+            edge.case_value = 0
+        with pytest.raises(IRValidationError):
+            verify_function(fn)
+
+    def test_fallthrough_block_needs_single_successor(self):
+        fn = straight_line_function()
+        b0, b1, b2 = fn.cfg.blocks()
+        fn.cfg.add_edge(b0, b2, EdgeKind.FALLTHROUGH)
+        with pytest.raises(IRValidationError):
+            verify_function(fn)
+
+
+class TestTextRoundTrip:
+    @pytest.mark.parametrize("make", [
+        diamond_function, loop_function, straight_line_function, switch_function,
+    ])
+    def test_print_parse_fixed_point(self, make):
+        program = program_with(make())
+        text = format_program(program)
+        reparsed = parse_program(text)
+        text2 = format_program(reparsed)
+        assert format_program(parse_program(text2)) == text2
+
+    def test_weights_and_globals_survive(self):
+        fn = diamond_function()
+        for block in fn.cfg.blocks():
+            block.weight = 10.5
+            for edge in block.out_edges:
+                edge.weight = 3.25
+        program = program_with(fn)
+        program.add_global("A", size=2, initial=[4, 5])
+        reparsed = parse_program(format_program(program))
+        var = reparsed.globals["A"]
+        assert var.size == 2 and var.initial == [4, 5]
+        for block in reparsed.entry_function.cfg.blocks():
+            assert block.weight == 10.5
+            for edge in block.out_edges:
+                assert edge.weight == 3.25
+
+    def test_guards_conditions_and_spec_flags_survive(self):
+        fn = Function("g")
+        b = IRBuilder(fn)
+        blk = b.block()
+        b.at(blk)
+        p_t, p_f = b.cmpp(CompareCond.LE, 3, 4, both=True)
+        op = b.add(1, 2)
+        blk.ops[-1].guard = p_t
+        blk.ops[-1].speculative = True
+        b.ret()
+        program = program_with(fn)
+        reparsed = parse_program(format_program(program))
+        block = reparsed.entry_function.cfg.blocks()[0]
+        cmpp, add, _ = block.ops
+        assert cmpp.cond is CompareCond.LE and len(cmpp.dests) == 2
+        assert add.guard is not None and add.speculative
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(IRValidationError):
+            parse_program("program entry=main\nfunc main() {\n  block bb1 weight=0\n    r1 = frobnicate r2\n}\n")

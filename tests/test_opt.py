@@ -1,0 +1,257 @@
+"""Tests for the classic optimizer (fold, propagate, CSE, DCE, CFG opts)."""
+
+import pytest
+
+from repro.interp import Interpreter, run_program
+from repro.lang import compile_source
+from repro.ir import Opcode, verify_program
+from repro.opt import optimize_program
+from repro.opt.cfgopt import remove_unreachable, simplify_branches, straighten
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.fold import fold_constants
+from repro.opt.local import propagate_block_local
+from repro.workloads.minic_programs import (
+    build_minic_program,
+    minic_program_names,
+)
+
+
+def _opcodes(program):
+    return [
+        op.opcode
+        for fn in program.functions()
+        for block in fn.cfg.blocks()
+        for op in block.ops
+    ]
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        program = compile_source(
+            "func main() { return 2 * 3 + 4 - 1; }"
+        )
+        stats = optimize_program(program)
+        assert stats.folded >= 1
+        assert run_program(program)[0] == 9
+        # No arithmetic survives: the return value is a constant.
+        assert Opcode.MUL not in _opcodes(program)
+        assert Opcode.ADD not in _opcodes(program)
+
+    def test_algebraic_identities(self):
+        program = compile_source(
+            "func main(a) { return (a + 0) * 1 + (a - a) * 99; }"
+        )
+        optimize_program(program)
+        assert run_program(program, [7])[0] == 7
+        assert Opcode.MUL not in _opcodes(program)
+
+    def test_division_by_zero_not_folded(self):
+        program = compile_source("func main() { return 1 / 0; }")
+        optimize_program(program)
+        assert Opcode.DIV in _opcodes(program)  # the trap is preserved
+        with pytest.raises(Exception):
+            run_program(program)
+
+    def test_mul_by_zero(self):
+        program = compile_source("func main(a) { return a * 0 + 5; }")
+        optimize_program(program)
+        assert run_program(program, [123])[0] == 5
+        assert Opcode.MUL not in _opcodes(program)
+
+
+class TestLocalPropagation:
+    def test_copy_chain_collapses(self):
+        program = compile_source("""
+            func main(a) {
+                var x = a;
+                var y = x;
+                var z = y;
+                return z + z;
+            }
+        """)
+        stats = optimize_program(program)
+        assert stats.propagated >= 1
+        assert run_program(program, [4])[0] == 8
+        # All the intermediate movs die.
+        movs = [o for o in _opcodes(program) if o is Opcode.MOV]
+        assert len(movs) == 0
+
+    def test_local_cse(self):
+        program = compile_source(
+            "func main(a, b) { return (a + b) * (a + b); }"
+        )
+        fn = program.entry_function
+        adds_before = sum(1 for o in _opcodes(program) if o is Opcode.ADD)
+        assert adds_before == 2
+        optimize_program(program)
+        adds_after = sum(1 for o in _opcodes(program) if o is Opcode.ADD)
+        assert adds_after == 1
+        assert run_program(program, [3, 4])[0] == 49
+
+    def test_load_cse_killed_by_store(self):
+        program = compile_source("""
+            array a[2];
+            func main(i) {
+                var x = a[0];
+                a[0] = x + 1;
+                var y = a[0];
+                return y;
+            }
+        """)
+        optimize_program(program)
+        # The second load must survive: the store killed availability.
+        loads = [o for o in _opcodes(program) if o is Opcode.LD]
+        assert len(loads) >= 2
+        assert run_program(program, [0])[0] == 1
+
+    def test_redundant_load_removed_without_store(self):
+        program = compile_source("""
+            array a[2];
+            func main(i) { return a[0] + a[0]; }
+        """)
+        optimize_program(program)
+        loads = [o for o in _opcodes(program) if o is Opcode.LD]
+        assert len(loads) == 1
+
+
+class TestDCE:
+    def test_dead_computation_removed(self):
+        program = compile_source("""
+            func main(a) {
+                var dead = a * 1234 + 5;
+                var dead2 = dead * dead;
+                return a;
+            }
+        """)
+        stats = optimize_program(program)
+        assert stats.ops_removed >= 2
+        assert Opcode.MUL not in _opcodes(program)
+
+    def test_stores_never_removed(self):
+        program = compile_source("""
+            var g = 0;
+            func main(a) { g = a; return 0; }
+        """)
+        optimize_program(program)
+        assert Opcode.ST in _opcodes(program)
+
+    def test_live_through_loop_kept(self):
+        program = compile_source("""
+            func main(n) {
+                var acc = 1;
+                for (var i = 0; i < n; i = i + 1) { acc = acc * 2; }
+                return acc;
+            }
+        """)
+        optimize_program(program)
+        assert run_program(program, [5])[0] == 32
+
+
+class TestCFGOpts:
+    def test_while_true_branch_eliminated(self):
+        program = compile_source("""
+            func main(n) {
+                var i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i >= n) { return i; }
+                }
+            }
+        """)
+        stats = optimize_program(program)
+        assert stats.branches_simplified >= 1
+        # The loop header's constant compare is gone.
+        assert run_program(program, [7])[0] == 7
+
+    def test_constant_if_removes_dead_arm(self):
+        program = compile_source("""
+            func main(a) {
+                var r = 0;
+                if (2 > 1) { r = 10; } else { r = 20; }
+                return r + a;
+            }
+        """)
+        stats = optimize_program(program)
+        assert stats.blocks_removed >= 1
+        assert run_program(program, [1])[0] == 11
+
+    def test_constant_switch_collapses(self):
+        program = compile_source("""
+            func main(a) {
+                switch (2) {
+                    case 1: { return 100; }
+                    case 2: { return 200; }
+                    default: { return -1; }
+                }
+            }
+        """)
+        stats = optimize_program(program)
+        assert stats.branches_simplified >= 1
+        assert run_program(program, [0])[0] == 200
+        assert Opcode.SWITCH not in _opcodes(program)
+
+    def test_straightening_merges_chains(self):
+        program = compile_source("func main(a) { var x = a + 1; return x; }")
+        blocks_before = len(program.entry_function.cfg)
+        stats = optimize_program(program)
+        assert len(program.entry_function.cfg) <= blocks_before
+
+    def test_unreachable_code_dropped(self):
+        program = compile_source("""
+            func main(a) {
+                return a;
+            }
+            func helper(x) { return x; }
+        """)
+        fn = program.entry_function
+        # Hand-append an unreachable block.
+        from repro.ir import IRBuilder
+
+        builder = IRBuilder(fn)
+        orphan = builder.block("orphan")
+        builder.at(orphan).ret(0)
+        assert remove_unreachable(fn.cfg) == 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", minic_program_names())
+    def test_semantics_preserved_on_library(self, name):
+        program, args = build_minic_program(name)
+        expected = Interpreter(program).run(args)
+        optimize_program(program)
+        verify_program(program)
+        assert Interpreter(program).run(args) == expected
+
+    @pytest.mark.parametrize("name", minic_program_names())
+    def test_optimized_code_schedules_and_cosimulates(self, name):
+        from repro.interp import profile_program
+        from repro.machine import VLIW_4U
+        from repro.schedule import ScheduleOptions
+        from repro.evaluation import treegion_scheme
+        from repro.vliw import simulate
+
+        program, args = build_minic_program(name)
+        expected = Interpreter(program).run(args)
+        optimize_program(program)
+        profile_program(program, inputs=[args])
+        result, _sim = simulate(
+            program, treegion_scheme(), VLIW_4U, args,
+            ScheduleOptions(heuristic="global_weight",
+                            dominator_parallelism=True),
+        )
+        assert result == expected
+
+    def test_optimizer_is_idempotent(self):
+        program, args = build_minic_program("hash")
+        optimize_program(program)
+        ops_once = sum(f.cfg.total_ops for f in program.functions())
+        second = optimize_program(program)
+        ops_twice = sum(f.cfg.total_ops for f in program.functions())
+        assert ops_once == ops_twice
+        assert second.ops_removed == 0 and second.blocks_merged == 0
+
+    def test_never_grows_code(self):
+        for name in minic_program_names():
+            program, _args = build_minic_program(name)
+            stats = optimize_program(program)
+            assert stats.ops_after <= stats.ops_before, name

@@ -1,0 +1,261 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+Three generators drive these:
+
+* random minic programs (bounded loops, guarded divisions) — compiled,
+  interpreted, scheduled under every scheme, and co-simulated;
+* the synthetic CFG generator under random parameters — formation
+  invariants and schedule well-formedness must hold for any of them;
+* plain data-structure properties (OrderedSet).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.util import OrderedSet
+from repro.core import Treegion, form_treegions, form_treegions_td
+from repro.core.tail_duplication import TreegionLimits
+from repro.interp import Interpreter, profile_program
+from repro.lang import compile_source
+from repro.machine import VLIW_4U, VLIW_8U
+from repro.regions import form_slrs
+from repro.ir import verify_program
+from repro.schedule import ScheduleOptions
+from repro.schedule.priorities import HEURISTICS
+from repro.evaluation import treegion_scheme, treegion_td_scheme, superblock_scheme
+from repro.vliw import simulate
+from repro.workloads.synthetic import SynthParams, generate_function
+
+# ----------------------------------------------------------------------
+# Random minic programs
+
+
+class _MinicGen:
+    """Generates terminating minic programs from a random stream."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.vars = ["a", "b", "c"]
+        self.loop_count = 0
+
+    def expr(self, depth=2) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.4:
+            if rng.random() < 0.5:
+                return rng.choice(self.vars)
+            return str(rng.randint(-9, 9))
+        op = rng.choice(["+", "-", "*", "&", "|", "^"])
+        return f"({self.expr(depth - 1)} {op} {self.expr(depth - 1)})"
+
+    def cond(self) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        base = f"{self.expr(1)} {op} {self.expr(1)}"
+        roll = self.rng.random()
+        if roll < 0.2:
+            return f"({base}) && ({self.expr(1)} != 0)"
+        if roll < 0.4:
+            return f"({base}) || ({self.expr(1)} > 3)"
+        return base
+
+    def stmt(self, depth) -> str:
+        rng = self.rng
+        roll = rng.random()
+        target = rng.choice(self.vars)
+        if depth <= 0 or roll < 0.35:
+            return f"{target} = {self.expr()};"
+        if roll < 0.55:
+            return (
+                f"if ({self.cond()}) {{ {self.block(depth - 1)} }} "
+                f"else {{ {self.block(depth - 1)} }}"
+            )
+        if roll < 0.7:
+            self.loop_count += 1
+            i = f"i{self.loop_count}"
+            return (
+                f"for (var {i} = 0; {i} < {rng.randint(1, 4)}; {i} = {i} + 1)"
+                f" {{ {self.block(depth - 1)} }}"
+            )
+        if roll < 0.85:
+            cases = " ".join(
+                f"case {v}: {{ {self.block(0)} }}"
+                for v in range(rng.randint(1, 3))
+            )
+            return (
+                f"switch ({self.expr(1)} & 3) {{ {cases} "
+                f"default: {{ {self.block(0)} }} }}"
+            )
+        return f"g[{rng.randint(0, 7)}] = {self.expr(1)};"
+
+    def block(self, depth) -> str:
+        return " ".join(self.stmt(depth) for _ in range(self.rng.randint(1, 3)))
+
+    def program(self) -> str:
+        body = self.block(2)
+        return (
+            "array g[8];\n"
+            "func main(a, b) {\n"
+            f"    var c = a - b;\n    {body}\n"
+            "    var out = a + b * 3 + c;\n"
+            "    for (var k = 0; k < 8; k = k + 1) { out = out + g[k]; }\n"
+            "    return out;\n"
+            "}\n"
+        )
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       a=st.integers(min_value=-20, max_value=20),
+       b=st.integers(min_value=-20, max_value=20))
+def test_random_minic_cosimulates(seed, a, b):
+    source = _MinicGen(random.Random(seed)).program()
+    program = compile_source(source)
+    verify_program(program)
+    expected = Interpreter(program).run([a, b])
+    profile_program(program, inputs=[[a, b]])
+    options = ScheduleOptions(dominator_parallelism=True)
+    for scheme in (treegion_scheme(),
+                   treegion_td_scheme(TreegionLimits(code_expansion=3.0)),
+                   superblock_scheme()):
+        result, simulator = simulate(program, scheme, VLIW_4U, [a, b], options)
+        assert result == expected, f"{scheme.name} mis-executed seed {seed}"
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_minic_all_heuristics_agree(seed):
+    source = _MinicGen(random.Random(seed)).program()
+    program = compile_source(source)
+    expected = Interpreter(program).run([3, -2])
+    profile_program(program, inputs=[[3, -2]])
+    for heuristic in HEURISTICS:
+        result, _ = simulate(program, treegion_scheme(), VLIW_8U, [3, -2],
+                             ScheduleOptions(heuristic=heuristic))
+        assert result == expected
+
+
+# ----------------------------------------------------------------------
+# Random synthetic CFGs
+
+def _random_params(seed: int) -> SynthParams:
+    rng = random.Random(seed)
+    return SynthParams(
+        name=f"prop{seed}",
+        seed=seed,
+        target_blocks=rng.randint(20, 120),
+        toplevel=rng.randint(2, 10),
+        depth=rng.randint(1, 4),
+        block_ops_mean=rng.uniform(2, 9),
+        switch_odds=rng.uniform(0, 1.5),
+        switch_fanout=(2, rng.randint(3, 20)),
+        loop_odds=rng.uniform(0, 2),
+        chain_odds=rng.uniform(0, 2),
+        bias_lo=0.5,
+        bias_hi=rng.uniform(0.55, 0.99),
+        full_bias_prob=rng.uniform(0, 0.5),
+        chain_frac=rng.uniform(0, 0.9),
+    )
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_random_cfg_formation_invariants(seed):
+    from repro.ir.verify import verify_function
+
+    function = generate_function(_random_params(seed))
+    verify_function(function)
+
+    partition = form_treegions(function.cfg)
+    partition.verify_covering(function.cfg)
+    for region in partition:
+        assert isinstance(region, Treegion)
+        region.check_invariants()
+        # Path count equals leaf count and is at least 1.
+        assert region.path_count == len(region.leaves()) >= 1
+
+    slrs = form_slrs(function.cfg)
+    slrs.verify_covering(function.cfg)
+    for region in slrs:
+        assert region.path_count == 1
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_random_cfg_tail_duplication_invariants(seed):
+    from repro.ir.verify import verify_function
+
+    function = generate_function(_random_params(seed))
+    before_ret_weight = sum(
+        b.weight for b in function.cfg.blocks()
+        if b.terminator is not None and b.terminator.opcode.value == "ret"
+    )
+    limits = TreegionLimits(code_expansion=2.0)
+    partition = form_treegions_td(function.cfg, limits)
+    verify_function(function)
+    partition.verify_covering(function.cfg)
+    for region in partition:
+        region.check_invariants()
+        assert region.path_count <= max(limits.path_count,
+                                        region.block_count)
+    # Tail duplication conserves profile flow into function exits.
+    after_ret_weight = sum(
+        b.weight for b in function.cfg.blocks()
+        if b.terminator is not None and b.terminator.opcode.value == "ret"
+    )
+    assert after_ret_weight == pytest.approx(before_ret_weight, rel=1e-6)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=100_000),
+       heuristic=st.sampled_from(HEURISTICS))
+def test_random_cfg_schedules_are_well_formed(seed, heuristic):
+    from repro.schedule.scheduler import schedule_partition
+
+    function = generate_function(_random_params(seed))
+    partition = form_treegions(function.cfg)
+    schedules = schedule_partition(partition, VLIW_4U,
+                                   ScheduleOptions(heuristic=heuristic))
+    for schedule in schedules:
+        # Width respected, ops unique, exits recorded, deps satisfied.
+        for multiop in schedule.cycles:
+            assert len(multiop) <= VLIW_4U.issue_width
+        assert len(schedule.exits) == len(schedule.region.exits())
+        for record in schedule.exits:
+            assert 1 <= record.cycle <= schedule.length
+        by_dest = {}
+        for sop in schedule.all_ops():
+            for dest in sop.op.defined_registers():
+                by_dest.setdefault(dest, []).append(sop)
+
+
+# ----------------------------------------------------------------------
+# OrderedSet properties
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50)))
+def test_ordered_set_behaves_like_set_with_order(items):
+    ordered = OrderedSet(items)
+    assert ordered == set(items)
+    # Iteration preserves first-insertion order.
+    seen = []
+    for item in items:
+        if item not in seen:
+            seen.append(item)
+    assert list(ordered) == seen
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(), min_size=1))
+def test_ordered_set_pop_first_is_fifo(items):
+    ordered = OrderedSet(items)
+    unique = list(dict.fromkeys(items))
+    popped = [ordered.pop_first() for _ in range(len(unique))]
+    assert popped == unique
+    assert not ordered

@@ -1,0 +1,217 @@
+"""Tests for basic-block, SLR, and treegion formation (Figures 1-2)."""
+
+import pytest
+
+from repro.core import Treegion, form_treegions
+from repro.ir import CompareCond, Function, IRBuilder
+from repro.regions import (
+    form_basic_block_regions,
+    form_slrs,
+)
+from repro.regions.absorb import region_saplings
+
+from tests.helpers import (
+    diamond_function,
+    loop_function,
+    straight_line_function,
+    switch_function,
+)
+
+
+def build_figure1_like(weight_left: float = 35, weight_mid: float = 25,
+                       weight_right: float = 40) -> Function:
+    """A CFG shaped like the paper's Figure 1 top region.
+
+    bb1 -> {bb2, bb8}; bb2 -> {bb3, bb4}; bb3,bb4 -> bb5(merge);
+    bb8 -> bb9; bb5 -> bb9(merge); bb9 -> ret.
+    """
+    fn = Function("fig1")
+    b = IRBuilder(fn)
+    bb1, bb2, bb3, bb4, bb5, bb8, bb9 = (b.block(f"bb{i}") for i in
+                                         (1, 2, 3, 4, 5, 8, 9))
+    b.at(bb1)
+    r1, r2 = b.ld(0, 0), b.ld(1, 0)
+    p1 = b.cmpp(CompareCond.GT, r1, r2)
+    b.br_true(p1, bb8, bb2)
+
+    b.at(bb2)
+    r3 = b.add(r1, r2)
+    p3 = b.cmpp(CompareCond.LT, r3, 100)
+    b.br_true(p3, bb4, bb3)
+
+    b.at(bb3)
+    b.mov(1)
+    b.mov(2)
+    b.jump(bb5)
+
+    b.at(bb4)
+    b.mov(3)
+    b.mov(4)
+    b.jump(bb5)
+
+    b.at(bb5)
+    b.mov(0)
+    b.jump(bb9)
+
+    b.at(bb8)
+    b.mov(5)
+    b.jump(bb9)
+
+    b.at(bb9)
+    b.ret(0)
+
+    # Attach the paper's profile weights.
+    bb1.weight = weight_left + weight_mid + weight_right
+    bb2.weight = weight_left + weight_mid
+    bb3.weight = weight_left
+    bb4.weight = weight_mid
+    bb5.weight = weight_left + weight_mid
+    bb8.weight = weight_right
+    bb9.weight = bb1.weight
+    bb1.taken_edge.weight = weight_right
+    bb1.fallthrough_edge.weight = weight_left + weight_mid
+    bb2.taken_edge.weight = weight_mid
+    bb2.fallthrough_edge.weight = weight_left
+    bb3.taken_edge.weight = weight_left
+    bb4.taken_edge.weight = weight_mid
+    bb5.taken_edge.weight = weight_left + weight_mid
+    bb8.taken_edge.weight = weight_right
+    return fn
+
+
+class TestBasicBlockRegions:
+    def test_one_region_per_block(self):
+        fn = diamond_function()
+        partition = form_basic_block_regions(fn.cfg)
+        assert len(partition) == len(fn.cfg)
+        for region in partition:
+            assert region.block_count == 1
+            assert region.path_count == 1
+
+
+class TestTreegionFormation:
+    def test_figure1_top_treegion(self):
+        fn = build_figure1_like()
+        partition = form_treegions(fn.cfg)
+        blocks = {b.name: b for b in fn.cfg.blocks()}
+        top = partition.region_of(blocks["bb1"])
+        # The top treegion is {bb1, bb2, bb3, bb4, bb8}: bb5 and bb9 are
+        # merge points, exactly as in Figure 1.
+        assert {b.name for b in top.blocks} == {"bb1", "bb2", "bb3", "bb4", "bb8"}
+        assert partition.region_of(blocks["bb5"]) is not top
+        assert partition.region_of(blocks["bb9"]) is not top
+        # Three root-to-leaf paths.
+        assert top.path_count == 3
+        # Saplings of the top treegion are the merge points below it.
+        assert {b.name for b in region_saplings(top)} == {"bb5", "bb9"}
+
+    def test_every_block_in_exactly_one_treegion(self):
+        for fn in (diamond_function(), loop_function(), switch_function(),
+                   straight_line_function(), build_figure1_like()):
+            partition = form_treegions(fn.cfg)
+            partition.verify_covering(fn.cfg)
+            seen = set()
+            for region in partition:
+                for block in region.blocks:
+                    assert block.bid not in seen
+                    seen.add(block.bid)
+
+    def test_treegions_are_trees(self):
+        fn = build_figure1_like()
+        for region in form_treegions(fn.cfg):
+            assert isinstance(region, Treegion)
+            region.check_invariants()
+
+    def test_diamond_splits_at_join(self):
+        fn = diamond_function()
+        partition = form_treegions(fn.cfg)
+        entry_region = partition.region_of(fn.cfg.entry)
+        assert entry_region.block_count == 3  # entry + both arms
+        assert entry_region.path_count == 2
+
+    def test_loop_header_roots_its_own_treegion(self):
+        fn = loop_function()
+        entry, header, body, exit_bb = fn.cfg.blocks()
+        partition = form_treegions(fn.cfg)
+        header_region = partition.region_of(header)
+        # Header is a merge point (entry + back edge) so it cannot be
+        # absorbed into the entry's treegion...
+        assert partition.region_of(entry) is not header_region
+        # ...but it roots a region containing the body and the exit.
+        assert body in header_region
+        assert exit_bb in header_region
+
+    def test_switch_roots_wide_treegion(self):
+        fn = switch_function(n_cases=6)
+        partition = form_treegions(fn.cfg)
+        top = partition.region_of(fn.cfg.entry)
+        # entry + 6 cases + default; join is a merge point.
+        assert top.block_count == 8
+        assert top.path_count == 7
+
+    def test_formation_is_profile_independent(self):
+        fn_a = build_figure1_like(35, 25, 40)
+        fn_b = build_figure1_like(0, 0, 0)
+        shapes_a = sorted(len(r) for r in form_treegions(fn_a.cfg))
+        shapes_b = sorted(len(r) for r in form_treegions(fn_b.cfg))
+        assert shapes_a == shapes_b
+
+    def test_exit_counts(self):
+        fn = build_figure1_like()
+        partition = form_treegions(fn.cfg)
+        blocks = {b.name: b for b in fn.cfg.blocks()}
+        top = partition.region_of(blocks["bb1"])
+        # Exits: bb3->bb5, bb4->bb5, bb8->bb9 (three total).
+        assert len(top.exits()) == 3
+        assert top.exit_count_below(blocks["bb1"]) == 3
+        assert top.exit_count_below(blocks["bb2"]) == 2
+        assert top.exit_count_below(blocks["bb3"]) == 1
+        assert top.exit_count_below(blocks["bb8"]) == 1
+
+    def test_exit_weights_follow_profile(self):
+        fn = build_figure1_like(35, 25, 40)
+        partition = form_treegions(fn.cfg)
+        top = partition.region_of(fn.cfg.entry)
+        weights = sorted(e.weight for e in top.exits())
+        assert weights == [25, 35, 40]
+
+
+class TestSLRFormation:
+    def test_slr_follows_heaviest_path(self):
+        fn = build_figure1_like(35, 25, 40)
+        partition = form_slrs(fn.cfg)
+        blocks = {b.name: b for b in fn.cfg.blocks()}
+        top = partition.region_of(blocks["bb1"])
+        # Heaviest successor of bb1 is bb2 (60 > 40); of bb2 is bb3 (35>25).
+        assert [b.name for b in top.blocks] == ["bb1", "bb2", "bb3"]
+        # Linear region: one path.
+        assert top.path_count == 1
+
+    def test_slr_stops_at_merge_point(self):
+        fn = diamond_function()
+        partition = form_slrs(fn.cfg)
+        entry_region = partition.region_of(fn.cfg.entry)
+        join = fn.cfg.blocks()[3]
+        assert join not in entry_region
+
+    def test_slrs_smaller_than_treegions(self):
+        """Table 1 vs Table 2: treegions contain >= blocks/ops than SLRs."""
+        for make in (build_figure1_like, switch_function, diamond_function):
+            fn = make()
+            slr_sizes = sorted(len(r) for r in form_slrs(fn.cfg))
+            tree_sizes = sorted(len(r) for r in form_treegions(fn.cfg))
+            assert sum(tree_sizes) == sum(slr_sizes)  # both cover the CFG
+            assert max(tree_sizes) >= max(slr_sizes)
+            assert len(tree_sizes) <= len(slr_sizes)
+
+    def test_slr_covering(self):
+        for make in (diamond_function, loop_function, switch_function):
+            fn = make()
+            form_slrs(fn.cfg).verify_covering(fn.cfg)
+
+    def test_zero_profile_ties_break_deterministically(self):
+        fn = diamond_function()
+        names_1 = [[b.name for b in r.blocks] for r in form_slrs(fn.cfg)]
+        fn2 = diamond_function()
+        names_2 = [[b.name for b in r.blocks] for r in form_slrs(fn2.cfg)]
+        assert names_1 == names_2

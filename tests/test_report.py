@@ -1,0 +1,34 @@
+"""Tests for the markdown report generator."""
+
+from repro.evaluation.report import ReportBuilder, generate_report
+
+
+class TestReportBuilder:
+    def test_sections_compose(self):
+        builder = ReportBuilder(benchmarks=["compress"])
+        builder.add_region_statistics()
+        builder.add_heuristic_speedups("4U")
+        text = builder.render()
+        assert "# Treegion scheduling — experiment report" in text
+        assert "## Region statistics" in text
+        assert "## Treegion heuristics, 4U" in text
+        assert "compress" in text
+
+    def test_tables_are_well_formed_markdown(self):
+        builder = ReportBuilder(benchmarks=["compress"])
+        builder.add_region_statistics()
+        text = builder.render()
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {line.count("|") for line in table_lines}
+        assert len(widths) == 1  # consistent column count
+
+    def test_full_report_single_benchmark(self):
+        text = generate_report(["compress"])
+        for section in ("Region statistics", "Treegion heuristics",
+                        "All schemes", "Profile-variation",
+                        "out-of-order core"):
+            assert section in text
+        # Speedup cells are numeric.
+        assert any(cell.strip().replace(".", "").isdigit()
+                   for line in text.splitlines() if line.startswith("| comp")
+                   for cell in line.split("|")[2:-1])

@@ -1,0 +1,197 @@
+"""Tests for region preparation: guards, exit branches, PBRs (prep.py)."""
+
+import pytest
+
+from repro.core import form_treegions
+from repro.ir import CompareCond, Opcode, RegClass
+from repro.ir.liveness import compute_liveness
+from repro.machine import VLIW_4U, MachineModel
+from repro.regions import form_basic_block_regions
+from repro.schedule.prep import prepare_region
+
+from tests.helpers import diamond_function, loop_function, switch_function
+from tests.test_regions_formation import build_figure1_like
+
+NO_BTR = MachineModel(name="nobtr", issue_width=4, use_btr=False)
+
+
+def _prep(fn, former=form_treegions, machine=VLIW_4U):
+    partition = former(fn.cfg)
+    region = partition.region_of(fn.cfg.entry)
+    liveness = compute_liveness(fn.cfg)
+    return prepare_region(region, machine, liveness), region
+
+
+class TestGuards:
+    def test_root_is_unguarded(self):
+        problem, region = _prep(build_figure1_like())
+        assert problem.guard_of(region.root) is None
+
+    def test_children_get_distinct_guards(self):
+        problem, region = _prep(build_figure1_like())
+        children = region.children(region.root)
+        guards = [problem.guard_of(c) for c in children]
+        assert all(g is not None for g in guards)
+        assert len(set(guards)) == len(guards)
+        for guard in guards:
+            assert guard.rclass is RegClass.PRED
+
+    def test_guard_chain_nests(self):
+        """Grandchild guard CMPPs are guarded by the child's guard."""
+        problem, region = _prep(build_figure1_like())
+        blocks = {b.name: b for b in region.blocks}
+        bb2 = blocks["bb2"]
+        g2 = problem.guard_of(bb2)
+        # bb2's own edge-predicate CMPP must execute under g2.
+        cmpps = [
+            s for s in problem.by_block[bb2.bid]
+            if s.op.opcode is Opcode.CMPP and s.source is None
+        ]
+        assert len(cmpps) == 1
+        assert cmpps[0].op.guard == g2
+
+    def test_original_cmpp_folded_away(self):
+        """The branch's compare is replaced by the 2-dest guarded CMPP
+        when the predicate has no other use (as in Figure 5)."""
+        problem, region = _prep(build_figure1_like())
+        root_ops = problem.by_block[region.root.bid]
+        cmpps = [s for s in root_ops if s.op.opcode is Opcode.CMPP]
+        assert len(cmpps) == 1  # only the synthesized two-dest version
+        assert len(cmpps[0].op.dests) == 2
+        assert cmpps[0].source is None
+
+    def test_brcf_flips_condition(self):
+        from repro.ir import Function, IRBuilder
+
+        fn = Function("f")
+        b = IRBuilder(fn)
+        e, t, f_bb = b.block(), b.block(), b.block()
+        b.at(e)
+        p = b.cmpp(CompareCond.LT, b.mov(1), 5)
+        b.br_false(p, t, f_bb)
+        b.at(t).ret()
+        b.at(f_bb).ret()
+        problem, region = _prep(fn)
+        cmpp = [s for s in problem.by_block[e.bid]
+                if s.op.opcode is Opcode.CMPP and s.source is None][0]
+        # BRCF: taken when p false, so dests[0] (taken pred) computes GE.
+        assert cmpp.op.cond is CompareCond.GE
+
+    def test_switch_children_get_case_guards(self):
+        fn = switch_function(n_cases=3)
+        problem, region = _prep(fn)
+        root = region.root
+        case_cmpps = [
+            s for s in problem.by_block[root.bid]
+            if s.op.opcode is Opcode.CMPP and s.op.cond is CompareCond.EQ
+        ]
+        ninsets = [
+            s for s in problem.by_block[root.bid]
+            if s.op.opcode is Opcode.NINSET
+        ]
+        assert len(case_cmpps) == 3
+        assert len(ninsets) == 1  # default edge
+        # NINSET lists every case value.
+        assert len(ninsets[0].op.srcs) == 1 + 3
+
+
+class TestExitOps:
+    def test_every_exit_has_an_op(self):
+        for make in (diamond_function, loop_function, switch_function,
+                     build_figure1_like):
+            problem, region = _prep(make())
+            assert len(problem.exits) == len(region.exits())
+            for exit in problem.exits:
+                sop = problem.exit_op_for(exit)
+                assert sop.exit is exit
+
+    def test_exit_branches_are_predicated(self):
+        problem, region = _prep(build_figure1_like())
+        for exit in problem.exits:
+            sop = problem.exit_op_for(exit)
+            assert sop.op.opcode is Opcode.BRCT
+            pred = sop.op.srcs[0]
+            assert pred.rclass is RegClass.PRED
+
+    def test_ret_exit_keeps_ret_op(self):
+        fn = diamond_function()
+        partition = form_treegions(fn.cfg)
+        join = fn.cfg.blocks()[3]
+        region = partition.region_of(join)
+        liveness = compute_liveness(fn.cfg)
+        problem = prepare_region(region, VLIW_4U, liveness)
+        ret_exits = [e for e in problem.exits if e.is_return]
+        assert len(ret_exits) == 1
+        assert problem.exit_op_for(ret_exits[0]).op.opcode is Opcode.RET
+
+    def test_unguarded_single_exit_is_bru(self):
+        """A single-block region ending in a jump exits via plain BRU."""
+        fn = loop_function()
+        partition = form_basic_block_regions(fn.cfg)
+        entry_region = partition.region_of(fn.cfg.entry)
+        problem = prepare_region(entry_region, VLIW_4U,
+                                 compute_liveness(fn.cfg))
+        exit_op = problem.exit_op_for(problem.exits[0])
+        assert exit_op.op.opcode is Opcode.BRU
+        assert exit_op.op.guard is None
+
+
+class TestPBR:
+    def test_one_pbr_per_branch_when_btr_on(self):
+        problem, region = _prep(build_figure1_like(), machine=VLIW_4U)
+        pbrs = [s for s in problem.sched_ops if s.op.opcode is Opcode.PBR]
+        branches = [s for s in problem.sched_ops
+                    if s.exit is not None and not s.exit.is_return]
+        assert len(pbrs) == len(branches)
+        # Branch reads the BTR its PBR wrote.
+        btrs = {p.op.dest for p in pbrs}
+        for branch in branches:
+            read = [s for s in branch.op.srcs
+                    if getattr(s, "rclass", None) is RegClass.BTR]
+            assert len(read) == 1 and read[0] in btrs
+
+    def test_no_pbr_without_btr(self):
+        problem, _ = _prep(build_figure1_like(), machine=NO_BTR)
+        assert not any(s.op.opcode is Opcode.PBR for s in problem.sched_ops)
+
+
+class TestSideEffects:
+    def test_stores_are_guarded_off_root(self):
+        from repro.ir import Function, IRBuilder
+
+        fn = Function("st")
+        b = IRBuilder(fn)
+        e, t, f_bb = b.block(), b.block(), b.block()
+        b.at(e)
+        p = b.cmpp(CompareCond.GT, b.mov(1), 0)
+        b.br_true(p, t, f_bb)
+        b.at(t)
+        b.st(0, 0, 7)
+        b.ret()
+        b.at(f_bb).ret()
+        problem, region = _prep(fn)
+        blocks = {blk.name: blk for blk in region.blocks}
+        store = [s for s in problem.by_block[t.bid] if s.op.opcode is Opcode.ST]
+        assert len(store) == 1
+        assert store[0].op.guard == problem.guard_of(t)
+
+    def test_root_stores_unguarded(self):
+        from repro.ir import Function, IRBuilder
+
+        fn = Function("st0")
+        b = IRBuilder(fn)
+        e = b.block()
+        b.at(e)
+        b.st(0, 0, 7)
+        b.ret()
+        problem, region = _prep(fn)
+        store = [s for s in problem.sched_ops if s.op.opcode is Opcode.ST][0]
+        assert store.op.guard is None
+
+    def test_problem_never_mutates_ir(self):
+        fn = build_figure1_like()
+        from repro.ir.printer import format_function
+
+        before = format_function(fn)
+        _prep(fn)
+        assert format_function(fn) == before

@@ -1,0 +1,189 @@
+"""Tests for superblock formation and treegion tail duplication (Fig. 11)."""
+
+import pytest
+
+from repro.core import TreegionLimits, form_treegions_td
+from repro.ir import verify_function
+from repro.ir.clone import clone_function
+from repro.regions import (
+    SuperblockLimits,
+    code_expansion,
+    form_superblocks,
+)
+
+from tests.helpers import diamond_function, loop_function, switch_function
+from tests.test_regions_formation import build_figure1_like
+
+
+class TestSuperblockFormation:
+    def test_covers_and_verifies(self):
+        fn = build_figure1_like()
+        original_ops = fn.cfg.total_ops
+        partition = form_superblocks(fn.cfg)
+        partition.verify_covering(fn.cfg)
+        verify_function(fn)
+        assert code_expansion(original_ops, fn.cfg) >= 1.0
+
+    def test_main_trace_is_single_entry(self):
+        fn = build_figure1_like(35, 25, 40)
+        partition = form_superblocks(fn.cfg)
+        for region in partition:
+            for block in region.blocks[1:]:
+                assert len(block.in_edges) == 1, (
+                    f"superblock member bb{block.bid} has a side entrance"
+                )
+
+    def test_heaviest_path_becomes_superblock(self):
+        fn = build_figure1_like(35, 25, 40)
+        blocks = {b.name: b for b in fn.cfg.blocks()}
+        partition = form_superblocks(fn.cfg)
+        # The hottest trace seeded at bb1 (weight 100) follows bb2 -> bb3;
+        # bb5 is NOT mutually-most-likely (it also receives bb4's flow)...
+        top = partition.region_of(blocks["bb1"])
+        names = [b.name for b in top.blocks]
+        assert names[:2] == ["bb1", "bb2"]
+        assert "bb3" in names
+
+    def test_tail_duplication_removes_merge(self):
+        """A diamond whose join is heavier along one arm gets the join
+        duplicated into the hot trace."""
+        fn = diamond_function()
+        entry, then_bb, else_bb, join = fn.cfg.blocks()
+        entry.weight = 100
+        then_bb.weight = 90
+        else_bb.weight = 10
+        join.weight = 100
+        entry.taken_edge.weight = 90
+        entry.fallthrough_edge.weight = 10
+        then_bb.taken_edge.weight = 90
+        else_bb.fallthrough_edge.weight = 10
+        before = fn.cfg.total_ops
+        partition = form_superblocks(fn.cfg, SuperblockLimits(expansion_limit=2.0))
+        verify_function(fn)
+        # join had two in-edges; the hot trace absorbed it, so a duplicate
+        # must exist and code expanded.
+        assert fn.cfg.total_ops > before
+        top = partition.region_of(entry)
+        assert join in top
+
+    def test_expansion_limit_respected(self):
+        fn = build_figure1_like()
+        before = fn.cfg.total_ops
+        limits = SuperblockLimits(expansion_limit=1.0)  # no budget at all
+        form_superblocks(fn.cfg, limits)
+        assert fn.cfg.total_ops == before
+
+    def test_loop_not_unrolled(self):
+        fn = loop_function()
+        entry, header, body, exit_bb = fn.cfg.blocks()
+        header.weight = body.weight = 100
+        header.taken_edge.weight = 99
+        body.taken_edge.weight = 99
+        before = len(fn.cfg)
+        form_superblocks(fn.cfg)
+        # The trace may include header+body but must not clone them around
+        # the back edge.
+        origins = [b.origin for b in fn.cfg.blocks()]
+        assert len(origins) == len(set(origins)) or len(fn.cfg) <= before + 1
+
+
+class TestTreegionTailDuplication:
+    def test_figure12_duplicates_bb5(self):
+        """Figure 12: bb5 is tail duplicated and both copies absorbed."""
+        fn = build_figure1_like(35, 25, 40)
+        partition = form_treegions_td(fn.cfg, TreegionLimits(code_expansion=3.0))
+        verify_function(fn)
+        partition.verify_covering(fn.cfg)
+        top = partition.region_of(fn.cfg.entry)
+        blocks = {b.name for b in top.blocks}
+        # With a generous limit the whole CFG collapses into one treegion:
+        # bb5 duplicated for both incoming paths, bb9 duplicated as needed.
+        assert "bb5" in blocks and "bb5.dup" in blocks
+        # Tree invariants hold after duplication.
+        top.check_invariants()
+
+    def test_duplication_preserves_ir_validity(self):
+        for make in (diamond_function, switch_function, loop_function):
+            fn = make()
+            form_treegions_td(fn.cfg)
+            verify_function(fn)
+
+    def test_expansion_limit_binds(self):
+        fn = build_figure1_like()
+        original = fn.cfg.total_ops
+        tight = clone_function(fn)
+        loose = clone_function(fn)
+        form_treegions_td(tight.cfg, TreegionLimits(code_expansion=1.0))
+        form_treegions_td(loose.cfg, TreegionLimits(code_expansion=3.0))
+        assert tight.cfg.total_ops == original  # 1.0 allows no duplication
+        assert loose.cfg.total_ops >= tight.cfg.total_ops
+
+    def test_higher_limit_grows_regions(self):
+        """Table 3's shape: expansion grows with the limit."""
+        base = build_figure1_like()
+        sizes = {}
+        for limit in (1.0, 2.0, 3.0):
+            fn = clone_function(base)
+            form_treegions_td(fn.cfg, TreegionLimits(code_expansion=limit))
+            sizes[limit] = fn.cfg.total_ops
+        assert sizes[1.0] <= sizes[2.0] <= sizes[3.0]
+
+    def test_path_count_limit(self):
+        fn = switch_function(n_cases=10)
+        # Every case jumps to the join; with duplication the join would be
+        # copied once per path.  A path limit of 4 must stop that early.
+        partition = form_treegions_td(fn.cfg, TreegionLimits(path_count=4))
+        top = partition.region_of(fn.cfg.entry)
+        assert top.path_count <= max(4, 11)  # never exceeds pre-dup paths
+
+    def test_merge_count_limit(self):
+        fn = switch_function(n_cases=8)
+        join = [b for b in fn.cfg.blocks() if b.name == "join"][0]
+        assert join.merge_count == 9
+        partition = form_treegions_td(
+            fn.cfg, TreegionLimits(merge_count=4, code_expansion=5.0)
+        )
+        # join has 9 in-edges > 4 and has no successors... it ends in RET,
+        # so the function-exit exemption applies and duplication proceeds.
+        top = partition.region_of(fn.cfg.entry)
+        dup_names = [b.name for b in top.blocks if "dup" in b.name]
+        assert dup_names, "function-exit saplings should still duplicate"
+
+    def test_merge_count_limit_blocks_inner_merges(self):
+        fn = switch_function(n_cases=8)
+        join = [b for b in fn.cfg.blocks() if b.name == "join"][0]
+        # Give join a successor so the exemption no longer applies.
+        ret_op = join.ops[-1]
+        assert ret_op.opcode.value == "ret"
+        join.ops.pop()
+        tail = fn.cfg.new_block("tail")
+        fn.cfg.add_edge(join, tail, weight=0.0)
+        fn.cfg.make_return(tail)
+        partition = form_treegions_td(
+            fn.cfg, TreegionLimits(merge_count=4, code_expansion=5.0)
+        )
+        top = partition.region_of(fn.cfg.entry)
+        assert all("dup" not in b.name for b in top.blocks)
+
+    def test_loops_never_unrolled(self):
+        fn = loop_function()
+        before_blocks = len(fn.cfg)
+        form_treegions_td(fn.cfg, TreegionLimits(code_expansion=10.0,
+                                                 path_count=100))
+        # The loop body/header must not be replicated around the back edge.
+        origin_counts = {}
+        for block in fn.cfg.blocks():
+            origin_counts[block.origin] = origin_counts.get(block.origin, 0) + 1
+        header = fn.cfg.blocks()[1]
+        assert origin_counts[header.origin] == 1
+
+    def test_weights_conserved_through_duplication(self):
+        fn = build_figure1_like(35, 25, 40)
+        total_exit_weight_before = 100.0
+        form_treegions_td(fn.cfg, TreegionLimits(code_expansion=3.0))
+        ret_blocks = [b for b in fn.cfg.blocks()
+                      if b.terminator is not None
+                      and b.terminator.opcode.value == "ret"]
+        assert sum(b.weight for b in ret_blocks) == pytest.approx(
+            total_exit_weight_before
+        )

@@ -1,0 +1,155 @@
+"""Tests for the auxiliary tooling: pressure stats, DOT export, CLI."""
+
+import pytest
+
+from repro.core import form_treegions
+from repro.ir.dot import cfg_to_dot
+from repro.machine import VLIW_4U, VLIW_8U
+from repro.regions import form_basic_block_regions
+from repro.schedule import ScheduleOptions, schedule_region
+from repro.schedule.scheduler import schedule_partition
+from repro.schedule.stats import aggregate_pressure, measure_schedule
+from repro.cli import main
+
+from tests.helpers import diamond_function
+from tests.test_regions_formation import build_figure1_like
+
+
+class TestPressureStats:
+    def _schedule(self, machine=VLIW_4U):
+        fn = build_figure1_like()
+        partition = form_treegions(fn.cfg)
+        region = partition.region_of(fn.cfg.entry)
+        return schedule_region(region, machine,
+                               ScheduleOptions(heuristic="global_weight"))
+
+    def test_pressure_positive_and_bounded(self):
+        schedule = self._schedule()
+        stats = measure_schedule(schedule, VLIW_4U)
+        assert stats.max_live_gpr >= 1
+        assert stats.max_live_pred >= 1
+        total_regs = len({
+            r for s in schedule.all_ops() for r in s.op.defined_registers()
+        }) + len({
+            r for s in schedule.all_ops() for r in s.op.used_registers()
+        })
+        assert stats.max_live_gpr <= total_regs
+
+    def test_utilization_in_unit_interval(self):
+        for machine in (VLIW_4U, VLIW_8U):
+            stats = measure_schedule(self._schedule(machine), machine)
+            assert 0.0 < stats.utilization <= 1.0
+
+    def test_wider_machine_lower_utilization(self):
+        narrow = measure_schedule(self._schedule(VLIW_4U), VLIW_4U)
+        wide = measure_schedule(self._schedule(VLIW_8U), VLIW_8U)
+        assert wide.utilization <= narrow.utilization + 1e-9
+
+    def test_aggregate_combines_regions(self):
+        fn = build_figure1_like()
+        partition = form_basic_block_regions(fn.cfg)
+        schedules = schedule_partition(partition, VLIW_4U, ScheduleOptions())
+        stats = aggregate_pressure(schedules, VLIW_4U)
+        assert stats.op_count == sum(s.op_count for s in schedules)
+        assert stats.length == sum(s.length for s in schedules)
+
+    def test_multipath_pressure_at_least_single_path(self):
+        """Renamed multi-path scheduling keeps at least as many values
+        live as basic-block scheduling of the same code."""
+        fn = build_figure1_like()
+        tree = schedule_partition(form_treegions(fn.cfg), VLIW_8U,
+                                  ScheduleOptions(heuristic="global_weight"))
+        bb = schedule_partition(form_basic_block_regions(fn.cfg), VLIW_8U,
+                                ScheduleOptions())
+        tree_stats = aggregate_pressure(tree, VLIW_8U)
+        bb_stats = aggregate_pressure(bb, VLIW_8U)
+        assert tree_stats.max_live_gpr >= bb_stats.max_live_gpr
+
+
+class TestDotExport:
+    def test_contains_all_blocks_and_edges(self):
+        fn = diamond_function()
+        dot = cfg_to_dot(fn.cfg)
+        for block in fn.cfg.blocks():
+            assert f"bb{block.bid}" in dot
+        # One edge statement per CFG edge (op labels also contain "->",
+        # so count the bracketed edge lines specifically).
+        edge_lines = [line for line in dot.splitlines()
+                      if "-> bb" in line and "[style=" in line]
+        assert len(edge_lines) == sum(
+            len(b.out_edges) for b in fn.cfg.blocks()
+        )
+
+    def test_regions_become_clusters(self):
+        fn = build_figure1_like()
+        partition = form_treegions(fn.cfg)
+        dot = cfg_to_dot(fn.cfg, partition=partition)
+        assert dot.count("subgraph cluster_") == len(partition)
+
+    def test_is_balanced_digraph(self):
+        fn = diamond_function()
+        dot = cfg_to_dot(fn.cfg)
+        assert dot.startswith("digraph")
+        assert dot.count("{") == dot.count("}")
+
+
+class TestCLI:
+    SOURCE = """
+    func main(a) {
+        var x = 0;
+        if (a > 3) { x = a * 2; } else { x = a + 10; }
+        return x;
+    }
+    """
+
+    @pytest.fixture()
+    def source_file(self, tmp_path):
+        path = tmp_path / "prog.mc"
+        path.write_text(self.SOURCE)
+        return str(path)
+
+    def test_compile_roundtrip(self, source_file, capsys, tmp_path):
+        assert main(["compile", source_file]) == 0
+        text = capsys.readouterr().out
+        assert text.startswith("program entry=main")
+        # The dumped IR is itself a valid CLI input.
+        ir_path = tmp_path / "prog.ir"
+        ir_path.write_text(text)
+        assert main(["run", str(ir_path), "--args", "5"]) == 0
+
+    def test_run_reports_match(self, source_file, capsys):
+        assert main(["run", source_file, "--args", "9",
+                     "--scheme", "treegion-td"]) == 0
+        out = capsys.readouterr().out
+        assert "interpreter result: 18" in out
+        assert "[OK]" in out
+
+    def test_schedule_prints_multiops(self, source_file, capsys):
+        assert main(["schedule", source_file, "--args", "1",
+                     "--machine", "8U"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated time:" in out
+        assert "retires @ cycle" in out
+
+    def test_dot_command(self, source_file, capsys):
+        assert main(["dot", source_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph main")
+
+    def test_bench_subset(self, capsys):
+        assert main(["bench", "--benchmarks", "compress",
+                     "--schemes", "bb,treegion", "--machine", "4U"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "x" in out
+
+    def test_bad_machine_rejected(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--machine", "potato"])
+
+    @pytest.mark.parametrize("scheme", ["bb", "slr", "superblock",
+                                        "treegion", "treegion-td",
+                                        "hyperblock"])
+    def test_every_scheme_runs(self, source_file, capsys, scheme):
+        assert main(["run", source_file, "--args", "2",
+                     "--scheme", scheme]) == 0
+        assert "[OK]" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""Tests for the profile-variation machinery (evaluation.variation)."""
+
+import pytest
+
+from repro.interp import profile_program
+from repro.lang import compile_source
+from repro.machine import VLIW_4U
+from repro.evaluation import treegion_scheme
+from repro.evaluation.variation import (
+    edge_probabilities,
+    perturb_profile,
+    restore_weights,
+    snapshot_weights,
+    solve_weights,
+    time_under_current_weights,
+    variation_study,
+)
+from repro.workloads.specint import build_benchmark
+
+from tests.helpers import loop_function
+
+SOURCE = """
+func main(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i % 3 == 0) { acc = acc + i * 2; }
+        else { acc = acc - 1; }
+        if (acc > 50) { acc = acc - 25; }
+    }
+    return acc;
+}
+"""
+
+
+def _profiled():
+    program = compile_source(SOURCE)
+    profile_program(program, inputs=[[30]])
+    return program
+
+
+class TestFlowSolver:
+    def test_probabilities_normalize(self):
+        program = _profiled()
+        cfg = program.entry_function.cfg
+        probabilities = edge_probabilities(cfg)
+        for block in cfg.blocks():
+            if block.out_edges:
+                total = sum(probabilities[id(e)] for e in block.out_edges)
+                assert total == pytest.approx(1.0)
+
+    def test_solver_reproduces_measured_profile(self):
+        """Solving with the measured probabilities recovers the measured
+        weights — including through loops (geometric series)."""
+        program = _profiled()
+        cfg = program.entry_function.cfg
+        probabilities = edge_probabilities(cfg)
+        blocks, edges = solve_weights(cfg, probabilities, cfg.entry.weight)
+        for block in cfg.blocks():
+            assert blocks[block.bid] == pytest.approx(block.weight, rel=1e-9)
+            for edge in block.out_edges:
+                assert edges[id(edge)] == pytest.approx(edge.weight, rel=1e-9)
+
+    def test_solver_handles_plain_loop(self):
+        fn = loop_function()
+        entry, header, body, exit_bb = fn.cfg.blocks()
+        # 10 iterations expected.
+        entry.weight = 1.0
+        entry.fallthrough_edge.weight = 1.0
+        header.taken_edge.weight = 10.0
+        header.fallthrough_edge.weight = 1.0
+        body.taken_edge.weight = 10.0
+        probabilities = edge_probabilities(fn.cfg)
+        blocks, _ = solve_weights(fn.cfg, probabilities, 1.0)
+        assert blocks[header.bid] == pytest.approx(11.0)
+        assert blocks[body.bid] == pytest.approx(10.0)
+        assert blocks[exit_bb.bid] == pytest.approx(1.0)
+
+    def test_apply_and_snapshot_roundtrip(self):
+        program = _profiled()
+        cfg = program.entry_function.cfg
+        snapshot = snapshot_weights(cfg)
+        perturb_profile(cfg, seed=3)
+        changed = any(
+            abs(edge.weight - snapshot[1][id(edge)]) > 1e-9
+            for block in cfg.blocks() for edge in block.out_edges
+        )
+        assert changed
+        restore_weights(cfg, snapshot)
+        for block in cfg.blocks():
+            assert block.weight == snapshot[0][block.bid]
+
+
+class TestPerturbation:
+    def test_perturbation_conserves_flow(self):
+        program = _profiled()
+        cfg = program.entry_function.cfg
+        entry_weight = cfg.entry.weight
+        perturb_profile(cfg, seed=7)
+        # Entry flow preserved; every block's in-flow equals its weight.
+        assert cfg.entry.weight == pytest.approx(entry_weight)
+        for block in cfg.blocks():
+            if block is cfg.entry:
+                continue
+            inflow = sum(e.weight for e in block.in_edges)
+            assert inflow == pytest.approx(block.weight, rel=1e-6, abs=1e-6)
+
+    def test_perturbation_deterministic_per_seed(self):
+        a, b = _profiled(), _profiled()
+        perturb_profile(a.entry_function.cfg, seed=11)
+        perturb_profile(b.entry_function.cfg, seed=11)
+        for block_a, block_b in zip(a.entry_function.cfg.blocks(),
+                                    b.entry_function.cfg.blocks()):
+            assert block_a.weight == pytest.approx(block_b.weight)
+
+
+class TestVariationStudy:
+    def test_dep_height_is_profile_invariant(self):
+        """Treegion formation ignores profiles and the dependence-height
+        heuristic uses no weights: its degradation is exactly 1.0."""
+        program = build_benchmark("compress")
+        results = variation_study(
+            program, treegion_scheme, VLIW_4U,
+            heuristics=["dep_height"], seeds=[1, 2, 3],
+        )
+        assert results["dep_height"]["degradation"] == pytest.approx(1.0)
+
+    def test_profile_guided_heuristics_degrade_bounded(self):
+        program = build_benchmark("compress")
+        results = variation_study(
+            program, treegion_scheme, VLIW_4U,
+            heuristics=["global_weight", "exit_count"], seeds=[1, 2],
+        )
+        for heuristic, row in results.items():
+            assert row["degradation"] >= 0.999, heuristic
+            assert row["degradation"] < 1.5, heuristic
+
+    def test_time_under_current_weights_matches_estimator(self):
+        from repro.core import form_treegions
+        from repro.schedule import ScheduleOptions
+        from repro.schedule.scheduler import schedule_partition
+
+        program = _profiled()
+        fn = program.entry_function
+        partition = form_treegions(fn.cfg)
+        schedules = schedule_partition(partition, VLIW_4U, ScheduleOptions())
+        direct = sum(s.weighted_time for s in schedules)
+        assert time_under_current_weights(schedules) == pytest.approx(direct)

@@ -1,0 +1,166 @@
+"""Tests for the workload generators (synthetic suite + paper CFGs)."""
+
+import pytest
+
+from repro.ir import verify_function, verify_program
+from repro.ir.printer import format_program
+from repro.workloads.paper_example import build_paper_example
+from repro.workloads.pathological import (
+    build_biased_treegion,
+    build_linearized_treegion,
+    build_wide_shallow_treegion,
+)
+from repro.workloads.specint import (
+    BENCHMARK_NAMES,
+    SPECINT95,
+    build_benchmark,
+    build_suite,
+)
+from repro.workloads.synthetic import SynthParams, generate_function
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_per_seed(self):
+        params = SynthParams(name="det", seed=42, target_blocks=60)
+        a = generate_function(params)
+        b = generate_function(params)
+        from repro.ir.printer import format_function
+
+        assert format_function(a) == format_function(b)
+
+    def test_different_seeds_differ(self):
+        from repro.ir.printer import format_function
+
+        a = generate_function(SynthParams(name="x", seed=1, target_blocks=60))
+        b = generate_function(SynthParams(name="x", seed=2, target_blocks=60))
+        assert format_function(a) != format_function(b)
+
+    def test_generated_ir_verifies(self):
+        for seed in (1, 7, 99):
+            fn = generate_function(
+                SynthParams(name="v", seed=seed, target_blocks=80)
+            )
+            verify_function(fn)
+
+    def test_flow_conservation(self):
+        """Every non-entry block's weight equals its incoming edge flow,
+        and out-flow equals block weight (up to RET sinks)."""
+        fn = generate_function(SynthParams(name="flow", seed=5,
+                                           target_blocks=100))
+        for block in fn.cfg.blocks():
+            if block is not fn.cfg.entry:
+                inflow = sum(e.weight for e in block.in_edges)
+                assert inflow == pytest.approx(block.weight, rel=1e-6,
+                                               abs=1e-6)
+            if block.out_edges:
+                outflow = sum(e.weight for e in block.out_edges)
+                assert outflow == pytest.approx(block.weight, rel=1e-6,
+                                                abs=1e-6)
+
+    def test_entry_count_respected(self):
+        fn = generate_function(SynthParams(name="e", seed=3,
+                                           entry_count=555.0))
+        assert fn.cfg.entry.weight == 555.0
+
+    def test_block_budget_is_soft_cap(self):
+        fn = generate_function(SynthParams(name="b", seed=9,
+                                           target_blocks=40, toplevel=50,
+                                           depth=4))
+        # The budget stops new constructs; a small overshoot from the
+        # construct in flight is allowed.
+        assert len(fn.cfg) <= 40 + 60
+
+    def test_full_bias_produces_zero_weight_arms(self):
+        fn = generate_function(SynthParams(name="bias", seed=11,
+                                           target_blocks=120,
+                                           full_bias_prob=1.0,
+                                           loop_odds=0.0, switch_odds=0.0,
+                                           chain_odds=0.0))
+        zero_blocks = [b for b in fn.cfg.blocks() if b.weight == 0.0]
+        assert zero_blocks, "fully biased branches must starve an arm"
+
+
+class TestSuite:
+    def test_all_eight_benchmarks(self):
+        suite = build_suite()
+        assert list(suite) == BENCHMARK_NAMES == list(SPECINT95)
+        assert len(suite) == 8
+        for name, program in suite.items():
+            verify_program(program)
+            assert program.entry_name == name
+
+    def test_cache_returns_same_object(self):
+        a = build_benchmark("compress")
+        b = build_benchmark("compress")
+        assert a is b
+        c = build_benchmark("compress", use_cache=False)
+        assert c is not a
+        assert format_program(c) == format_program(a)
+
+
+class TestPaperExample:
+    def test_weights_match_figures(self):
+        program = build_paper_example()
+        fn = program.entry_function
+        blocks = {b.name: b for b in fn.cfg.blocks()}
+        assert blocks["bb1"].weight == 100.0
+        assert blocks["bb3"].weight == 35.0
+        assert blocks["bb4"].weight == 25.0
+        assert blocks["bb8"].weight == 40.0
+
+    def test_register_names_match_figures(self):
+        from repro.ir import Opcode, RegClass, Register
+
+        program = build_paper_example()
+        fn = program.entry_function
+        blocks = {b.name: b for b in fn.cfg.blocks()}
+        r1 = Register(RegClass.GPR, 1)
+        assert blocks["bb1"].ops[0].dest == r1
+        r6 = Register(RegClass.GPR, 6)
+        assert blocks["bb8"].ops[0].dest == r6
+        assert blocks["bb5"].ops[0].dest == r6  # r6 = 0
+
+
+class TestPathologicalShapes:
+    def test_biased_single_hot_path(self):
+        program = build_biased_treegion(depth=4, hot_weight=80.0)
+        verify_program(program)
+        fn = program.entry_function
+        hot = [b for b in fn.cfg.blocks() if b.weight > 0]
+        cold = [b for b in fn.cfg.blocks() if b.weight == 0]
+        assert cold, "cold arms exist"
+        # The hot path has full weight end to end.
+        assert all(b.weight == 80.0 for b in hot)
+
+    def test_wide_shallow_exit_count_vs_weight(self):
+        from repro.core import form_treegions
+
+        program = build_wide_shallow_treegion(fanout=8, hot_case=5)
+        verify_program(program)
+        fn = program.entry_function
+        region = form_treegions(fn.cfg).region_of(fn.cfg.entry)
+        blocks = {b.name: b for b in region.blocks}
+        hot = blocks["dest5"]
+        # The hot destination has the region's maximum weight but the
+        # minimum exit count among destinations — Figure 9's property.
+        even = blocks["dest4"]
+        assert hot.weight > even.weight
+        assert region.exit_count_below(hot) < region.exit_count_below(even)
+
+    def test_wide_shallow_requires_odd_hot_case(self):
+        with pytest.raises(ValueError):
+            build_wide_shallow_treegion(hot_case=4)
+
+    def test_linearized_single_path_bottom_exit(self):
+        from repro.core import form_treegions
+
+        program = build_linearized_treegion(length=5)
+        verify_program(program)
+        fn = program.entry_function
+        region = form_treegions(fn.cfg).region_of(fn.cfg.entry)
+        exits = region.exits()
+        taken = [e for e in exits if e.weight > 0]
+        assert len(taken) == 1
+        # ...and it is the structurally deepest exit.
+        depths = {id(e): region.depth(e.source) for e in exits}
+        assert depths[id(taken[0])] == max(depths.values())
