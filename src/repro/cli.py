@@ -31,7 +31,6 @@ from repro.schedule import ScheduleOptions
 from repro.schedule.priorities import HEURISTICS
 from repro.core.tail_duplication import TreegionLimits
 from repro.evaluation import (
-    baseline_time,
     bb_scheme,
     evaluate_program,
     slr_scheme,
@@ -130,24 +129,46 @@ def cmd_schedule(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.workloads.specint import BENCHMARK_NAMES, build_benchmark
+    from repro.schedule.priorities import DEP_HEIGHT
+    from repro.evaluation.engine import GridCell, build_scheme, evaluate_grid
+    from repro.util.timing import StageTimer
+    from repro.workloads.specint import BENCHMARK_NAMES
 
     names = args.benchmarks.split(",") if args.benchmarks else BENCHMARK_NAMES
-    machine = _machine(args.machine)
+    _machine(args.machine)  # validate the name early
     schemes = (args.schemes.split(",") if args.schemes
                else ["bb", "slr", "superblock", "treegion", "treegion-td"])
-    options = ScheduleOptions(heuristic=args.heuristic,
-                              dominator_parallelism=True)
+    for scheme in schemes:  # validate specs before any work fans out
+        try:
+            build_scheme(scheme)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    grid = [GridCell(name, "bb", "1U", DEP_HEIGHT) for name in names] + [
+        GridCell(name, scheme, args.machine, args.heuristic,
+                 dominator_parallelism=True)
+        for name in names
+        for scheme in schemes
+    ]
+    timer = StageTimer()
+    results = evaluate_grid(grid, jobs=args.jobs, timer=timer)
+    baselines = {r.cell.benchmark: r.time for r in results[:len(names)]}
+    rest = iter(results[len(names):])
     print(f"{'program':10s} " + " ".join(f"{s:>12s}" for s in schemes))
     for name in names:
-        program = build_benchmark(name)
-        base = baseline_time(program)
-        cells = []
-        for scheme_name in schemes:
-            result = evaluate_program(program, SCHEMES[scheme_name](),
-                                      machine, options)
-            cells.append(f"{base / result.time:11.2f}x")
+        base = baselines[name]
+        cells = [f"{base / next(rest).time:11.2f}x" for _ in schemes]
         print(f"{name:10s} " + " ".join(cells))
+    if args.timings:
+        print()
+        print(timer.format())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.evaluation.report import generate_report
+
+    names = args.benchmarks.split(",") if args.benchmarks else None
+    sys.stdout.write(generate_report(names, jobs=args.jobs))
     return 0
 
 
@@ -217,8 +238,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset (default: all eight)")
     p.add_argument("--schemes", default=None,
                    help="comma-separated schemes")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial, 0 = one per CPU)")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-stage wall time after the table")
     common(p, with_scheme=False)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("report", help="full markdown experiment report")
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated subset (default: all eight)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial, 0 = one per CPU)")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")

@@ -22,6 +22,15 @@ from repro.evaluation.runner import (
     baseline_time,
     speedup_over_baseline,
 )
+from repro.evaluation.engine import (
+    CellResult,
+    GridCell,
+    build_scheme,
+    default_grid,
+    evaluate_cell,
+    evaluate_grid,
+    machine_by_name,
+)
 
 __all__ = [
     "Scheme",
@@ -34,4 +43,11 @@ __all__ = [
     "evaluate_program",
     "baseline_time",
     "speedup_over_baseline",
+    "CellResult",
+    "GridCell",
+    "build_scheme",
+    "default_grid",
+    "evaluate_cell",
+    "evaluate_grid",
+    "machine_by_name",
 ]

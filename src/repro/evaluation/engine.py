@@ -1,0 +1,507 @@
+"""Parallel, cached evaluation of the full experiment grid.
+
+The paper's experiments sweep a grid of (benchmark × scheme × machine ×
+heuristic) cells; evaluating each cell independently repeats a lot of
+work — the clone, the region formation, liveness, dominators, register
+bounds, and the priority-key ingredients are all identical across the
+machines and heuristics of one (benchmark, scheme) pair.  This module
+provides :func:`evaluate_grid`, which exploits that structure:
+
+* **serial path** (``jobs=1``, the default): cells are grouped by
+  (benchmark, scheme); the clone and formation run once per group, the
+  version-keyed analysis cache (:mod:`repro.ir.analysis_cache`) serves
+  liveness/dominators/register bounds to every region, and priority keys
+  are computed once per (region, machine) and shared across heuristics;
+
+* **parallel path** (``jobs>1``, or ``jobs=0`` for the CPU count): work
+  fans out over a ``multiprocessing`` pool at *cell* granularity, and
+  large programs additionally split *by function* (formation and
+  estimation are per-function independent, so a contiguous slice of
+  functions is a self-contained work item).  Workers rebuild benchmark
+  programs from their names — schemes hold closures and programs are
+  heavy, so neither crosses the process boundary — and the parent merges
+  partial results **in function order**, reproducing the serial float
+  accumulation exactly.
+
+Both paths are guaranteed bit-identical to per-cell serial evaluation
+(:func:`evaluate_cell`): same ``time``, same ``code_expansion``, same
+per-region schedule lengths.  ``tests/test_engine.py`` enforces this.
+
+Cells name their scheme by *spec string* (``"bb"``, ``"slr"``,
+``"treegion"``, ``"superblock"``, ``"hyperblock"``,
+``"treegion-td:2.0"``) precisely because :class:`Scheme` objects close
+over formers and are not picklable; :func:`build_scheme` turns a spec
+back into a scheme anywhere, including inside a worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.analysis_cache import liveness_of
+from repro.ir.clone import clone_function, clone_program
+from repro.ir.function import Program
+from repro.machine.model import MachineModel
+from repro.machine.presets import PAPER_MACHINES, SCALAR_1U
+from repro.schedule.priorities import HEURISTICS
+from repro.schedule.scheduler import ScheduleOptions, schedule_region
+from repro.util.timing import NULL_TIMER, StageTimer
+from repro.evaluation.schemes import (
+    Scheme,
+    bb_scheme,
+    hyperblock_scheme,
+    slr_scheme,
+    superblock_scheme,
+    treegion_scheme,
+    treegion_td_scheme,
+)
+
+#: Machines addressable by name from a grid cell.
+MACHINES: Dict[str, MachineModel] = {"1U": SCALAR_1U, **PAPER_MACHINES}
+
+#: Functions-per-task threshold above which a cell splits across workers.
+SPLIT_THRESHOLD = 8
+
+
+def build_scheme(spec: str) -> Scheme:
+    """Turn a scheme spec string into a :class:`Scheme`.
+
+    Accepted specs: ``bb``, ``slr``, ``treegion``, ``superblock``,
+    ``hyperblock``, and ``treegion-td:<limit>`` (also the display form
+    ``treegion-td(<limit>)``); a bare ``treegion-td`` uses the default
+    code-expansion limit.
+    """
+    spec = spec.strip()
+    if spec == "bb":
+        return bb_scheme()
+    if spec == "slr":
+        return slr_scheme()
+    if spec == "treegion":
+        return treegion_scheme()
+    if spec == "superblock":
+        return superblock_scheme()
+    if spec == "hyperblock":
+        return hyperblock_scheme()
+    if spec.startswith("treegion-td"):
+        from repro.core.tail_duplication import TreegionLimits
+
+        rest = spec[len("treegion-td"):].strip("():")
+        if not rest:
+            return treegion_td_scheme()
+        return treegion_td_scheme(TreegionLimits(code_expansion=float(rest)))
+    raise ValueError(f"unknown scheme spec {spec!r}")
+
+
+def machine_by_name(name: str) -> MachineModel:
+    """Resolve a machine name (``1U``/``4U``/``8U``, or any ``<N>U``)."""
+    machine = MACHINES.get(name)
+    if machine is not None:
+        return machine
+    if name.endswith("U") and name[:-1].isdigit():
+        from repro.machine.presets import universal_machine
+
+        return universal_machine(int(name[:-1]), name=name)
+    raise ValueError(
+        f"unknown machine {name!r}; use one of {sorted(MACHINES)} or <N>U"
+    )
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One experiment: a benchmark under one scheme/machine/heuristic."""
+
+    benchmark: str
+    scheme: str
+    machine: str
+    heuristic: str
+    dominator_parallelism: bool = False
+    schedule_copies: bool = False
+
+    def options(self) -> ScheduleOptions:
+        return ScheduleOptions(
+            heuristic=self.heuristic,
+            dominator_parallelism=self.dominator_parallelism,
+            schedule_copies=self.schedule_copies,
+        )
+
+
+@dataclass
+class CellResult:
+    """The numbers one grid cell produced (picklable, program-free)."""
+
+    cell: GridCell
+    #: Estimated execution time (profile-weighted cycles).
+    time: float
+    #: Code expansion factor vs the original program.
+    code_expansion: float
+    #: Schedule length (cycles) of every region, in deterministic
+    #: (function, region) order.
+    schedule_lengths: Tuple[int, ...] = ()
+    total_copies: int = 0
+    total_merged: int = 0
+    total_speculated: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.cell.benchmark,
+            "scheme": self.cell.scheme,
+            "machine": self.cell.machine,
+            "heuristic": self.cell.heuristic,
+            "time": self.time,
+            "code_expansion": self.code_expansion,
+            "copies": self.total_copies,
+            "merged": self.total_merged,
+            "speculated": self.total_speculated,
+        }
+
+
+def default_grid(
+    benchmarks: Optional[Sequence[str]] = None,
+    schemes: Sequence[str] = ("bb", "treegion", "treegion-td:2.0"),
+    machines: Sequence[str] = ("4U", "8U"),
+    heuristics: Sequence[str] = HEURISTICS,
+) -> List[GridCell]:
+    """The paper's evaluation grid (8 benchmarks × 3 schemes × 2 machines
+    × 4 heuristics = 192 cells with the defaults)."""
+    if benchmarks is None:
+        from repro.workloads.specint import BENCHMARK_NAMES
+
+        benchmarks = BENCHMARK_NAMES
+    return [
+        GridCell(bench, scheme, machine, heuristic)
+        for bench in benchmarks
+        for scheme in schemes
+        for machine in machines
+        for heuristic in heuristics
+    ]
+
+
+# ----------------------------------------------------------------------
+# Per-function evaluation core
+#
+# Formation and estimation are independent per function, so everything
+# below works on (function, partition) pairs; both execution paths are
+# built from the same pieces, which is what makes them bit-identical.
+
+
+@dataclass
+class _FunctionPartial:
+    """One function's contribution to a cell (picklable)."""
+
+    time: float
+    original_ops: int
+    final_ops: int
+    schedule_lengths: Tuple[int, ...]
+    copies: int = 0
+    merged: int = 0
+    speculated: int = 0
+
+
+def _schedule_function_partition(
+    partition,
+    original_ops: int,
+    final_ops: int,
+    cell: GridCell,
+    machine: MachineModel,
+    timer: StageTimer,
+    key_caches: Optional[Dict[Tuple[int, str], Dict]] = None,
+) -> _FunctionPartial:
+    """Schedule one function's formed partition for one cell."""
+    options = cell.options()
+    schedules = []
+    for region in partition:
+        liveness = liveness_of(region.root.cfg)
+        key_cache = None
+        if key_caches is not None and not cell.schedule_copies:
+            key_cache = key_caches.setdefault((id(region), cell.machine), {})
+        schedules.append(
+            schedule_region(region, machine, options, liveness,
+                            timer=timer, key_cache=key_cache)
+        )
+    with timer.stage("estimate"):
+        time = sum(s.weighted_time for s in schedules)
+    return _FunctionPartial(
+        time=time,
+        original_ops=original_ops,
+        final_ops=final_ops,
+        schedule_lengths=tuple(s.length for s in schedules),
+        copies=sum(len(s.copies) for s in schedules),
+        merged=sum(len(s.merged) for s in schedules),
+        speculated=sum(s.speculated_count for s in schedules),
+    )
+
+
+def _merge_partials(cell: GridCell,
+                    partials: Sequence[_FunctionPartial]) -> CellResult:
+    """Fold per-function partials (already in function order) into one
+    result, reproducing the serial runner's accumulation order."""
+    time = 0.0
+    lengths: List[int] = []
+    original_ops = final_ops = copies = merged = speculated = 0
+    for partial in partials:
+        time += partial.time
+        lengths.extend(partial.schedule_lengths)
+        original_ops += partial.original_ops
+        final_ops += partial.final_ops
+        copies += partial.copies
+        merged += partial.merged
+        speculated += partial.speculated
+    expansion = final_ops / original_ops if original_ops > 0 else 1.0
+    return CellResult(
+        cell=cell,
+        time=time,
+        code_expansion=expansion,
+        schedule_lengths=tuple(lengths),
+        total_copies=copies,
+        total_merged=merged,
+        total_speculated=speculated,
+    )
+
+
+def evaluate_cell(
+    cell: GridCell,
+    program: Optional[Program] = None,
+    timer: StageTimer = NULL_TIMER,
+) -> CellResult:
+    """Evaluate one grid cell from scratch (the reference serial path).
+
+    Exactly :func:`repro.evaluation.runner.evaluate_program` with the
+    cell's parameters, reduced to a picklable :class:`CellResult`.
+    """
+    if program is None:
+        from repro.workloads.specint import build_benchmark
+
+        program = build_benchmark(cell.benchmark)
+    scheme = build_scheme(cell.scheme)
+    with timer.stage("clone"):
+        worked = clone_program(program) if scheme.mutates else program
+    partials: List[_FunctionPartial] = []
+    for original, function in zip(program.functions(), worked.functions()):
+        with timer.stage("formation"):
+            partition = scheme.form(function.cfg)
+        partials.append(
+            _schedule_function_partition(
+                partition, original.cfg.total_ops, function.cfg.total_ops,
+                cell, machine_by_name(cell.machine), timer,
+            )
+        )
+    return _merge_partials(cell, partials)
+
+
+# ----------------------------------------------------------------------
+# Serial grid path: shared clone/formation per (benchmark, scheme)
+
+
+def _evaluate_grid_serial(
+    cells: Sequence[GridCell],
+    programs: Optional[Dict[str, Program]],
+    timer: StageTimer,
+) -> List[CellResult]:
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault((cell.benchmark, cell.scheme), []).append(index)
+
+    for (bench, scheme_spec), indices in groups.items():
+        program = _resolve_program(bench, programs)
+        scheme = build_scheme(scheme_spec)
+        # Clone and form once: formation is machine- and heuristic-
+        # independent, and scheduling never mutates the IR, so every cell
+        # of the group schedules the same partitions.
+        with timer.stage("clone"):
+            worked = clone_program(program) if scheme.mutates else program
+        formed = []  # (partition, original_ops, final_ops) per function
+        for original, function in zip(program.functions(),
+                                      worked.functions()):
+            with timer.stage("formation"):
+                partition = scheme.form(function.cfg)
+            formed.append((partition, original.cfg.total_ops,
+                           function.cfg.total_ops))
+        # Priority keys are shared across the group's heuristics, keyed
+        # per (region, machine) — identically-prepared problems have
+        # aligned op indices.
+        key_caches: Dict[Tuple[int, str], Dict] = {}
+        for index in indices:
+            cell = cells[index]
+            machine = machine_by_name(cell.machine)
+            partials = [
+                _schedule_function_partition(
+                    partition, original_ops, final_ops, cell, machine,
+                    timer, key_caches=key_caches,
+                )
+                for partition, original_ops, final_ops in formed
+            ]
+            results[index] = _merge_partials(cell, partials)
+    return results  # type: ignore[return-value]
+
+
+def _resolve_program(bench: str,
+                     programs: Optional[Dict[str, Program]]) -> Program:
+    if programs is not None and bench in programs:
+        return programs[bench]
+    from repro.workloads.specint import build_benchmark
+
+    return build_benchmark(bench)
+
+
+# ----------------------------------------------------------------------
+# Parallel grid path
+
+
+#: A picklable work item: every cell of one (benchmark, scheme) group,
+#: restricted to a half-open slice of the program's functions.  Grouping
+#: keeps the serial path's work sharing inside the worker: the slice is
+#: cloned and formed once, then scheduled for each (machine, heuristic)
+#: cell of the group.
+_Task = Tuple[str, str, Tuple[Tuple[int, GridCell], ...], int, int]
+
+
+def _run_task(task: _Task):
+    """Pool worker: evaluate one group's cells over a function slice.
+
+    The program is rebuilt from the benchmark name inside the worker
+    (each worker process keeps :mod:`repro.workloads.specint`'s cache, so
+    rebuilding is paid once per benchmark per worker, not per task).
+    """
+    bench, scheme_spec, indexed_cells, lo, hi = task
+    from repro.workloads.specint import build_benchmark
+
+    program = build_benchmark(bench)
+    scheme = build_scheme(scheme_spec)
+    timer = StageTimer()
+    formed = []  # (partition, original_ops, final_ops) per function
+    for function in list(program.functions())[lo:hi]:
+        with timer.stage("clone"):
+            worked = clone_function(function) if scheme.mutates else function
+        with timer.stage("formation"):
+            partition = scheme.form(worked.cfg)
+        formed.append((partition, function.cfg.total_ops,
+                       worked.cfg.total_ops))
+    key_caches: Dict[Tuple[int, str], Dict] = {}
+    out = []
+    for index, cell in indexed_cells:
+        machine = machine_by_name(cell.machine)
+        partials = [
+            _schedule_function_partition(
+                partition, original_ops, final_ops, cell, machine, timer,
+                key_caches=key_caches,
+            )
+            for partition, original_ops, final_ops in formed
+        ]
+        out.append((index, partials))
+    return out, lo, (timer.totals, timer.counts)
+
+
+def _split_cells(cells: Sequence[GridCell], jobs: int) -> List[_Task]:
+    """Cut the grid into group×slice tasks.
+
+    Groups with few functions stay whole; larger programs split into up
+    to ``jobs`` contiguous slices so one heavy benchmark cannot starve
+    the pool.
+    """
+    from repro.workloads.specint import build_benchmark
+
+    groups: Dict[Tuple[str, str], List[Tuple[int, GridCell]]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault((cell.benchmark, cell.scheme), []).append(
+            (index, cell)
+        )
+    tasks: List[_Task] = []
+    function_counts: Dict[str, int] = {}
+    for (bench, scheme_spec), indexed in groups.items():
+        count = function_counts.get(bench)
+        if count is None:
+            count = len(list(build_benchmark(bench).functions()))
+            function_counts[bench] = count
+        if count <= SPLIT_THRESHOLD:
+            tasks.append((bench, scheme_spec, tuple(indexed), 0, count))
+            continue
+        chunk = max(SPLIT_THRESHOLD, -(-count // jobs))
+        for lo in range(0, count, chunk):
+            tasks.append(
+                (bench, scheme_spec, tuple(indexed), lo,
+                 min(lo + chunk, count))
+            )
+    return tasks
+
+
+def _evaluate_grid_parallel(
+    cells: Sequence[GridCell],
+    jobs: int,
+    timer: StageTimer,
+) -> List[CellResult]:
+    tasks = _split_cells(cells, jobs)
+    # Per-cell partial lists keyed by slice start, merged in function
+    # order below so the float accumulation matches the serial path.
+    by_cell: Dict[int, Dict[int, List[_FunctionPartial]]] = {}
+    with multiprocessing.Pool(processes=jobs) as pool:
+        for out, lo, (totals, counts) in pool.imap_unordered(
+            _run_task, tasks
+        ):
+            for index, partials in out:
+                by_cell.setdefault(index, {})[lo] = partials
+            for name, seconds in totals.items():
+                timer.add(name, seconds, counts.get(name, 0))
+    results: List[CellResult] = []
+    for index, cell in enumerate(cells):
+        slices = by_cell[index]
+        ordered: List[_FunctionPartial] = []
+        for lo in sorted(slices):
+            ordered.extend(slices[lo])
+        results.append(_merge_partials(cell, ordered))
+    return results
+
+
+# ----------------------------------------------------------------------
+
+
+def evaluate_grid(
+    cells: Iterable[GridCell],
+    programs: Optional[Dict[str, Program]] = None,
+    jobs: int = 1,
+    timer: StageTimer = NULL_TIMER,
+) -> List[CellResult]:
+    """Evaluate every grid cell; results come back in input order.
+
+    Args:
+        cells: The grid (see :func:`default_grid`).
+        programs: Optional benchmark-name → program map overriding the
+            built-in workloads.  Custom programs are evaluated in the
+            parent process even when ``jobs > 1`` (workers rebuild
+            programs by name and cannot receive arbitrary programs).
+        jobs: 1 = serial with shared-work caching (default); N > 1 = a
+            pool of N worker processes; 0 = one worker per CPU.
+        timer: Accumulates per-stage wall time across the whole grid
+            (worker timers are merged in).
+
+    Every path returns results bit-identical to calling
+    :func:`evaluate_cell` per cell.
+    """
+    cells = list(cells)
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or not cells:
+        return _evaluate_grid_serial(cells, programs, timer)
+
+    custom = set(programs) if programs is not None else set()
+    pooled = [c for c in cells if c.benchmark not in custom]
+    local = [c for c in cells if c.benchmark in custom]
+    merged: Dict[int, CellResult] = {}
+    if pooled:
+        pooled_indices = [i for i, c in enumerate(cells)
+                          if c.benchmark not in custom]
+        for position, result in enumerate(
+            _evaluate_grid_parallel(pooled, jobs, timer)
+        ):
+            merged[pooled_indices[position]] = result
+    if local:
+        local_indices = [i for i, c in enumerate(cells)
+                         if c.benchmark in custom]
+        for position, result in enumerate(
+            _evaluate_grid_serial(local, programs, timer)
+        ):
+            merged[local_indices[position]] = result
+    return [merged[i] for i in range(len(cells))]

@@ -13,30 +13,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import form_treegions
-from repro.core.tail_duplication import TreegionLimits
 from repro.interp import profile_program
-from repro.machine import PAPER_MACHINES, VLIW_4U, VLIW_8U, universal_machine
+from repro.machine import VLIW_4U, universal_machine
 from repro.regions import form_slrs, partition_stats
 from repro.schedule import ScheduleOptions
-from repro.schedule.priorities import HEURISTICS
-from repro.evaluation.runner import baseline_time, evaluate_program
-from repro.evaluation.schemes import (
-    bb_scheme,
-    hyperblock_scheme,
-    slr_scheme,
-    superblock_scheme,
-    treegion_scheme,
-    treegion_td_scheme,
-)
+from repro.schedule.priorities import DEP_HEIGHT, HEURISTICS
+from repro.util.stats import geometric_mean as _geomean
+from repro.evaluation.engine import GridCell, evaluate_grid
+from repro.evaluation.schemes import bb_scheme, treegion_scheme
 from repro.evaluation.variation import variation_study
 from repro.workloads.specint import BENCHMARK_NAMES, build_benchmark
-
-
-def _geomean(values: Sequence[float]) -> float:
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
 
 
 def _table(header: List[str], rows: List[List[str]]) -> List[str]:
@@ -49,10 +35,18 @@ def _table(header: List[str], rows: List[List[str]]) -> List[str]:
 
 
 class ReportBuilder:
-    """Collects study results and renders markdown."""
+    """Collects study results and renders markdown.
 
-    def __init__(self, benchmarks: Optional[List[str]] = None):
+    Grid-shaped studies (heuristic speedups, scheme comparison) run
+    through :func:`repro.evaluation.engine.evaluate_grid`, so ``jobs``
+    fans them out over worker processes; results are identical to the
+    serial path regardless.
+    """
+
+    def __init__(self, benchmarks: Optional[List[str]] = None,
+                 jobs: int = 1):
         self.benchmarks = benchmarks or list(BENCHMARK_NAMES)
+        self.jobs = jobs
         self.lines: List[str] = [
             "# Treegion scheduling — experiment report",
             "",
@@ -62,8 +56,12 @@ class ReportBuilder:
         self._baselines: Dict[str, float] = {}
 
     def _baseline(self, name: str) -> float:
-        if name not in self._baselines:
-            self._baselines[name] = baseline_time(build_benchmark(name))
+        if not self._baselines:
+            grid = [GridCell(bench, "bb", "1U", DEP_HEIGHT)
+                    for bench in self.benchmarks]
+            for cell, result in zip(grid, evaluate_grid(grid,
+                                                        jobs=self.jobs)):
+                self._baselines[cell.benchmark] = result.time
         return self._baselines[name]
 
     # ------------------------------------------------------------------
@@ -86,19 +84,19 @@ class ReportBuilder:
         ))
 
     def add_heuristic_speedups(self, machine_name: str = "4U") -> None:
-        machine = PAPER_MACHINES[machine_name]
+        grid = [
+            GridCell(name, "treegion", machine_name, heuristic)
+            for name in self.benchmarks
+            for heuristic in HEURISTICS
+        ]
+        results = iter(evaluate_grid(grid, jobs=self.jobs))
         rows = []
         means = {heuristic: [] for heuristic in HEURISTICS}
         for name in self.benchmarks:
-            program = build_benchmark(name)
             base = self._baseline(name)
             cells = [name]
             for heuristic in HEURISTICS:
-                result = evaluate_program(
-                    program, treegion_scheme(), machine,
-                    ScheduleOptions(heuristic=heuristic),
-                )
-                speedup = base / result.time
+                speedup = base / next(results).time
                 means[heuristic].append(speedup)
                 cells.append(f"{speedup:.2f}")
             rows.append(cells)
@@ -112,27 +110,28 @@ class ReportBuilder:
         self.lines.extend(_table(["program"] + list(HEURISTICS), rows))
 
     def add_scheme_comparison(self, machine_name: str = "8U") -> None:
-        machine = PAPER_MACHINES[machine_name]
         schemes = [
-            ("bb", bb_scheme()),
-            ("slr", slr_scheme()),
-            ("superblock", superblock_scheme()),
-            ("hyperblock", hyperblock_scheme()),
-            ("treegion", treegion_scheme()),
-            ("treegion-td(3.0)",
-             treegion_td_scheme(TreegionLimits(code_expansion=3.0))),
+            ("bb", "bb"),
+            ("slr", "slr"),
+            ("superblock", "superblock"),
+            ("hyperblock", "hyperblock"),
+            ("treegion", "treegion"),
+            ("treegion-td(3.0)", "treegion-td:3.0"),
         ]
-        options = ScheduleOptions(heuristic="global_weight",
-                                  dominator_parallelism=True)
+        grid = [
+            GridCell(name, spec, machine_name, "global_weight",
+                     dominator_parallelism=True)
+            for name in self.benchmarks
+            for _, spec in schemes
+        ]
+        results = iter(evaluate_grid(grid, jobs=self.jobs))
         rows = []
         means: Dict[str, List[float]] = {label: [] for label, _ in schemes}
         for name in self.benchmarks:
-            program = build_benchmark(name)
             base = self._baseline(name)
             cells = [name]
-            for label, scheme in schemes:
-                result = evaluate_program(program, scheme, machine, options)
-                speedup = base / result.time
+            for label, _ in schemes:
+                speedup = base / next(results).time
                 means[label].append(speedup)
                 cells.append(f"{speedup:.2f}")
             rows.append(cells)
@@ -200,9 +199,14 @@ class ReportBuilder:
         return "\n".join(self.lines) + "\n"
 
 
-def generate_report(benchmarks: Optional[List[str]] = None) -> str:
-    """Run every study and return the markdown report."""
-    builder = ReportBuilder(benchmarks)
+def generate_report(benchmarks: Optional[List[str]] = None,
+                    jobs: int = 1) -> str:
+    """Run every study and return the markdown report.
+
+    ``jobs`` parallelizes the grid-shaped studies (see
+    :func:`repro.evaluation.engine.evaluate_grid`).
+    """
+    builder = ReportBuilder(benchmarks, jobs=jobs)
     builder.add_region_statistics()
     builder.add_heuristic_speedups("4U")
     builder.add_scheme_comparison("8U")

@@ -23,6 +23,7 @@ from repro.regions.stats import RegionStats, partition_stats
 from repro.schedule.priorities import DEP_HEIGHT
 from repro.schedule.schedule import RegionSchedule
 from repro.schedule.scheduler import ScheduleOptions, schedule_partition
+from repro.util.timing import NULL_TIMER, StageTimer
 from repro.evaluation.schemes import Scheme, bb_scheme
 
 
@@ -71,14 +72,17 @@ def evaluate_program(
     scheme: Scheme,
     machine: MachineModel,
     options: Optional[ScheduleOptions] = None,
+    timer: StageTimer = NULL_TIMER,
 ) -> EvaluationResult:
     """Run one full formation + scheduling + estimation pipeline.
 
     The input program is never modified: schemes that tail-duplicate run
-    on a deep clone (returned in the result for inspection).
+    on a deep clone (returned in the result for inspection).  ``timer``
+    accumulates per-stage wall time (formation + the scheduler's stages).
     """
     options = options or ScheduleOptions()
-    worked = clone_program(program) if scheme.mutates else program
+    with timer.stage("clone"):
+        worked = clone_program(program) if scheme.mutates else program
     original_ops = sum(fn.cfg.total_ops for fn in program.functions())
 
     result = EvaluationResult(
@@ -90,11 +94,14 @@ def evaluate_program(
         program=worked,
     )
     for function in worked.functions():
-        partition = scheme.form(function.cfg)
-        schedules = schedule_partition(partition, machine, options)
+        with timer.stage("formation"):
+            partition = scheme.form(function.cfg)
+        schedules = schedule_partition(partition, machine, options,
+                                       timer=timer)
         result.partitions.append(partition)
         result.schedules.extend(schedules)
-        result.time += sum(s.weighted_time for s in schedules)
+        with timer.stage("estimate"):
+            result.time += sum(s.weighted_time for s in schedules)
 
     final_ops = sum(fn.cfg.total_ops for fn in worked.functions())
     if original_ops > 0:

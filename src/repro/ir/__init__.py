@@ -35,6 +35,12 @@ from repro.ir.function import Function, Program
 from repro.ir.builder import IRBuilder
 from repro.ir.dominators import DominatorTree
 from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.analysis_cache import (
+    AnalysisCache,
+    dominators_of,
+    liveness_of,
+    register_bounds_of,
+)
 from repro.ir.verify import verify_cfg, verify_function, verify_program
 from repro.ir.printer import format_function, format_program, format_operation
 from repro.ir.parser import parse_program
@@ -58,6 +64,10 @@ __all__ = [
     "DominatorTree",
     "LivenessInfo",
     "compute_liveness",
+    "AnalysisCache",
+    "liveness_of",
+    "dominators_of",
+    "register_bounds_of",
     "verify_cfg",
     "verify_function",
     "verify_program",

@@ -1,0 +1,140 @@
+"""Version-keyed per-CFG analysis cache.
+
+Scheduling one program under several schemes, machines, and heuristics
+recomputes the same liveness sets, dominator trees, and register bounds
+over and over — every ``evaluate_program`` call walks the full CFG once
+per *region* just to reserve registers, and each scheme recomputes
+liveness on a CFG nothing has touched.  This module memoizes those
+function-level analyses keyed on :attr:`repro.ir.cfg.CFG.version`, the
+mutation counter every structural edit bumps (builder emits, parser
+appends, optimizer rewrites, tail duplication, superblock formation).
+
+The invalidation contract is simple and strict:
+
+* every mutation of blocks, edges, or op lists bumps ``cfg.version``
+  (the mutating CFG methods do it automatically; direct editors call
+  :meth:`~repro.ir.cfg.CFG.bump_version`);
+* a cached value is served only while its recorded version matches the
+  CFG's current version — otherwise it is recomputed on the spot.
+
+Entries are held in ``WeakKeyDictionary``s so a CFG that goes away takes
+its cached analyses with it; the cache never extends object lifetimes.
+
+Profile weights are deliberately *not* part of the version: liveness,
+dominators, and register bounds are structural and do not read weights,
+so re-profiling a program keeps every cached analysis valid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+from weakref import WeakKeyDictionary
+
+from repro.ir.cfg import CFG
+from repro.ir.dominators import DominatorTree
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.types import RegClass
+
+T = TypeVar("T")
+
+
+def _register_bounds(cfg: CFG) -> Dict[RegClass, int]:
+    """Highest register index + 1 per class, over every op of the CFG.
+
+    This is the whole-CFG scan ``prepare_region`` used to repeat per
+    region; scanning once per CFG version makes per-region preparation
+    O(region) instead of O(function).
+    """
+    bounds = {rclass: 0 for rclass in RegClass}
+    for block in cfg.blocks():
+        for op in block.ops:
+            for reg in op.defined_registers():
+                if reg.index >= bounds[reg.rclass]:
+                    bounds[reg.rclass] = reg.index + 1
+            for reg in op.used_registers():
+                if reg.index >= bounds[reg.rclass]:
+                    bounds[reg.rclass] = reg.index + 1
+    return bounds
+
+
+class AnalysisCache:
+    """Memoized per-CFG analyses, invalidated by the CFG version counter."""
+
+    def __init__(self):
+        self._liveness: "WeakKeyDictionary[CFG, Tuple[int, LivenessInfo]]" = \
+            WeakKeyDictionary()
+        self._dominators: "WeakKeyDictionary[CFG, Tuple[int, DominatorTree]]" = \
+            WeakKeyDictionary()
+        self._reg_bounds: "WeakKeyDictionary[CFG, Tuple[int, Dict[RegClass, int]]]" = \
+            WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _get(
+        self,
+        table: "WeakKeyDictionary[CFG, Tuple[int, T]]",
+        cfg: CFG,
+        compute: Callable[[CFG], T],
+    ) -> T:
+        entry = table.get(cfg)
+        if entry is not None and entry[0] == cfg.version:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        value = compute(cfg)
+        table[cfg] = (cfg.version, value)
+        return value
+
+    def liveness(self, cfg: CFG) -> LivenessInfo:
+        """Live-variable analysis for ``cfg``, cached per version."""
+        return self._get(self._liveness, cfg, compute_liveness)
+
+    def dominators(self, cfg: CFG) -> DominatorTree:
+        """Dominator tree for ``cfg``, cached per version."""
+        return self._get(self._dominators, cfg, DominatorTree)
+
+    def register_bounds(self, cfg: CFG) -> Dict[RegClass, int]:
+        """Per-class next-free register indices, cached per version."""
+        return self._get(self._reg_bounds, cfg, _register_bounds)
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self, cfg: Optional[CFG] = None) -> None:
+        """Drop cached entries for one CFG, or everything when None."""
+        if cfg is None:
+            self._liveness.clear()
+            self._dominators.clear()
+            self._reg_bounds.clear()
+        else:
+            self._liveness.pop(cfg, None)
+            self._dominators.pop(cfg, None)
+            self._reg_bounds.pop(cfg, None)
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache used by the scheduler and the evaluation engine.
+#: Correctness never depends on sharing it — the version check makes a
+#: stale hit impossible — so module-level state is safe here, and each
+#: worker process of the parallel engine simply grows its own.
+GLOBAL_CACHE = AnalysisCache()
+
+
+def liveness_of(cfg: CFG) -> LivenessInfo:
+    return GLOBAL_CACHE.liveness(cfg)
+
+
+def dominators_of(cfg: CFG) -> DominatorTree:
+    return GLOBAL_CACHE.dominators(cfg)
+
+
+def register_bounds_of(cfg: CFG) -> Dict[RegClass, int]:
+    return GLOBAL_CACHE.register_bounds(cfg)
+
+
+def invalidate(cfg: Optional[CFG] = None) -> None:
+    GLOBAL_CACHE.invalidate(cfg)

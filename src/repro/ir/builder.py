@@ -88,6 +88,7 @@ class IRBuilder:
             **kwargs,
         )
         self.current.ops.append(op)
+        self.cfg.bump_version()  # direct op-list edit: invalidate analyses
         return op
 
     def _binary(self, opcode: Opcode, a: Value, b: Value,

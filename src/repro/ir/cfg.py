@@ -164,9 +164,23 @@ class CFG:
         self._block_ids = IdAllocator(start=1)
         self._op_ids = IdAllocator(start=1)
         self.entry: Optional[BasicBlock] = None
+        # Monotonic mutation counter: bumped by every structural change
+        # (blocks, edges, op lists).  Cached analyses (liveness, dominators,
+        # register bounds — see repro.ir.analysis_cache) are keyed on it,
+        # so a stale result is never served after a mutation.
+        self.version: int = 0
 
     # ------------------------------------------------------------------
     # Construction
+
+    def bump_version(self) -> None:
+        """Invalidate cached analyses after a structural mutation.
+
+        Called automatically by every mutating CFG method; passes that
+        edit blocks or ops directly (the builder, parser, optimizer) must
+        call it themselves — that is the cache-invalidation contract.
+        """
+        self.version += 1
 
     def new_block(self, name: str = "") -> BasicBlock:
         """Create and register a new empty block."""
@@ -175,6 +189,7 @@ class CFG:
         self._blocks[bid] = block
         if self.entry is None:
             self.entry = block
+        self.version += 1
         return block
 
     def new_op(self, opcode: Opcode, **kwargs) -> Operation:
@@ -185,6 +200,7 @@ class CFG:
         """Create an op and append it to ``block``."""
         op = self.new_op(opcode, **kwargs)
         block.ops.append(op)
+        self.version += 1
         return op
 
     def add_edge(
@@ -199,16 +215,19 @@ class CFG:
         edge = Edge(src, dst, kind, case_value=case_value, weight=weight)
         src.out_edges.append(edge)
         dst.in_edges.append(edge)
+        self.version += 1
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
         edge.src.out_edges.remove(edge)
         edge.dst.in_edges.remove(edge)
+        self.version += 1
 
     def set_entry(self, block: BasicBlock) -> None:
         if block.bid not in self._blocks:
             raise IRValidationError(f"bb{block.bid} is not in this CFG")
         self.entry = block
+        self.version += 1
 
     def remove_block(self, block: BasicBlock) -> None:
         """Delete an edge-free, non-entry block (unreachable-code cleanup)."""
@@ -219,6 +238,7 @@ class CFG:
                 f"bb{block.bid} still has edges; detach it first"
             )
         del self._blocks[block.bid]
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Access
@@ -292,6 +312,7 @@ class CFG:
         term = edge.src.terminator
         if term is not None and term.target == old_dst.bid and edge.kind is EdgeKind.TAKEN:
             term.target = new_dst.bid
+        self.version += 1
 
     def clone_block_for_edge(self, block: BasicBlock, incoming: Edge) -> BasicBlock:
         """Tail-duplicate ``block`` for one of its incoming edges.
@@ -309,6 +330,7 @@ class CFG:
         clone.origin = block.origin
         for op in block.ops:
             clone.ops.append(op.clone(self._op_ids.allocate()))
+        self.version += 1  # ops appended directly, not via append_op
         # Split profile weight proportionally along out-edges.
         moved = incoming.weight
         total_out = sum(e.weight for e in block.out_edges)

@@ -12,7 +12,7 @@ per function.  Guards count as uses.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.ir.cfg import CFG, BasicBlock
 from repro.ir.registers import Register
@@ -25,12 +25,26 @@ class LivenessInfo:
                  live_out: Dict[int, FrozenSet[Register]]):
         self._live_in = live_in
         self._live_out = live_out
+        # Lazily cached sorted live-in tuples: renaming and the DDG
+        # builder iterate live sets in sorted order once per region exit,
+        # and one LivenessInfo is shared across all regions of a CFG (and
+        # across schemes, via the analysis cache) — sorting each block's
+        # set once beats re-sorting it at every exit.
+        self._sorted_in: Dict[int, Tuple[Register, ...]] = {}
 
     def live_in(self, block: BasicBlock) -> FrozenSet[Register]:
         return self._live_in.get(block.bid, frozenset())
 
     def live_out(self, block: BasicBlock) -> FrozenSet[Register]:
         return self._live_out.get(block.bid, frozenset())
+
+    def live_in_sorted(self, block: BasicBlock) -> Tuple[Register, ...]:
+        """``sorted(live_in(block))`` as a cached tuple."""
+        cached = self._sorted_in.get(block.bid)
+        if cached is None:
+            cached = tuple(sorted(self._live_in.get(block.bid, ())))
+            self._sorted_in[block.bid] = cached
+        return cached
 
     def live_into_edge(self, edge) -> FrozenSet[Register]:
         """Registers live on entry to the edge's destination.
@@ -40,6 +54,10 @@ class LivenessInfo:
         destination's live-in is the precise answer.
         """
         return self.live_in(edge.dst)
+
+    def live_into_edge_sorted(self, edge) -> Tuple[Register, ...]:
+        """``sorted(live_into_edge(edge))`` as a cached tuple."""
+        return self.live_in_sorted(edge.dst)
 
 
 def block_use_def(block: BasicBlock):

@@ -115,6 +115,7 @@ def _parse_operation(function: Function, line: str,
         # the function exist (see _resolve_targets).
         op.target = target_label  # type: ignore[assignment]
     block.ops.append(op)
+    cfg.bump_version()
 
 
 def _resolve_targets(function: Function, labels: Dict[str, BasicBlock]) -> None:

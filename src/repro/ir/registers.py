@@ -65,6 +65,17 @@ class RegisterFactory:
         if register.index >= nxt:
             self._next[register.rclass] = register.index + 1
 
+    def reserve_bounds(self, bounds) -> None:
+        """Reserve every index below precomputed per-class bounds.
+
+        Takes a ``{RegClass: next_free_index}`` map (see
+        :func:`repro.ir.analysis_cache.register_bounds_of`) so callers that
+        already know the function-wide maxima skip the per-register walk.
+        """
+        for rclass, nxt in bounds.items():
+            if nxt > self._next[rclass]:
+                self._next[rclass] = nxt
+
     def next_index(self, rclass: RegClass) -> int:
         """The index the next ``fresh`` call would use (for tests)."""
         return self._next[rclass]

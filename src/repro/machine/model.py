@@ -63,15 +63,29 @@ class MachineModel:
     max_branches_per_cycle: Optional[int] = None
 
     def latency(self, op: Operation) -> int:
-        """Cycles from issue until the op's results are readable."""
-        return self.latencies.get(op.opcode, self.default_latency)
+        """Cycles from issue until the op's results are readable.
+
+        Reads the full per-opcode table memoized at construction: the DDG
+        builder calls this for every edge of every region, so the miss
+        branch of a ``dict.get`` default is worth eliminating.
+        """
+        return self._latency_table[op.opcode]
 
     def latency_of(self, opcode: Opcode) -> int:
-        return self.latencies.get(opcode, self.default_latency)
+        return self._latency_table[opcode]
 
     def __post_init__(self):
         if self.issue_width < 1:
             raise ValueError(f"issue width must be >= 1, got {self.issue_width}")
+        # Memoized full latency table (every opcode resolved once).  The
+        # dataclass is frozen, so install it via object.__setattr__; it is
+        # derived state, deliberately not a dataclass field (it stays out
+        # of __eq__/__repr__ and is rebuilt from the declared fields).
+        table = {
+            opcode: self.latencies.get(opcode, self.default_latency)
+            for opcode in Opcode
+        }
+        object.__setattr__(self, "_latency_table", table)
 
     def __str__(self) -> str:
         return f"{self.name}({self.issue_width}-issue)"

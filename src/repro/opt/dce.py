@@ -51,4 +51,6 @@ def eliminate_dead_code(cfg: CFG) -> int:
                 live.add(register)
         kept.reverse()
         block.ops = kept
+    if removed:
+        cfg.bump_version()  # op lists replaced wholesale
     return removed

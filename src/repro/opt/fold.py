@@ -127,4 +127,6 @@ def fold_constants(cfg: CFG) -> int:
                 continue
             if _fold_pure(op) or _simplify_algebraic(op):
                 changed += 1
+    if changed:
+        cfg.bump_version()  # in-place op rewrites change use/def sets
     return changed

@@ -106,4 +106,6 @@ def propagate_block_local(cfg: CFG) -> int:
                     values[op.dest] = source
             elif key is not None and len(op.dests) == 1:
                 available[key] = op.dest
+    if changed:
+        cfg.bump_version()  # in-place op rewrites change use/def sets
     return changed

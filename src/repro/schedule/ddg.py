@@ -32,7 +32,7 @@ computed in one reverse sweep.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.ir.cfg import BasicBlock
 from repro.ir.liveness import LivenessInfo
@@ -148,43 +148,77 @@ class DDG:
 
 
 class _PathState:
-    """Per-path dependence state carried down the tree walk."""
+    """Per-path dependence state carried down the tree walk.
+
+    Forking is copy-on-write: a fork shares the parent's maps and copies
+    them only on the child's first write (:meth:`own`).  The old eager
+    fork deep-copied every dict and list once *per tree child*, which is
+    quadratic on bushy treegions (a 40-way switch fans a full path state
+    out 40 times at every level).  Sequence-valued state (``uses_since``
+    values, ``loads_since``, ``side_ops``) is stored as tuples, so shared
+    references are immutable and "appending" simply rebinds a fresh tuple
+    on one state without touching its siblings.
+    """
 
     __slots__ = ("last_def", "uses_since", "last_store", "loads_since",
-                 "side_ops")
+                 "side_ops", "_owned")
 
     def __init__(self):
         self.last_def: Dict[Register, int] = {}
-        self.uses_since: Dict[Register, List[int]] = {}
+        self.uses_since: Dict[Register, Tuple[int, ...]] = {}
         self.last_store: Optional[int] = None   # last ST or CALL
-        self.loads_since: List[int] = []
-        self.side_ops: List[int] = []           # stores/calls on the path
+        self.loads_since: Tuple[int, ...] = ()
+        self.side_ops: Tuple[int, ...] = ()     # stores/calls on the path
+        self._owned = True
 
     def fork(self) -> "_PathState":
-        child = _PathState()
-        child.last_def = dict(self.last_def)
-        child.uses_since = {reg: list(ops) for reg, ops in self.uses_since.items()}
+        child = _PathState.__new__(_PathState)
+        child.last_def = self.last_def
+        child.uses_since = self.uses_since
         child.last_store = self.last_store
-        child.loads_since = list(self.loads_since)
-        child.side_ops = list(self.side_ops)
+        child.loads_since = self.loads_since
+        child.side_ops = self.side_ops
+        child._owned = False
+        # The parent now shares its dicts with the child: it must copy
+        # before writing too (only relevant if it keeps processing ops).
+        self._owned = False
         return child
+
+    def own(self) -> None:
+        """Make the dict-valued state private before the first write.
+
+        Shallow copies suffice — the values (op indices / index tuples)
+        are immutable — and dict order is preserved, so edge insertion
+        order is bit-identical to the eager-copy implementation.
+        """
+        if not self._owned:
+            self.last_def = dict(self.last_def)
+            self.uses_since = dict(self.uses_since)
+            self._owned = True
 
 
 def _live_at_exit(
     exit: RegionExit,
     liveness: Optional[LivenessInfo],
     copies: Optional[List[ExitCopy]],
-) -> FrozenSet[Register]:
-    """Registers (post-renaming names) whose values the exit must carry."""
+) -> Tuple[Register, ...]:
+    """Registers (post-renaming names) whose values the exit must carry,
+    in sorted order (the DDG's deterministic edge-insertion order)."""
     if exit.edge is None or liveness is None:
-        return frozenset()
+        return ()
+    repairs = [(original, renamed) for copy_exit, original, renamed
+               in copies or [] if copy_exit is exit]
+    if not repairs:
+        # No renaming at this exit: reuse the liveness info's cached
+        # sorted tuple (shared across regions and schemes via the
+        # analysis cache) instead of re-sorting the same set.
+        return liveness.live_into_edge_sorted(exit.edge)
     live = set(liveness.live_into_edge(exit.edge))
-    if copies:
-        for copy_exit, original, renamed in copies:
-            if copy_exit is exit and original in live:
-                live.discard(original)
-                live.add(renamed)
-    return frozenset(live)
+    for original, renamed in repairs:
+        if original in live:
+            live.discard(original)
+            live.add(renamed)
+    return tuple(sorted(live))
 
 
 def build_ddg(
@@ -201,7 +235,7 @@ def build_ddg(
     """
     ddg = DDG(problem)
     region = problem.region
-    live_cache: Dict[int, FrozenSet[Register]] = {}
+    live_cache: Dict[int, Tuple[Register, ...]] = {}
     if liveness is not None:
         for exit in problem.exits:
             live_cache[id(exit)] = _live_at_exit(exit, liveness, copies)
@@ -212,8 +246,14 @@ def build_ddg(
         for sop in problem.by_block[block.bid]:
             _add_op_edges(ddg, machine, sop, state,
                           live_cache if liveness is not None else None)
-        for child in reversed(region.children(block)):
+        children = region.children(block)
+        # The first child (processed next, pushed last) adopts the parent
+        # state outright — the parent is done with it — so linear chains
+        # never copy path state at all; siblings fork copy-on-write.
+        for child in reversed(children[1:]):
             stack.append((child, state.fork()))
+        if children:
+            stack.append((children[0], state))
 
     _add_control_height_edges(ddg)
     ddg.compute_heights(machine)
@@ -265,26 +305,32 @@ def _add_op_edges(ddg: DDG, machine: MachineModel, sop: SchedOp,
     ops = ddg.problem.sched_ops
 
     # Flow dependences (sources + guard).
-    for reg in op.used_registers():
-        producer = state.last_def.get(reg)
-        if producer is not None:
-            ddg.add_edge(producer, i, machine.latency(ops[producer].op))
-            ddg.producers[i][reg] = producer
-        state.uses_since.setdefault(reg, []).append(i)
+    used = op.used_registers()
+    if used:
+        state.own()
+        for reg in used:
+            producer = state.last_def.get(reg)
+            if producer is not None:
+                ddg.add_edge(producer, i, machine.latency(ops[producer].op))
+                ddg.producers[i][reg] = producer
+            state.uses_since[reg] = state.uses_since.get(reg, ()) + (i,)
 
     # Output / anti dependences.
-    for reg in op.defined_registers():
-        previous = state.last_def.get(reg)
-        if previous is not None:
-            spacing = max(
-                1,
-                machine.latency(ops[previous].op) - machine.latency(op) + 1,
-            )
-            ddg.add_edge(previous, i, spacing)
-        for user in state.uses_since.get(reg, []):
-            ddg.add_edge(user, i, 0)
-        state.last_def[reg] = i
-        state.uses_since[reg] = []
+    defined = op.defined_registers()
+    if defined:
+        state.own()
+        for reg in defined:
+            previous = state.last_def.get(reg)
+            if previous is not None:
+                spacing = max(
+                    1,
+                    machine.latency(ops[previous].op) - machine.latency(op) + 1,
+                )
+                ddg.add_edge(previous, i, spacing)
+            for user in state.uses_since.get(reg, ()):
+                ddg.add_edge(user, i, 0)
+            state.last_def[reg] = i
+            state.uses_since[reg] = ()
 
     # Memory ordering (loads never bypass stores; Playdoh same-cycle rule).
     if op.opcode is Opcode.LD:
@@ -293,14 +339,14 @@ def _add_op_edges(ddg: DDG, machine: MachineModel, sop: SchedOp,
             producer = ops[state.last_store].op
             latency = 0 if producer.opcode is Opcode.ST else 1
             ddg.add_edge(state.last_store, i, latency)
-        state.loads_since.append(i)
+        state.loads_since = state.loads_since + (i,)
     elif op.opcode is Opcode.ST or op.opcode is Opcode.CALL:
         if state.last_store is not None:
             ddg.add_edge(state.last_store, i, 1)
         for load in state.loads_since:
             ddg.add_edge(load, i, 1)
         state.last_store = i
-        state.loads_since = []
+        state.loads_since = ()
 
     # Track side-effecting ops; record exit requirements.
     if sop.exit is not None:
@@ -312,9 +358,10 @@ def _add_op_edges(ddg: DDG, machine: MachineModel, sop: SchedOp,
             for producer in state.last_def.values():
                 ddg.add_edge(producer, i, 0)
         else:
-            for reg in sorted(live_cache[id(sop.exit)]):
+            # live_cache values are pre-sorted tuples.
+            for reg in live_cache[id(sop.exit)]:
                 producer = state.last_def.get(reg)
                 if producer is not None:
                     ddg.add_edge(producer, i, 0)
     elif op.opcode is Opcode.ST or op.opcode is Opcode.CALL:
-        state.side_ops.append(i)
+        state.side_ops = state.side_ops + (i,)

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.util.errors import SchedulingError
+from repro.ir.analysis_cache import register_bounds_of
 from repro.ir.cfg import BasicBlock, Edge
 from repro.ir.liveness import LivenessInfo
 from repro.ir.operation import Operation
@@ -87,8 +88,13 @@ class ScheduleProblem:
 
 def _reserve_all_registers(problem: ScheduleProblem) -> None:
     cfg = problem.region.root.cfg
-    blocks = cfg.blocks() if cfg is not None else problem.region.blocks
-    for block in blocks:
+    if cfg is not None:
+        # Function-wide register bounds are cached per CFG version: one
+        # scan per function instead of one per region (this walk was the
+        # dominant cost of preparing small regions).
+        problem.regs.reserve_bounds(register_bounds_of(cfg))
+        return
+    for block in problem.region.blocks:
         for op in block.ops:
             for reg in op.defined_registers():
                 problem.regs.reserve(reg)

@@ -22,7 +22,7 @@ schedules fully deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.schedule.ddg import DDG
 from repro.schedule.prep import ScheduleProblem
@@ -80,11 +80,47 @@ def priority_keys(
     )
 
 
+def all_priority_keys(
+    problem: ScheduleProblem, ddg: DDG
+) -> Dict[Heuristic, List[Tuple]]:
+    """``priority_keys`` for every heuristic, sharing the common pieces.
+
+    Dependence heights, exit counts, and block weights feed several
+    heuristics; evaluating the full heuristic sweep on one region (as the
+    evaluation engine does) computes each ingredient once here instead of
+    per heuristic.  Each entry is element-wise identical to what
+    :func:`priority_keys` returns for that heuristic.
+    """
+    heights = ddg.heights
+    counts = _exit_counts(problem)
+    sops = problem.sched_ops
+    per_op = [
+        (heights[sop.index], counts[sop.home.bid], sop.home.weight)
+        for sop in sops
+    ]
+    return {
+        DEP_HEIGHT: [(h,) for h, _, _ in per_op],
+        EXIT_COUNT: [(c, h) for h, c, _ in per_op],
+        GLOBAL_WEIGHT: [(w, h) for h, _, w in per_op],
+        WEIGHTED_COUNT: [(w, c, h) for h, c, w in per_op],
+    }
+
+
 def priority_order(
-    problem: ScheduleProblem, ddg: DDG, heuristic: Heuristic
+    problem: ScheduleProblem,
+    ddg: DDG,
+    heuristic: Heuristic,
+    keys: Optional[List[Tuple]] = None,
 ) -> List[SchedOp]:
-    """Step 2 of Figure 3: the DDG nodes sorted by the chosen heuristic."""
-    keys = priority_keys(problem, ddg, heuristic)
+    """Step 2 of Figure 3: the DDG nodes sorted by the chosen heuristic.
+
+    ``keys`` lets a caller that already holds this heuristic's keys (e.g.
+    from :func:`all_priority_keys` on an identically-prepared problem —
+    preparation is deterministic, so op indices line up) skip recomputing
+    them.
+    """
+    if keys is None:
+        keys = priority_keys(problem, ddg, heuristic)
     return sorted(
         problem.sched_ops,
         key=lambda sop: tuple(-component for component in keys[sop.index])

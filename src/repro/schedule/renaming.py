@@ -125,7 +125,7 @@ def rename_region(problem: ScheduleProblem, liveness: LivenessInfo) -> List[Exit
         for exit in exits_by_block.get(block.bid, []):
             if exit.edge is None:
                 continue  # RET srcs were rewritten in place
-            for reg in sorted(liveness.live_into_edge(exit.edge)):
+            for reg in liveness.live_into_edge_sorted(exit.edge):
                 current = renames.get(reg)
                 if current is not None and current != reg:
                     copies.append((exit, reg, current))

@@ -15,17 +15,24 @@ former differs between the paper's experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.analysis_cache import liveness_of
+from repro.ir.liveness import LivenessInfo
 from repro.machine.model import MachineModel
 from repro.regions.region import Region, RegionPartition
 from repro.schedule.ddg import build_ddg
 from repro.schedule.list_scheduler import list_schedule
 from repro.schedule.prep import prepare_region
-from repro.schedule.priorities import GLOBAL_WEIGHT, Heuristic, priority_order
+from repro.schedule.priorities import (
+    GLOBAL_WEIGHT,
+    Heuristic,
+    all_priority_keys,
+    priority_order,
+)
 from repro.schedule.renaming import rename_region
 from repro.schedule.schedule import RegionSchedule
+from repro.util.timing import NULL_TIMER, StageTimer
 
 
 @dataclass(frozen=True)
@@ -55,15 +62,26 @@ def schedule_region(
     machine: MachineModel,
     options: Optional[ScheduleOptions] = None,
     liveness: Optional[LivenessInfo] = None,
+    timer: StageTimer = NULL_TIMER,
+    key_cache: Optional[Dict[Heuristic, List[Tuple]]] = None,
 ) -> RegionSchedule:
     """Schedule one region for the given machine.
 
     ``liveness`` may be supplied to avoid recomputing it per region when
     scheduling a whole partition.  The input IR is never modified.
+
+    ``timer`` records per-stage wall time (prep/renaming/ddg/list_schedule).
+    ``key_cache`` shares priority keys across heuristic sweeps of the same
+    region: on the first call it is filled with every heuristic's keys (the
+    expensive ingredients — heights, exit counts — are computed once), and
+    later calls with a different heuristic reuse them.  Valid because
+    preparation is deterministic, so SchedOp indices line up run to run;
+    only useful when ``schedule_copies`` is fixed across the sweep (it adds
+    ops, changing the index space).
     """
     options = options or ScheduleOptions()
     if liveness is None:
-        liveness = compute_liveness(region.root.cfg)
+        liveness = liveness_of(region.root.cfg)
     # Hyperblocks go through the if-conversion pipeline: full predication,
     # DAG dependences, no renaming, no speculation.
     from repro.regions.hyperblock import Hyperblock
@@ -71,25 +89,36 @@ def schedule_region(
     if isinstance(region, Hyperblock):
         from repro.schedule.hyperblock import schedule_hyperblock
 
-        return schedule_hyperblock(
-            region, machine, heuristic=options.heuristic,
-            liveness=liveness, max_cycles=options.max_cycles,
+        with timer.stage("list_schedule"):
+            return schedule_hyperblock(
+                region, machine, heuristic=options.heuristic,
+                liveness=liveness, max_cycles=options.max_cycles,
+            )
+    with timer.stage("prep"):
+        problem = prepare_region(region, machine, liveness)
+    with timer.stage("renaming"):
+        copies = rename_region(problem, liveness)
+        if options.schedule_copies:
+            _insert_copy_ops(problem, copies)
+    with timer.stage("ddg"):
+        ddg = build_ddg(problem, machine, liveness=liveness, copies=copies)
+        if key_cache is not None and not options.schedule_copies:
+            if not key_cache:
+                key_cache.update(all_priority_keys(problem, ddg))
+            keys = key_cache.get(options.heuristic)
+        else:
+            keys = None
+        order = priority_order(problem, ddg, options.heuristic, keys=keys)
+    with timer.stage("list_schedule"):
+        return list_schedule(
+            problem,
+            ddg,
+            order,
+            machine,
+            dominator_parallelism=options.dominator_parallelism,
+            copies=copies,
+            max_cycles=options.max_cycles,
         )
-    problem = prepare_region(region, machine, liveness)
-    copies = rename_region(problem, liveness)
-    if options.schedule_copies:
-        _insert_copy_ops(problem, copies)
-    ddg = build_ddg(problem, machine, liveness=liveness, copies=copies)
-    order = priority_order(problem, ddg, options.heuristic)
-    return list_schedule(
-        problem,
-        ddg,
-        order,
-        machine,
-        dominator_parallelism=options.dominator_parallelism,
-        copies=copies,
-        max_cycles=options.max_cycles,
-    )
 
 
 def _insert_copy_ops(problem, copies) -> None:
@@ -126,17 +155,14 @@ def schedule_partition(
     partition: RegionPartition,
     machine: MachineModel,
     options: Optional[ScheduleOptions] = None,
+    timer: StageTimer = NULL_TIMER,
 ) -> List[RegionSchedule]:
-    """Schedule every region of a partition (liveness computed once)."""
+    """Schedule every region of a partition (liveness cached per CFG)."""
     options = options or ScheduleOptions()
     schedules: List[RegionSchedule] = []
-    liveness_cache: Dict[int, LivenessInfo] = {}
     for region in partition:
-        cfg = region.root.cfg
-        key = id(cfg)
-        if key not in liveness_cache:
-            liveness_cache[key] = compute_liveness(cfg)
+        liveness = liveness_of(region.root.cfg)
         schedules.append(
-            schedule_region(region, machine, options, liveness_cache[key])
+            schedule_region(region, machine, options, liveness, timer=timer)
         )
     return schedules

@@ -1,8 +1,11 @@
-"""Small shared utilities: id allocation, ordered sets, validation errors."""
+"""Small shared utilities: id allocation, ordered sets, validation errors,
+stage timing, and statistics helpers."""
 
 from repro.util.ids import IdAllocator
 from repro.util.ordered import OrderedSet
 from repro.util.errors import ReproError, IRValidationError, SchedulingError
+from repro.util.stats import geometric_mean
+from repro.util.timing import NULL_TIMER, NullTimer, StageTimer
 
 __all__ = [
     "IdAllocator",
@@ -10,4 +13,8 @@ __all__ = [
     "ReproError",
     "IRValidationError",
     "SchedulingError",
+    "geometric_mean",
+    "StageTimer",
+    "NullTimer",
+    "NULL_TIMER",
 ]

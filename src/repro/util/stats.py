@@ -1,0 +1,27 @@
+"""Small statistics helpers shared by benchmarks, reports, and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The geometric mean of ``values``.
+
+    An empty input returns 1.0 — the empty-product convention — instead of
+    crashing; speedup tables over an empty benchmark selection then render
+    as the neutral "no change" factor.  Negative inputs are rejected (the
+    geometric mean is undefined for them) while a zero anywhere makes the
+    whole mean zero, as expected.
+    """
+    values = list(values)
+    if not values:
+        return 1.0
+    product = 1.0
+    for value in values:
+        if value < 0:
+            raise ValueError(
+                f"geometric mean is undefined for negative values: {value!r}"
+            )
+        product *= value
+    return product ** (1.0 / len(values))

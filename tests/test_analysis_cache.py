@@ -1,0 +1,218 @@
+"""The version-keyed analysis cache and its invalidation contract.
+
+Every structural CFG mutation must bump ``cfg.version``, and the cache
+must never serve an analysis computed before a bump — in particular
+across tail duplication, which rewrites the CFG between two scheduling
+passes of the same evaluation.
+"""
+
+import pytest
+
+from repro.core import TreegionLimits, form_treegions_td
+from repro.ir import (
+    AnalysisCache,
+    IRBuilder,
+    Function,
+    Opcode,
+    RegClass,
+    Register,
+    liveness_of,
+    register_bounds_of,
+)
+from repro.ir.analysis_cache import GLOBAL_CACHE
+from repro.ir.clone import clone_function
+from repro.ir.types import EdgeKind
+
+from tests.helpers import diamond_function, straight_line_function
+
+
+class TestVersionBumps:
+    def test_builder_edits_bump(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        cfg = fn.cfg
+        v0 = cfg.version
+        entry = b.block("entry")
+        assert cfg.version > v0
+        v1 = cfg.version
+        b.at(entry)
+        b.mov(1)
+        assert cfg.version > v1
+        v2 = cfg.version
+        b.ret(0)
+        assert cfg.version > v2
+
+    def test_edge_and_entry_mutations_bump(self):
+        fn = diamond_function()
+        cfg = fn.cfg
+        entry, then_bb, else_bb, join = cfg.blocks()
+
+        v = cfg.version
+        extra = cfg.new_block("extra")
+        assert cfg.version > v
+
+        v = cfg.version
+        edge = cfg.add_edge(join, extra, EdgeKind.FALLTHROUGH)
+        assert cfg.version > v
+
+        v = cfg.version
+        cfg.retarget_edge(edge, join)
+        assert cfg.version > v
+
+        v = cfg.version
+        cfg.remove_edge(edge)
+        assert cfg.version > v
+
+        v = cfg.version
+        cfg.remove_block(extra)
+        assert cfg.version > v
+
+        v = cfg.version
+        cfg.set_entry(entry)
+        assert cfg.version > v
+
+    def test_append_op_bumps(self):
+        fn = straight_line_function()
+        cfg = fn.cfg
+        block = cfg.blocks()[0]
+        v = cfg.version
+        cfg.append_op(block, Opcode.NOP)
+        assert cfg.version > v
+
+    def test_clone_block_for_edge_bumps(self):
+        fn = diamond_function()
+        cfg = fn.cfg
+        _, _, else_bb, join = cfg.blocks()
+        incoming = else_bb.out_edges[0]
+        v = cfg.version
+        cfg.clone_block_for_edge(join, incoming)
+        assert cfg.version > v
+
+    def test_tail_duplication_bumps(self):
+        fn = clone_function(diamond_function())
+        entry, then_bb, else_bb, join = fn.cfg.blocks()
+        entry.weight = 100
+        then_bb.weight = 90
+        else_bb.weight = 10
+        join.weight = 100
+        entry.taken_edge.weight = 90
+        entry.fallthrough_edge.weight = 10
+        then_bb.taken_edge.weight = 90
+        else_bb.fallthrough_edge.weight = 10
+        v = fn.cfg.version
+        form_treegions_td(fn.cfg, TreegionLimits(code_expansion=4.0))
+        assert fn.cfg.version > v
+
+
+class TestCacheBehaviour:
+    def test_hit_until_mutation(self):
+        cache = AnalysisCache()
+        fn = diamond_function()
+        first = cache.liveness(fn.cfg)
+        assert cache.liveness(fn.cfg) is first
+        assert cache.hits == 1 and cache.misses == 1
+        fn.cfg.bump_version()
+        assert cache.liveness(fn.cfg) is not first
+        assert cache.misses == 2
+
+    def test_stale_liveness_never_served_across_tail_duplication(self):
+        """The exact staleness scenario the evaluation engine hits: one
+        CFG analysed, then tail-duplicated, then analysed again."""
+        fn = clone_function(diamond_function())
+        entry, then_bb, else_bb, join = fn.cfg.blocks()
+        entry.weight = 100
+        then_bb.weight = 90
+        else_bb.weight = 10
+        join.weight = 100
+        entry.taken_edge.weight = 90
+        entry.fallthrough_edge.weight = 10
+        then_bb.taken_edge.weight = 90
+        else_bb.fallthrough_edge.weight = 10
+
+        before = liveness_of(fn.cfg)
+        form_treegions_td(fn.cfg, TreegionLimits(code_expansion=4.0))
+        after = liveness_of(fn.cfg)
+        assert after is not before
+        # The fresh analysis must know about every current block,
+        # including the duplicated tail.
+        for block in fn.cfg.blocks():
+            after.live_in(block)  # must not raise
+
+    def test_register_bounds_track_new_registers(self):
+        fn = straight_line_function()
+        cfg = fn.cfg
+        bounds = register_bounds_of(cfg)
+        high = Register(RegClass.GPR, bounds[RegClass.GPR] + 7)
+        cfg.append_op(cfg.blocks()[0], Opcode.MOV, dests=[high],
+                      srcs=[fn.params[0]] if fn.params else [])
+        fresh = register_bounds_of(cfg)
+        assert fresh[RegClass.GPR] == high.index + 1
+
+    def test_dominators_invalidate_on_edge_change(self):
+        cache = AnalysisCache()
+        fn = diamond_function()
+        cfg = fn.cfg
+        entry, then_bb, else_bb, join = cfg.blocks()
+        dom = cache.dominators(cfg)
+        assert dom is cache.dominators(cfg)
+        # A new edge entry -> join changes the dominance of join.
+        cfg.add_edge(entry, join, EdgeKind.CASE, case_value=99)
+        assert cache.dominators(cfg) is not dom
+
+    def test_explicit_invalidate(self):
+        cache = AnalysisCache()
+        fn = diamond_function()
+        first = cache.liveness(fn.cfg)
+        cache.invalidate(fn.cfg)
+        assert cache.liveness(fn.cfg) is not first
+        second = cache.liveness(fn.cfg)
+        cache.invalidate()
+        assert cache.liveness(fn.cfg) is not second
+
+    def test_global_cache_counters(self):
+        GLOBAL_CACHE.reset_counters()
+        fn = diamond_function()
+        liveness_of(fn.cfg)
+        liveness_of(fn.cfg)
+        assert GLOBAL_CACHE.hits >= 1
+        assert GLOBAL_CACHE.misses >= 1
+
+    def test_cache_entries_die_with_cfg(self):
+        cache = AnalysisCache()
+        fn = diamond_function()
+        cache.liveness(fn.cfg)
+        assert len(cache._liveness) == 1
+        del fn
+        import gc
+
+        gc.collect()
+        assert len(cache._liveness) == 0
+
+
+class TestOptPassesBump:
+    def test_fold_constants_bumps_only_on_change(self):
+        from repro.opt.fold import fold_constants
+
+        fn = straight_line_function()
+        cfg = fn.cfg
+        v = cfg.version
+        changed = fold_constants(cfg)
+        if changed:
+            assert cfg.version > v
+        else:
+            assert cfg.version == v
+
+    def test_dce_bumps_on_removal(self):
+        from repro.opt.dce import eliminate_dead_code
+
+        fn = Function("dead")
+        b = IRBuilder(fn)
+        entry = b.block("entry")
+        b.at(entry)
+        b.mov(42)  # dead: never used
+        b.ret(0)
+        cfg = fn.cfg
+        v = cfg.version
+        removed = eliminate_dead_code(cfg)
+        assert removed > 0
+        assert cfg.version > v
