@@ -38,6 +38,8 @@ Subpackages:
 ``repro.machine``       machine models (1U baseline, 4U, 8U)
 ``repro.evaluation``    schemes, estimator, speedups
 ``repro.workloads``     synthetic SPECint95 stand-ins + paper CFGs
+``repro.api``           the stable typed facade (start here)
+``repro.validate``      seeded differential validation + minimizer
 ======================  ==================================================
 """
 
@@ -65,8 +67,14 @@ from repro.ir import (
     parse_program,
     verify_program,
 )
-from repro.interp import Interpreter, Profiler, profile_program, run_program
-from repro.lang import compile_source
+from repro.interp import (
+    Interpreter,
+    InterpreterError,
+    Profiler,
+    StepLimitExceeded,
+    profile_program,
+    run_program,
+)
 from repro.machine import (
     PAPER_MACHINES,
     SCALAR_1U,
@@ -101,8 +109,21 @@ from repro.evaluation import (
     treegion_scheme,
     treegion_td_scheme,
 )
-from repro.vliw import VLIWSimulator, schedule_program, simulate
+from repro.vliw import VLIWSimulator, schedule_program
 from repro.opt import optimize_function, optimize_program
+from repro import api
+from repro.api import (
+    CellResult,
+    GridCell,
+    SchemeSpec,
+    SchemeSpecError,
+    compile_source,
+    evaluate_cell,
+    evaluate_grid,
+    load_program,
+    make_scheme,
+    simulate,
+)
 from repro.regions.hyperblock import (
     Hyperblock,
     HyperblockLimits,
@@ -130,8 +151,8 @@ __all__ = [
     "Operation", "Program", "RegClass", "Register", "format_function",
     "format_program", "parse_program", "verify_program",
     # interp / lang
-    "Interpreter", "Profiler", "profile_program", "run_program",
-    "compile_source",
+    "Interpreter", "InterpreterError", "StepLimitExceeded", "Profiler",
+    "profile_program", "run_program", "compile_source",
     # machine
     "PAPER_MACHINES", "SCALAR_1U", "VLIW_4U", "VLIW_8U", "MachineModel",
     "universal_machine",
@@ -148,6 +169,10 @@ __all__ = [
     "treegion_td_scheme",
     # vliw
     "VLIWSimulator", "schedule_program", "simulate",
+    # typed facade (repro.api) — validate() stays under repro.api to not
+    # shadow the repro.validate subpackage
+    "api", "load_program", "make_scheme", "SchemeSpec", "SchemeSpecError",
+    "evaluate_grid", "evaluate_cell", "GridCell", "CellResult",
     # optimizer
     "optimize_function", "optimize_program",
     # hyperblocks

@@ -1,0 +1,187 @@
+"""The stable, typed entry points of the toolkit.
+
+Everything a caller needs for the paper's workflow — load or compile a
+program, name a scheme, evaluate the experiment grid, co-simulate, and
+run the differential validator — lives here with plain-data arguments
+(paths, spec strings, :class:`SchemeSpec`) instead of the internal
+closure-holding objects.  The CLI and the tests go through this module;
+the subpackage internals stay importable but are not the contract.
+
+Scheme and machine parameters accept either the parsed object or its
+textual name (``"treegion-td:2.0"``, ``"8U"``), so the facade composes
+with configuration files and command lines without ad-hoc parsing at
+every call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir.function import Program
+from repro.ir.parser import parse_program
+from repro.machine.model import MachineModel
+from repro.schedule.scheduler import ScheduleOptions
+from repro.evaluation.engine import (
+    CellResult,
+    GridCell,
+    evaluate_cell,
+    evaluate_grid as _evaluate_grid,
+    machine_by_name,
+)
+from repro.evaluation.schemes import Scheme, SchemeSpec, SchemeSpecError
+from repro.util.timing import NULL_TIMER, StageTimer
+
+SchemeLike = Union[str, SchemeSpec, Scheme]
+MachineLike = Union[str, MachineModel]
+
+
+def load_program(path: Optional[str] = None, *,
+                 text: Optional[str] = None,
+                 optimize: bool = False) -> Program:
+    """Load a program from a file path or a string.
+
+    Textual IR dumps are detected by their ``program entry=`` header;
+    anything else is treated as minic source.  ``optimize=True`` applies
+    the classic optimization pipeline before returning.
+    """
+    if (path is None) == (text is None):
+        raise ValueError("pass exactly one of path= or text=")
+    if path is not None:
+        with open(path) as handle:
+            text = handle.read()
+    assert text is not None
+    if text.lstrip().startswith("program entry="):
+        program = parse_program(text)
+    else:
+        program = compile_source(text)
+    if optimize:
+        from repro.opt import optimize_program
+
+        optimize_program(program)
+    return program
+
+
+def compile_source(source: str, optimize: bool = False) -> Program:
+    """minic source → verified IR program."""
+    from repro.lang import compile_source as _compile
+
+    program = _compile(source)
+    if optimize:
+        from repro.opt import optimize_program
+
+        optimize_program(program)
+    return program
+
+
+def make_scheme(spec: SchemeLike) -> Scheme:
+    """Resolve a scheme from a spec string, a SchemeSpec, or a Scheme."""
+    if isinstance(spec, Scheme):
+        return spec
+    if isinstance(spec, SchemeSpec):
+        return spec.build()
+    return SchemeSpec.parse(spec).build()
+
+
+def machine(name: MachineLike) -> MachineModel:
+    """Resolve a machine model from its name (``1U``/``4U``/``8U``/<N>U)."""
+    if isinstance(name, MachineModel):
+        return name
+    return machine_by_name(name)
+
+
+def evaluate_grid(
+    cells: Sequence[GridCell],
+    *,
+    programs: Optional[Dict[str, Program]] = None,
+    program_texts: Optional[Dict[str, str]] = None,
+    jobs: int = 1,
+    timer: StageTimer = NULL_TIMER,
+) -> List[CellResult]:
+    """Evaluate experiment grid cells (PR-1 engine; see its module doc).
+
+    ``jobs=1`` runs the serial shared-work path, ``jobs>1`` (or 0 for
+    the CPU count) fans out over a worker pool — both bit-identical to
+    per-cell evaluation.
+    """
+    return _evaluate_grid(
+        cells, jobs=jobs, programs=programs, program_texts=program_texts,
+        timer=timer,
+    )
+
+
+def simulate(
+    program: Program,
+    scheme: SchemeLike = "treegion",
+    machine_model: MachineLike = "4U",
+    args: Sequence[object] = (),
+    options: Optional[ScheduleOptions] = None,
+):
+    """Schedule ``program`` and execute it on the VLIW simulator.
+
+    Returns ``(result, simulator)``; the simulator object exposes final
+    memory and the dynamic cycle count.  The program should be profiled
+    (or carry weights) before calling for meaningful schedules.
+    """
+    from repro.vliw.simulator import simulate as _simulate
+
+    return _simulate(
+        program, make_scheme(scheme), machine(machine_model), args, options,
+    )
+
+
+def validate(
+    seeds: Union[int, Sequence[int]] = 50,
+    *,
+    start: int = 0,
+    grid: Union[None, str, Sequence] = None,
+    jobs: int = 1,
+    shrink: bool = True,
+    max_trials: int = 3000,
+    engine_every: Optional[int] = None,
+    report_dir: Optional[str] = None,
+    progress=None,
+):
+    """Run the differential validation campaign; see :mod:`repro.validate`.
+
+    ``seeds`` is a count (seeds ``start .. start+seeds-1``) or an
+    explicit sequence.  ``grid`` is a list of cells or a spec string
+    like ``"schemes=bb,treegion;machines=4U"``.  Returns a
+    :class:`~repro.validate.runner.ValidationSummary`.
+    """
+    from repro.validate.runner import (
+        ENGINE_SAMPLE_EVERY, parse_grid_spec, run_validation,
+    )
+
+    if isinstance(seeds, int):
+        seeds = range(start, start + seeds)
+    if grid is None or isinstance(grid, str):
+        grid = parse_grid_spec(grid)
+    return run_validation(
+        list(seeds),
+        grid=grid,
+        jobs=jobs,
+        shrink=shrink,
+        max_trials=max_trials,
+        engine_every=(ENGINE_SAMPLE_EVERY if engine_every is None
+                      else engine_every),
+        report_dir=report_dir,
+        progress=progress,
+    )
+
+
+__all__ = [
+    "load_program",
+    "compile_source",
+    "make_scheme",
+    "machine",
+    "evaluate_grid",
+    "evaluate_cell",
+    "simulate",
+    "validate",
+    "GridCell",
+    "CellResult",
+    "Scheme",
+    "SchemeSpec",
+    "SchemeSpecError",
+    "ScheduleOptions",
+]

@@ -8,11 +8,18 @@ Commands:
 * ``schedule`` — print the region schedules for a program under a chosen
   scheme/machine/heuristic;
 * ``bench``    — speedup table over the synthetic SPECint95 stand-ins;
+* ``validate`` — seeded differential validation (interpreter vs VLIW
+  simulator vs static estimate vs evaluation engine), with automatic
+  failure minimization;
 * ``dot``      — Graphviz rendering of a function's CFG, clustered by
   region.
 
 Program inputs may be minic source (``.mc`` or anything else) or textual
-IR dumps (detected by the ``program entry=`` header).
+IR dumps (detected by the ``program entry=`` header).  Scheme arguments
+are typed spec strings (``bb``, ``slr``, ``treegion``, ``superblock``,
+``hyperblock``, ``treegion-td[:limit]``) parsed by
+:class:`repro.api.SchemeSpec`; everything the CLI does goes through the
+:mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -21,59 +28,39 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.ir.function import Program
-from repro.ir.parser import parse_program
 from repro.ir.printer import format_program
 from repro.interp import Interpreter, profile_program
-from repro.lang import compile_source
-from repro.machine import PAPER_MACHINES, SCALAR_1U, universal_machine
 from repro.schedule import ScheduleOptions
 from repro.schedule.priorities import HEURISTICS
-from repro.core.tail_duplication import TreegionLimits
-from repro.evaluation import (
-    bb_scheme,
-    evaluate_program,
-    slr_scheme,
-    superblock_scheme,
-    treegion_scheme,
-    treegion_td_scheme,
-)
-from repro.evaluation.schemes import hyperblock_scheme
-from repro.vliw import simulate
+from repro.evaluation import evaluate_program
 
-SCHEMES = {
-    "bb": bb_scheme,
-    "slr": slr_scheme,
-    "superblock": superblock_scheme,
-    "treegion": treegion_scheme,
-    "treegion-td": lambda: treegion_td_scheme(TreegionLimits()),
-    "hyperblock": hyperblock_scheme,
-}
+#: Plain scheme names offered in ``--help`` (any ``treegion-td:<limit>``
+#: spec is accepted too).
+SCHEME_CHOICES = ("bb", "slr", "treegion", "superblock", "treegion-td",
+                  "hyperblock")
 
 
 def _load_program(path: str, optimize: bool = False) -> Program:
-    with open(path) as handle:
-        text = handle.read()
-    if text.lstrip().startswith("program entry="):
-        program = parse_program(text)
-    else:
-        program = compile_source(text)
-    if optimize:
-        from repro.opt import optimize_program
-
-        stats = optimize_program(program)
-        print(f"; classic optimizations: {stats}", file=sys.stderr)
-    return program
+    try:
+        return api.load_program(path, optimize=optimize)
+    except OSError as error:
+        raise SystemExit(str(error))
 
 
 def _machine(name: str):
-    if name in PAPER_MACHINES:
-        return PAPER_MACHINES[name]
-    if name == "1U":
-        return SCALAR_1U
-    if name.endswith("U") and name[:-1].isdigit():
-        return universal_machine(int(name[:-1]))
-    raise SystemExit(f"unknown machine {name!r} (use 1U/4U/8U/<N>U)")
+    try:
+        return api.machine(name)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _scheme(spec: str):
+    try:
+        return api.make_scheme(spec)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _parse_args_list(values: Optional[List[str]]) -> List[object]:
@@ -101,8 +88,8 @@ def cmd_run(args) -> int:
     profile_program(program, inputs=[inputs])
     options = ScheduleOptions(heuristic=args.heuristic,
                               dominator_parallelism=True)
-    result, simulator = simulate(program, SCHEMES[args.scheme](), machine,
-                                 inputs, options)
+    result, simulator = api.simulate(program, _scheme(args.scheme), machine,
+                                     inputs, options)
     status = "OK" if result == expected else "MISMATCH"
     print(f"VLIW simulator ({args.scheme}, {machine}): {result} [{status}] "
           f"in {simulator.cycles} cycles")
@@ -116,7 +103,7 @@ def cmd_schedule(args) -> int:
     machine = _machine(args.machine)
     options = ScheduleOptions(heuristic=args.heuristic,
                               dominator_parallelism=True)
-    result = evaluate_program(program, SCHEMES[args.scheme](), machine,
+    result = evaluate_program(program, _scheme(args.scheme), machine,
                               options)
     for schedule in result.schedules:
         print(schedule.format())
@@ -130,7 +117,7 @@ def cmd_schedule(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.schedule.priorities import DEP_HEIGHT
-    from repro.evaluation.engine import GridCell, build_scheme, evaluate_grid
+    from repro.api import GridCell, SchemeSpec
     from repro.util.timing import StageTimer
     from repro.workloads.specint import BENCHMARK_NAMES
 
@@ -140,7 +127,7 @@ def cmd_bench(args) -> int:
                else ["bb", "slr", "superblock", "treegion", "treegion-td"])
     for scheme in schemes:  # validate specs before any work fans out
         try:
-            build_scheme(scheme)
+            SchemeSpec.parse(scheme)
         except ValueError as error:
             raise SystemExit(str(error))
     grid = [GridCell(name, "bb", "1U", DEP_HEIGHT) for name in names] + [
@@ -150,7 +137,7 @@ def cmd_bench(args) -> int:
         for scheme in schemes
     ]
     timer = StageTimer()
-    results = evaluate_grid(grid, jobs=args.jobs, timer=timer)
+    results = api.evaluate_grid(grid, jobs=args.jobs, timer=timer)
     baselines = {r.cell.benchmark: r.time for r in results[:len(names)]}
     rest = iter(results[len(names):])
     print(f"{'program':10s} " + " ".join(f"{s:>12s}" for s in schemes))
@@ -170,6 +157,49 @@ def cmd_report(args) -> int:
     names = args.benchmarks.split(",") if args.benchmarks else None
     sys.stdout.write(generate_report(names, jobs=args.jobs))
     return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.validate import parse_grid_spec
+
+    try:
+        grid = parse_grid_spec(args.grid)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    def progress(outcome) -> None:
+        if not outcome.ok:
+            print(f"seed {outcome.seed}: "
+                  f"{outcome.mismatch_count} mismatch(es)")
+        elif args.verbose:
+            print(f"seed {outcome.seed}: ok "
+                  f"({outcome.cells_checked} cells)")
+
+    summary = api.validate(
+        args.seeds,
+        start=args.start,
+        grid=grid,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        max_trials=args.max_trials,
+        report_dir=args.report_dir,
+        progress=progress,
+    )
+    status = "OK" if summary.ok else "FAIL"
+    print(f"{status}: {summary.seeds} seeds, {summary.cells_checked} "
+          f"cell-input checks, {len(summary.failures)} failing seed(s)")
+    for outcome in summary.failures:
+        if outcome.failure is None:
+            continue
+        failure = outcome.failure
+        print(f"  seed {failure.seed} [{failure.check}] cell="
+              f"{failure.cell} inputs={failure.inputs}: "
+              f"{failure.original_ops} -> {failure.minimized_ops} ops "
+              f"({failure.trials} trials)")
+        if args.report_dir:
+            print(f"    report: {args.report_dir}/"
+                  f"failure-seed{failure.seed}.json")
+    return 0 if summary.ok else 1
 
 
 def cmd_dot(args) -> int:
@@ -203,8 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p, with_scheme=True):
         if with_scheme:
-            p.add_argument("--scheme", choices=sorted(SCHEMES),
-                           default="treegion")
+            p.add_argument("--scheme", default="treegion",
+                           metavar="SPEC",
+                           help="one of %s, or treegion-td:<limit>"
+                                % ", ".join(SCHEME_CHOICES))
         p.add_argument("--machine", default="4U",
                        help="1U, 4U, 8U, or <N>U")
         p.add_argument("--heuristic", choices=list(HEURISTICS),
@@ -251,6 +283,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = serial, 0 = one per CPU)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "validate",
+        help="differential validation over random seeded programs",
+    )
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of generator seeds to check")
+    p.add_argument("--start", type=int, default=0,
+                   help="first seed (campaign covers start..start+seeds-1)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial, 0 = one per CPU)")
+    p.add_argument("--grid", default=None, metavar="SPEC",
+                   help="axes, e.g. 'schemes=bb,treegion;machines=4U,8U;"
+                        "heuristics=global_weight' (defaults: all schemes, "
+                        "4U+8U, global_weight)")
+    p.add_argument("--report-dir", default=None,
+                   help="write one JSON failure report per failing seed")
+    p.add_argument("--max-trials", type=int, default=3000,
+                   help="shrinker budget per failure")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without minimizing them")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every seed, not just failures")
+    p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")

@@ -49,15 +49,7 @@ from repro.machine.presets import PAPER_MACHINES, SCALAR_1U
 from repro.schedule.priorities import HEURISTICS
 from repro.schedule.scheduler import ScheduleOptions, schedule_region
 from repro.util.timing import NULL_TIMER, StageTimer
-from repro.evaluation.schemes import (
-    Scheme,
-    bb_scheme,
-    hyperblock_scheme,
-    slr_scheme,
-    superblock_scheme,
-    treegion_scheme,
-    treegion_td_scheme,
-)
+from repro.evaluation.schemes import Scheme, SchemeSpec
 
 #: Machines addressable by name from a grid cell.
 MACHINES: Dict[str, MachineModel] = {"1U": SCALAR_1U, **PAPER_MACHINES}
@@ -69,30 +61,13 @@ SPLIT_THRESHOLD = 8
 def build_scheme(spec: str) -> Scheme:
     """Turn a scheme spec string into a :class:`Scheme`.
 
-    Accepted specs: ``bb``, ``slr``, ``treegion``, ``superblock``,
-    ``hyperblock``, and ``treegion-td:<limit>`` (also the display form
-    ``treegion-td(<limit>)``); a bare ``treegion-td`` uses the default
-    code-expansion limit.
+    Deprecated ad-hoc path: the parsing now lives in
+    :class:`repro.evaluation.schemes.SchemeSpec`; prefer
+    ``SchemeSpec.parse(spec).build()`` (or ``repro.api.make_scheme``).
+    Kept as a thin delegate because grid cells and workers still name
+    schemes by spec string.
     """
-    spec = spec.strip()
-    if spec == "bb":
-        return bb_scheme()
-    if spec == "slr":
-        return slr_scheme()
-    if spec == "treegion":
-        return treegion_scheme()
-    if spec == "superblock":
-        return superblock_scheme()
-    if spec == "hyperblock":
-        return hyperblock_scheme()
-    if spec.startswith("treegion-td"):
-        from repro.core.tail_duplication import TreegionLimits
-
-        rest = spec[len("treegion-td"):].strip("():")
-        if not rest:
-            return treegion_td_scheme()
-        return treegion_td_scheme(TreegionLimits(code_expansion=float(rest)))
-    raise ValueError(f"unknown scheme spec {spec!r}")
+    return SchemeSpec.parse(spec).build()
 
 
 def machine_by_name(name: str) -> MachineModel:
@@ -299,6 +274,7 @@ def _evaluate_grid_serial(
     cells: Sequence[GridCell],
     programs: Optional[Dict[str, Program]],
     timer: StageTimer,
+    texts: Optional[Dict[str, str]] = None,
 ) -> List[CellResult]:
     results: List[Optional[CellResult]] = [None] * len(cells)
     groups: Dict[Tuple[str, str], List[int]] = {}
@@ -306,7 +282,7 @@ def _evaluate_grid_serial(
         groups.setdefault((cell.benchmark, cell.scheme), []).append(index)
 
     for (bench, scheme_spec), indices in groups.items():
-        program = _resolve_program(bench, programs)
+        program = _resolve_program(bench, programs, texts)
         scheme = build_scheme(scheme_spec)
         # Clone and form once: formation is machine- and heuristic-
         # independent, and scheduling never mutates the IR, so every cell
@@ -338,10 +314,29 @@ def _evaluate_grid_serial(
     return results  # type: ignore[return-value]
 
 
+#: Per-process cache of programs parsed from shipped IR text, keyed by
+#: benchmark name (the stored text detects a changed payload).
+_text_cache: Dict[str, Tuple[str, Program]] = {}
+
+
+def _program_from_text(bench: str, text: str) -> Program:
+    cached = _text_cache.get(bench)
+    if cached is not None and cached[0] == text:
+        return cached[1]
+    from repro.ir.parser import parse_program
+
+    program = parse_program(text)
+    _text_cache[bench] = (text, program)
+    return program
+
+
 def _resolve_program(bench: str,
-                     programs: Optional[Dict[str, Program]]) -> Program:
+                     programs: Optional[Dict[str, Program]],
+                     texts: Optional[Dict[str, str]] = None) -> Program:
     if programs is not None and bench in programs:
         return programs[bench]
+    if texts is not None and bench in texts:
+        return _program_from_text(bench, texts[bench])
     from repro.workloads.specint import build_benchmark
 
     return build_benchmark(bench)
@@ -355,21 +350,28 @@ def _resolve_program(bench: str,
 #: restricted to a half-open slice of the program's functions.  Grouping
 #: keeps the serial path's work sharing inside the worker: the slice is
 #: cloned and formed once, then scheduled for each (machine, heuristic)
-#: cell of the group.
-_Task = Tuple[str, str, Tuple[Tuple[int, GridCell], ...], int, int]
+#: cell of the group.  The final element is an optional textual IR dump:
+#: programs that are not built-in benchmarks cross the process boundary
+#: as text (the printer/parser round-trip is structure-identical).
+_Task = Tuple[str, str, Tuple[Tuple[int, GridCell], ...], int, int,
+              Optional[str]]
 
 
 def _run_task(task: _Task):
     """Pool worker: evaluate one group's cells over a function slice.
 
-    The program is rebuilt from the benchmark name inside the worker
-    (each worker process keeps :mod:`repro.workloads.specint`'s cache, so
-    rebuilding is paid once per benchmark per worker, not per task).
+    The program is rebuilt from the benchmark name (or re-parsed from the
+    shipped IR text) inside the worker; each worker process caches per
+    benchmark, so rebuilding is paid once per benchmark per worker, not
+    per task.
     """
-    bench, scheme_spec, indexed_cells, lo, hi = task
-    from repro.workloads.specint import build_benchmark
+    bench, scheme_spec, indexed_cells, lo, hi, text = task
+    if text is not None:
+        program = _program_from_text(bench, text)
+    else:
+        from repro.workloads.specint import build_benchmark
 
-    program = build_benchmark(bench)
+        program = build_benchmark(bench)
     scheme = build_scheme(scheme_spec)
     timer = StageTimer()
     formed = []  # (partition, original_ops, final_ops) per function
@@ -395,15 +397,14 @@ def _run_task(task: _Task):
     return out, lo, (timer.totals, timer.counts)
 
 
-def _split_cells(cells: Sequence[GridCell], jobs: int) -> List[_Task]:
+def _split_cells(cells: Sequence[GridCell], jobs: int,
+                 texts: Optional[Dict[str, str]] = None) -> List[_Task]:
     """Cut the grid into group×slice tasks.
 
     Groups with few functions stay whole; larger programs split into up
     to ``jobs`` contiguous slices so one heavy benchmark cannot starve
     the pool.
     """
-    from repro.workloads.specint import build_benchmark
-
     groups: Dict[Tuple[str, str], List[Tuple[int, GridCell]]] = {}
     for index, cell in enumerate(cells):
         groups.setdefault((cell.benchmark, cell.scheme), []).append(
@@ -412,18 +413,22 @@ def _split_cells(cells: Sequence[GridCell], jobs: int) -> List[_Task]:
     tasks: List[_Task] = []
     function_counts: Dict[str, int] = {}
     for (bench, scheme_spec), indexed in groups.items():
+        text = texts.get(bench) if texts is not None else None
         count = function_counts.get(bench)
         if count is None:
-            count = len(list(build_benchmark(bench).functions()))
+            count = len(list(
+                _resolve_program(bench, None, texts).functions()
+            ))
             function_counts[bench] = count
         if count <= SPLIT_THRESHOLD:
-            tasks.append((bench, scheme_spec, tuple(indexed), 0, count))
+            tasks.append((bench, scheme_spec, tuple(indexed), 0, count,
+                          text))
             continue
         chunk = max(SPLIT_THRESHOLD, -(-count // jobs))
         for lo in range(0, count, chunk):
             tasks.append(
                 (bench, scheme_spec, tuple(indexed), lo,
-                 min(lo + chunk, count))
+                 min(lo + chunk, count), text)
             )
     return tasks
 
@@ -432,8 +437,9 @@ def _evaluate_grid_parallel(
     cells: Sequence[GridCell],
     jobs: int,
     timer: StageTimer,
+    texts: Optional[Dict[str, str]] = None,
 ) -> List[CellResult]:
-    tasks = _split_cells(cells, jobs)
+    tasks = _split_cells(cells, jobs, texts)
     # Per-cell partial lists keyed by slice start, merged in function
     # order below so the float accumulation matches the serial path.
     by_cell: Dict[int, Dict[int, List[_FunctionPartial]]] = {}
@@ -463,6 +469,7 @@ def evaluate_grid(
     programs: Optional[Dict[str, Program]] = None,
     jobs: int = 1,
     timer: StageTimer = NULL_TIMER,
+    program_texts: Optional[Dict[str, str]] = None,
 ) -> List[CellResult]:
     """Evaluate every grid cell; results come back in input order.
 
@@ -476,6 +483,12 @@ def evaluate_grid(
             pool of N worker processes; 0 = one worker per CPU.
         timer: Accumulates per-stage wall time across the whole grid
             (worker timers are merged in).
+        program_texts: Optional benchmark-name → textual IR dump map
+            (:func:`repro.ir.printer.format_program`).  Unlike
+            ``programs``, text *does* cross the process boundary, so
+            these benchmarks fan out to workers — this is how the
+            validation oracle runs generated programs through the
+            parallel path.  ``programs`` wins when a name is in both.
 
     Every path returns results bit-identical to calling
     :func:`evaluate_cell` per cell.
@@ -484,7 +497,7 @@ def evaluate_grid(
     if jobs == 0:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or not cells:
-        return _evaluate_grid_serial(cells, programs, timer)
+        return _evaluate_grid_serial(cells, programs, timer, program_texts)
 
     custom = set(programs) if programs is not None else set()
     pooled = [c for c in cells if c.benchmark not in custom]
@@ -494,14 +507,14 @@ def evaluate_grid(
         pooled_indices = [i for i, c in enumerate(cells)
                           if c.benchmark not in custom]
         for position, result in enumerate(
-            _evaluate_grid_parallel(pooled, jobs, timer)
+            _evaluate_grid_parallel(pooled, jobs, timer, program_texts)
         ):
             merged[pooled_indices[position]] = result
     if local:
         local_indices = [i for i, c in enumerate(cells)
                          if c.benchmark in custom]
         for position, result in enumerate(
-            _evaluate_grid_serial(local, programs, timer)
+            _evaluate_grid_serial(local, programs, timer, program_texts)
         ):
             merged[local_indices[position]] = result
     return [merged[i] for i in range(len(cells))]

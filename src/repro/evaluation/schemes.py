@@ -10,6 +10,13 @@ knows to work on a clone.  The five schemes the paper compares:
 * ``superblock`` — profile traces + tail duplication (Section 4);
 * ``treegion-td`` — treegions with tail duplication (Section 4), with the
   code-expansion limit in the name (``treegion-td(2.0)``).
+
+:class:`SchemeSpec` is the typed, picklable description of a scheme: it
+parses the spec strings used everywhere schemes cross a textual boundary
+(CLI flags, grid cells, worker processes) and round-trips through
+``str()``.  :class:`Scheme` objects close over formation callables and are
+*not* picklable; a spec is what you keep and ship, ``spec.build()`` is
+what you call at the point of use.
 """
 
 from __future__ import annotations
@@ -75,3 +82,106 @@ def hyperblock_scheme(limits: Optional[HyperblockLimits] = None) -> Scheme:
         "hyperblock",
         lambda cfg: form_hyperblocks(cfg, limits),
     )
+
+
+# ----------------------------------------------------------------------
+# Typed scheme specs
+
+
+class SchemeSpecError(ValueError):
+    """A scheme spec string could not be parsed."""
+
+
+#: Scheme kinds that take no parameter.
+_PLAIN_KINDS = ("bb", "slr", "treegion", "superblock", "hyperblock")
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A parsed, picklable scheme description.
+
+    ``kind`` is one of ``bb``, ``slr``, ``treegion``, ``superblock``,
+    ``hyperblock``, ``treegion-td``; ``limit`` is the code-expansion limit
+    for ``treegion-td`` (``None`` selects the default
+    :class:`~repro.core.tail_duplication.TreegionLimits`).
+
+    The canonical string form (``str(spec)``) is ``<kind>`` or
+    ``treegion-td:<limit>``; :meth:`parse` also accepts the display form
+    ``treegion-td(<limit>)`` that :class:`Scheme` names use, so
+    ``SchemeSpec.parse(str(spec)) == spec`` always holds.
+    """
+
+    kind: str
+    limit: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in _PLAIN_KINDS and self.kind != "treegion-td":
+            raise SchemeSpecError(
+                f"unknown scheme {self.kind!r}; expected one of "
+                f"{', '.join(_PLAIN_KINDS)} or treegion-td[:<limit>]"
+            )
+        if self.limit is not None:
+            if self.kind != "treegion-td":
+                raise SchemeSpecError(
+                    f"scheme {self.kind!r} takes no parameter "
+                    f"(got {self.limit!r})"
+                )
+            if self.limit < 1.0:
+                raise SchemeSpecError(
+                    f"treegion-td code-expansion limit must be >= 1.0, "
+                    f"got {self.limit:g}"
+                )
+
+    @classmethod
+    def parse(cls, spec: str) -> "SchemeSpec":
+        """Parse a spec string (``treegion``, ``treegion-td:2.0``, or the
+        display form ``treegion-td(2.0)``) into a :class:`SchemeSpec`."""
+        text = spec.strip()
+        if not text:
+            raise SchemeSpecError("empty scheme spec")
+        if text in _PLAIN_KINDS or text == "treegion-td":
+            return cls(text)
+        if ":" in text:
+            head, _, tail = text.partition(":")
+        elif text.endswith(")") and "(" in text:
+            head, _, tail = text[:-1].partition("(")
+        else:
+            raise SchemeSpecError(
+                f"unknown scheme spec {spec!r}; expected one of "
+                f"{', '.join(_PLAIN_KINDS)} or treegion-td:<limit>"
+            )
+        head = head.strip()
+        try:
+            limit = float(tail)
+        except ValueError:
+            raise SchemeSpecError(
+                f"bad parameter {tail!r} in scheme spec {spec!r} "
+                f"(expected a number)"
+            ) from None
+        return cls(head, limit)
+
+    def __str__(self) -> str:
+        if self.limit is None:
+            return self.kind
+        return f"{self.kind}:{self.limit:g}"
+
+    def build(self) -> Scheme:
+        """Instantiate the :class:`Scheme` this spec describes."""
+        if self.kind == "bb":
+            return bb_scheme()
+        if self.kind == "slr":
+            return slr_scheme()
+        if self.kind == "treegion":
+            return treegion_scheme()
+        if self.kind == "superblock":
+            return superblock_scheme()
+        if self.kind == "hyperblock":
+            return hyperblock_scheme()
+        if self.limit is None:
+            return treegion_td_scheme()
+        return treegion_td_scheme(TreegionLimits(code_expansion=self.limit))
+
+
+def parse_scheme_spec(spec: str) -> SchemeSpec:
+    """Module-level alias for :meth:`SchemeSpec.parse`."""
+    return SchemeSpec.parse(spec)

@@ -11,6 +11,7 @@ The interpreter doubles as the *oracle* for schedule correctness: the VLIW
 simulator (:mod:`repro.vliw`) must produce identical results and memory.
 """
 
+from repro.util.errors import InterpreterError, StepLimitExceeded
 from repro.interp.state import MachineState
 from repro.interp.interpreter import Interpreter, run_program
 from repro.interp.profiler import Profiler, profile_program
@@ -18,6 +19,8 @@ from repro.interp.profiler import Profiler, profile_program
 __all__ = [
     "MachineState",
     "Interpreter",
+    "InterpreterError",
+    "StepLimitExceeded",
     "run_program",
     "Profiler",
     "profile_program",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.util.errors import InterpreterError
+from repro.util.errors import InterpreterError, StepLimitExceeded
 from repro.ir.cfg import BasicBlock, Edge
 from repro.ir.function import Function, Program
 from repro.ir.operation import Operation
@@ -63,12 +63,10 @@ class Interpreter:
 
     # ------------------------------------------------------------------
 
-    def _tick(self) -> None:
+    def _tick(self, function: Function, block: BasicBlock) -> None:
         self.steps += 1
         if self.steps > self.max_steps:
-            raise InterpreterError(
-                f"execution exceeded {self.max_steps} steps (infinite loop?)"
-            )
+            raise StepLimitExceeded(self.max_steps, function.name, block.bid)
 
     def _value(self, state: MachineState, operand):
         if isinstance(operand, Immediate):
@@ -85,7 +83,7 @@ class Interpreter:
     def _execute_block(self, function: Function, block: BasicBlock,
                        state: MachineState) -> "_BlockOutcome":
         for op in block.ops:
-            self._tick()
+            self._tick(function, block)
             if op.is_terminator:
                 return self._terminate(function, block, op, state)
             self._execute_op(function, op, state)

@@ -40,12 +40,19 @@ class Profiler(ExecutionObserver):
         return self.block_counts.get((function.name, block.bid), 0)
 
     def apply(self, program: Program) -> None:
-        """Write accumulated counts into the IR's weight fields."""
+        """Write accumulated counts into the IR's weight fields.
+
+        Every block *and edge* weight is overwritten — unvisited ones get
+        0.  Walking ``block.out_edges`` (rather than only the edges the
+        observer saw) matters when re-profiling a program that already
+        carries weights, e.g. after a semantics-preserving transform:
+        stale weights on untaken edges would otherwise survive.
+        """
         for function in program.functions():
             for block in function.cfg.blocks():
                 block.weight = float(self.block_count(function, block))
-        for key, count in self.edge_counts.items():
-            self._edges[key].weight = float(count)
+                for edge in block.out_edges:
+                    edge.weight = float(self.edge_counts.get(id(edge), 0))
 
 
 def profile_program(

@@ -157,3 +157,34 @@ def verify_program(program: Program) -> None:
             for op in block.ops:
                 if op.opcode is Opcode.CALL and not program.has_function(op.callee or ""):
                     _fail(f"call to undefined function '{op.callee}'")
+
+
+def check_program(program: Program) -> "list[str]":
+    """Collect structural violations instead of raising on the first.
+
+    The differential-validation oracle verifies every transformed clone of
+    a generated program; a raising verifier would hide all but one problem
+    per program, so this wrapper runs the checks function by function and
+    returns every message (empty list = clean).  The granularity is one
+    message per failing function plus one per bad call target — the
+    verifier itself still stops a function at its first violation.
+    """
+    problems: list = []
+    if not program.has_function(program.entry_name):
+        problems.append(
+            f"program entry '{program.entry_name}' is not defined"
+        )
+    for function in program.functions():
+        try:
+            verify_function(function)
+        except IRValidationError as error:
+            problems.append(f"{function.name}: {error}")
+        for block in function.cfg.blocks():
+            for op in block.ops:
+                if (op.opcode is Opcode.CALL
+                        and not program.has_function(op.callee or "")):
+                    problems.append(
+                        f"{function.name}: call to undefined function "
+                        f"'{op.callee}'"
+                    )
+    return problems

@@ -45,8 +45,11 @@ class _HyperblockPrep(_Prep):
     def _visit_order(self) -> List[BasicBlock]:
         return self.region.topological_order()  # type: ignore[attr-defined]
 
-    def _op_guard(self, op: Operation, guard):
-        # Full if-conversion: everything executes under its block guard.
+    def _op_guard(self, op: Operation, guard, block):
+        # Full if-conversion: everything executes under its block guard,
+        # AND-combined with any guard the op already carried.
+        if op.guard is not None:
+            return self._merge_op_guard(op.guard, guard, block)
         return guard
 
     @property

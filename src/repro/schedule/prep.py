@@ -176,7 +176,7 @@ class _Prep:
             if op is dropped_cmpp:
                 continue
             clone = op.clone(op.uid)
-            clone.guard = self._op_guard(op, guard)
+            clone.guard = self._op_guard(op, guard, block)
             self.problem.new_sched_op(clone, block, source=op)
 
         # 2. Edge predicates (guard CMPPs / switch case predicates).
@@ -198,13 +198,39 @@ class _Prep:
             if edge.dst in self.region and edge.dst is not self.region.root:
                 self._record_child_guard(edge)
 
-    def _op_guard(self, op: Operation, guard):
+    def _op_guard(self, op: Operation, guard, block: BasicBlock):
         """The execution guard a body op receives.
 
         Tree regions speculate freely: only side-effecting ops keep their
         block guard.  The hyperblock subclass predicates everything.
+
+        An op that arrives already predicated keeps its own guard — a
+        guarded op is a *conditional* update, so stripping the guard (or
+        replacing it with the block guard) would execute it on paths where
+        the original program squashed it.  When the block guard also
+        exists, the two are AND-combined.
         """
+        if op.guard is not None:
+            return self._merge_op_guard(op.guard, guard, block)
         return guard if not op.can_speculate else None
+
+    def _merge_op_guard(self, op_guard: Register,
+                        guard: Optional[Register],
+                        block: BasicBlock) -> Register:
+        """Combine a pre-existing op guard with the block guard.
+
+        Emitted *before* the guarded op's clone, so stream order (and the
+        flow edges the DDG derives from it) keeps the PAND between the
+        guard's definition and its use.
+        """
+        if guard is None:
+            return op_guard
+        dest = self.problem.regs.fresh_pred()
+        self._emit_synth(
+            Operation(0, Opcode.PAND, dests=[dest], srcs=[op_guard, guard]),
+            block, dest,
+        )
+        return dest
 
     def _record_child_guard(self, edge: Edge) -> None:
         """Bind an internal edge's predicate to its destination's guard.
@@ -236,7 +262,7 @@ class _Prep:
         if not isinstance(pred, Register):
             raise SchedulingError(f"branch in bb{block.bid} lacks a predicate")
         cmpp = _find_defining_cmpp(block, pred, term)
-        if cmpp is not None and len(cmpp.dests) <= 2:
+        if cmpp is not None and cmpp.guard is None and len(cmpp.dests) <= 2:
             position = cmpp.dests.index(pred)
             cond = cmpp.cond if position == 0 else cmpp.cond.negate()
             if term.opcode is Opcode.BRCF:

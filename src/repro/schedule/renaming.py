@@ -35,9 +35,16 @@ from typing import Dict, List, Set, Tuple
 from repro.ir.cfg import BasicBlock
 from repro.ir.liveness import LivenessInfo
 from repro.ir.registers import Register
-from repro.ir.types import RegClass
+from repro.ir.types import Opcode, RegClass
 from repro.regions.region import RegionExit
 from repro.schedule.prep import ScheduleProblem
+
+#: Opcodes that still define their dests when squashed (the simulator
+#: clears them to keep guard chains well-defined).  Every other guarded
+#: op is a *partial* definition: on squash the previous value survives.
+_DEFINES_WHEN_SQUASHED = frozenset({
+    Opcode.CMPP, Opcode.NINSET, Opcode.PAND, Opcode.PANDCN, Opcode.POR,
+})
 
 #: (exit, original register, renamed register) — "copy original <- renamed
 #: when leaving through this exit".
@@ -114,7 +121,20 @@ def rename_region(problem: ScheduleProblem, liveness: LivenessInfo) -> List[Exit
                     op.srcs[i] = renames[src]
             if op.guard is not None and op.guard in renames:
                 op.guard = renames[op.guard]
+            partial = (op.guard is not None
+                       and op.opcode not in _DEFINES_WHEN_SQUASHED)
             for i, dest in enumerate(op.dests):
+                if partial:
+                    # A guarded op that squashes without writing is a
+                    # partial def: minting a fresh name would leave it
+                    # unwritten on squash and the exit copy would then
+                    # publish garbage.  Update the currently active name
+                    # instead — the guard already implies the block
+                    # executes, so no foreign exit can observe the write.
+                    current = renames.get(dest)
+                    if current is not None:
+                        op.dests[i] = current
+                    continue
                 if analysis.needs_rename(dest, block):
                     fresh = problem.regs.fresh(dest.rclass)
                     renames[dest] = fresh

@@ -3,7 +3,13 @@ stage timing, and statistics helpers."""
 
 from repro.util.ids import IdAllocator
 from repro.util.ordered import OrderedSet
-from repro.util.errors import ReproError, IRValidationError, SchedulingError
+from repro.util.errors import (
+    InterpreterError,
+    IRValidationError,
+    ReproError,
+    SchedulingError,
+    StepLimitExceeded,
+)
 from repro.util.stats import geometric_mean
 from repro.util.timing import NULL_TIMER, NullTimer, StageTimer
 
@@ -12,7 +18,9 @@ __all__ = [
     "OrderedSet",
     "ReproError",
     "IRValidationError",
+    "InterpreterError",
     "SchedulingError",
+    "StepLimitExceeded",
     "geometric_mean",
     "StageTimer",
     "NullTimer",

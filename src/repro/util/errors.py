@@ -31,5 +31,24 @@ class InterpreterError(ReproError):
     """The IR interpreter hit an undefined value or a malformed program."""
 
 
+class StepLimitExceeded(InterpreterError):
+    """Execution ran past the interpreter's step budget.
+
+    Carries where execution was when the budget ran out, so callers (the
+    validation oracle in particular) can distinguish "this program simply
+    runs long" from genuine divergence, and can report the spin location.
+    """
+
+    def __init__(self, steps: int, function_name: str = "?",
+                 block_id: int = -1):
+        super().__init__(
+            f"execution exceeded {steps} steps in {function_name}/"
+            f"bb{block_id} (infinite loop?)"
+        )
+        self.steps = steps
+        self.function_name = function_name
+        self.block_id = block_id
+
+
 class SchedulingError(ReproError):
     """Region formation or list scheduling failed an internal invariant."""

@@ -1,0 +1,424 @@
+"""Seeded random program generation for differential validation.
+
+Two generation modes, both deterministic functions of the seed (so worker
+processes can regenerate a program from its seed alone, and a failure
+report's seed reproduces the program exactly):
+
+* **IR mode** — emits well-formed IR directly through the
+  :class:`~repro.ir.builder.IRBuilder`: nested branches, bounded counted
+  loops, multiway switches with wide merges, calls along a DAG call
+  graph, guarded (predicated) ops, global-array loads/stores, and the
+  pathological shapes the paper analyses (deep branch trees, wide
+  merges, branches on constant predicates whose dead arm becomes
+  unreachable after constant folding).
+* **minic mode** — emits a random minic source program and compiles it
+  through :mod:`repro.lang`, exercising the frontend's lowering
+  (short-circuit conditions, ``for``/``while``, ``switch``, arrays,
+  helper functions) on top of everything downstream.
+
+Termination is guaranteed by construction: every loop is a counted loop
+whose induction register/variable is written only by its own increment,
+calls follow a DAG (no recursion), and all other control flow is forward.
+Value growth is bounded by construction too: multiplications always take
+a small immediate operand and shifts a small immediate amount, so
+magnitudes grow at most linearly in executed ops (no float opcodes are
+generated — their operands would overflow ``float()`` on big ints).
+
+The entry point is :func:`generate`, returning a :class:`GeneratedProgram`
+with the program, its inputs, and (for minic mode) the source text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function, Program
+from repro.ir.registers import Register
+from repro.ir.types import CompareCond, Opcode, RegClass
+from repro.ir.verify import verify_program
+from repro.lang import compile_source
+
+#: Global array size used by both modes (indices are masked to it).
+ARRAY_SIZE = 16
+_ARRAY_MASK = ARRAY_SIZE - 1
+
+_CONDS = (CompareCond.LT, CompareCond.LE, CompareCond.GT, CompareCond.GE,
+          CompareCond.EQ, CompareCond.NE)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated validation subject."""
+
+    name: str
+    seed: int
+    origin: str  # "ir" or "minic"
+    program: Program
+    #: Argument tuples for the entry function; the oracle checks each.
+    inputs: List[Tuple[int, ...]]
+    #: minic source when origin == "minic" (for failure reports).
+    source: Optional[str] = None
+
+
+def generate(seed: int) -> GeneratedProgram:
+    """Generate the validation subject for ``seed`` (deterministic)."""
+    rng = random.Random(seed)
+    if seed % 2 == 0:
+        gen = _IRGenerator(rng)
+        program, inputs = gen.program()
+        out = GeneratedProgram(f"gen{seed}", seed, "ir", program, inputs)
+    else:
+        source, inputs = _minic_source(rng)
+        out = GeneratedProgram(f"gen{seed}", seed, "minic",
+                               compile_source(source), inputs,
+                               source=source)
+    verify_program(out.program)
+    return out
+
+
+# ----------------------------------------------------------------------
+# IR mode
+
+
+class _IRGenerator:
+    """Builds a random, terminating, verifier-clean IR program."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.prog = Program(entry="main")
+        self.glob = self.prog.add_global("g", size=ARRAY_SIZE,
+                                         initial=[0] * ARRAY_SIZE)
+        #: Functions generated so far; calls only target earlier entries,
+        #: making the call graph a DAG (termination).
+        self.callees: List[Function] = []
+        self.b: IRBuilder = None  # type: ignore[assignment]
+        self.vars: List[Register] = []
+        self.ops_left = 0
+        self.loop_depth = 0
+
+    # -- value helpers --------------------------------------------------
+
+    def _value(self):
+        """A random defined register, or a small immediate."""
+        if self.vars and self.rng.random() < 0.75:
+            return self.rng.choice(self.vars)
+        return self.rng.randint(-9, 9)
+
+    def _spend(self, n: int = 1) -> None:
+        self.ops_left -= n
+
+    # -- statement emitters (all leave the builder at a fallthrough-able
+    #    current block and keep every pool register defined) ------------
+
+    def _emit_arith(self) -> None:
+        b, rng = self.b, self.rng
+        kind = rng.randrange(9)
+        a, c = self._value(), self._value()
+        if kind == 0:
+            dest = b.add(a, c)
+        elif kind == 1:
+            dest = b.sub(a, c)
+        elif kind == 2:
+            # Bounded growth: one operand is a small immediate.
+            dest = b.mul(a, rng.randint(-7, 7))
+        elif kind == 3:
+            # Non-zero divisor: x | 1 is odd, never zero.
+            self._spend()
+            dest = b.div(a, b.or_(c, 1))
+        elif kind == 4:
+            self._spend()
+            dest = b.mod(a, b.or_(c, 1))
+        elif kind == 5:
+            dest = rng.choice((b.and_, b.or_, b.xor))(a, c)
+        elif kind == 6:
+            dest = rng.choice((b.shl, b.shr))(a, rng.randint(0, 7))
+        elif kind == 7:
+            dest = rng.choice((b.neg, b.not_))(a)
+        else:
+            dest = b.mov(a)
+        self._spend()
+        self.vars.append(dest)
+
+    def _emit_memory(self) -> None:
+        b, rng = self.b, self.rng
+        index = b.and_(self._value(), _ARRAY_MASK)
+        self._spend(2)
+        if rng.random() < 0.5:
+            b.st(self.glob.address, index, self._value())
+        else:
+            self.vars.append(b.ld(self.glob.address, index))
+
+    def _emit_guarded(self) -> None:
+        """Predication: a CMPP-produced guard squashing a compute op.
+
+        The destination is pre-initialised so it is defined on the
+        guard-false path (the strict interpreter requires it).
+        """
+        b = self.b
+        pred = b.cmpp(self.rng.choice(_CONDS), self._value(), self._value())
+        dest = b.mov(self._value())
+        b.emit(Opcode.ADD, dests=[dest],
+               srcs=[dest, self._value()], guard=pred)
+        self._spend(3)
+        self.vars.append(dest)
+
+    def _emit_call(self) -> None:
+        b, rng = self.b, self.rng
+        callee = rng.choice(self.callees)
+        args = [self._value() for _ in callee.params]
+        self._spend(1)
+        self.vars.append(b.call(callee.name, args))
+
+    def _emit_branch(self, depth: int) -> None:
+        """if/else with a merge; optionally a constant (foldable) branch
+        whose statically-dead arm survives until constant folding."""
+        b, rng = self.b, self.rng
+        if rng.random() < 0.15:
+            # Constant predicate: the taken arm is unreachable after fold.
+            pred = b.cmpp(CompareCond.GT, 0, 1)
+        else:
+            pred = b.cmpp(rng.choice(_CONDS), self._value(), self._value())
+        self._spend()
+        then_bb, else_bb, merge = b.block(), b.block(), b.block()
+        # Merge vars: defined before the branch, conditionally overwritten
+        # in the arms, alive after the merge.
+        merge_vars = [b.mov(self._value())
+                      for _ in range(rng.randint(0, 2))]
+        self.vars.extend(merge_vars)
+        b.br_true(pred, then_bb, else_bb)
+        snapshot = len(self.vars)
+        for arm in (then_bb, else_bb):
+            b.at(arm)
+            self._emit_block_body(depth - 1)
+            for var in merge_vars:
+                if rng.random() < 0.7:
+                    b.mov(self._value(), dest=var)
+                    self._spend()
+            del self.vars[snapshot:]  # arm-local defs don't dominate merge
+            if arm is then_bb:
+                b.jump(merge)
+            else:
+                b.fallthrough(merge)
+        b.at(merge)
+
+    def _emit_switch(self, depth: int) -> None:
+        """Multiway branch; all cases merge into one block (wide merge)."""
+        b, rng = self.b, self.rng
+        n_cases = rng.randint(2, 6)
+        selector = b.mod(self._value(), n_cases + 1)
+        self._spend(1)
+        merge = b.block()
+        case_blocks = [(v, b.block()) for v in range(n_cases)]
+        default = b.block()
+        b.switch(selector, case_blocks, default)
+        snapshot = len(self.vars)
+        for _value, block in case_blocks + [(None, default)]:
+            b.at(block)
+            if depth > 0 and rng.random() < 0.4:
+                self._emit_block_body(0)
+            else:
+                self._emit_arith()
+            del self.vars[snapshot:]
+            b.jump(merge)
+        b.at(merge)
+
+    def _emit_loop(self, depth: int) -> None:
+        """A counted loop: i = 0; while (i < K) { body; i += 1 }.
+
+        ``i`` never enters the variable pool, so nothing else writes it
+        and the trip count is exactly ``K``.
+        """
+        b, rng = self.b, self.rng
+        trips = rng.randint(1, 6)
+        i = b.mov(0)
+        self._spend(3)
+        header, body, exit_bb = b.block(), b.block(), b.block()
+        b.fallthrough(header)
+        b.at(header)
+        pred = b.cmpp(CompareCond.LT, i, trips)
+        b.br_true(pred, body, exit_bb)
+        b.at(body)
+        snapshot = len(self.vars)
+        self.loop_depth += 1
+        self._emit_block_body(depth - 1)
+        self.loop_depth -= 1
+        del self.vars[snapshot:]
+        b.add(i, 1, dest=i)
+        b.jump(header)
+        b.at(exit_bb)
+
+    def _emit_block_body(self, depth: int) -> None:
+        """A run of statements at the current insertion point."""
+        rng = self.rng
+        for _ in range(rng.randint(1, 4)):
+            if self.ops_left <= 0:
+                return
+            roll = rng.random()
+            if depth <= 0 or roll < 0.45:
+                self._emit_arith()
+            elif roll < 0.6:
+                self._emit_memory()
+            elif roll < 0.68:
+                self._emit_guarded()
+            elif roll < 0.73 and self.callees and self.loop_depth < 2:
+                self._emit_call()
+            elif roll < 0.85:
+                self._emit_branch(depth)
+            elif roll < 0.93 and self.loop_depth < 2:
+                self._emit_loop(depth)
+            else:
+                self._emit_switch(depth)
+
+    def _deep_tree(self, levels: int) -> None:
+        """Pathological shape: a deep chain of nested two-way branches
+        (the treegion former grows a tall tree here)."""
+        for _ in range(levels):
+            self._emit_branch(0)
+
+    # -- function / program --------------------------------------------
+
+    def _function(self, name: str, n_params: int, budget: int,
+                  depth: int) -> Function:
+        params = [Register(RegClass.GPR, i) for i in range(n_params)]
+        fn = self.prog.new_function(name, params)
+        self.b = IRBuilder(fn)
+        self.vars = list(params)
+        self.ops_left = budget
+        entry = self.b.block("entry")
+        self.b.at(entry)
+        if self.rng.random() < 0.25:
+            self._deep_tree(self.rng.randint(2, 4))
+        while self.ops_left > 0:
+            self._emit_block_body(depth)
+        self.b.ret(self._value())
+        return fn
+
+    def program(self) -> Tuple[Program, List[Tuple[int, ...]]]:
+        rng = self.rng
+        for index in range(rng.randint(0, 2)):
+            fn = self._function(f"helper{index}", rng.randint(1, 3),
+                                rng.randint(8, 25), depth=2)
+            self.callees.append(fn)
+        n_params = rng.randint(1, 3)
+        self._function("main", n_params, rng.randint(25, 80), depth=3)
+        inputs = [tuple(rng.randint(-20, 20) for _ in range(n_params))
+                  for _ in range(rng.randint(2, 3))]
+        return self.prog, inputs
+
+
+# ----------------------------------------------------------------------
+# minic mode
+
+
+class _MinicGenerator:
+    """Emits random, terminating minic source (bounded loops, guarded
+    divisions, arrays with masked indices, helper calls)."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.vars = ["a", "b", "c"]
+        self.loops = 0
+        self.helpers: List[str] = []
+
+    def expr(self, depth: int = 2) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.4:
+            if rng.random() < 0.55:
+                return rng.choice(self.vars)
+            return str(rng.randint(-9, 9))
+        roll = rng.random()
+        if roll < 0.12 and self.helpers:
+            name = rng.choice(self.helpers)
+            return f"{name}({self.expr(depth - 1)}, {self.expr(depth - 1)})"
+        if roll < 0.2:
+            return f"g[({self.expr(depth - 1)}) & {_ARRAY_MASK}]"
+        op = rng.choice(["+", "-", "*", "&", "|", "^"])
+        return f"({self.expr(depth - 1)} {op} {self.expr(depth - 1)})"
+
+    def cond(self) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        base = f"{self.expr(1)} {op} {self.expr(1)}"
+        roll = self.rng.random()
+        if roll < 0.2:
+            return f"({base}) && ({self.expr(1)} != 0)"
+        if roll < 0.4:
+            return f"({base}) || ({self.expr(1)} > 3)"
+        return base
+
+    def stmt(self, depth: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        target = rng.choice(self.vars)
+        if depth <= 0 or roll < 0.3:
+            return f"{target} = {self.expr()};"
+        if roll < 0.4:
+            # Guarded division: the zero case is the untaken arm.
+            divisor = rng.choice(self.vars)
+            return (
+                f"if ({divisor} != 0) {{ {target} = {target} / {divisor}; }}"
+                f" else {{ {target} = {self.expr(1)}; }}"
+            )
+        if roll < 0.58:
+            return (
+                f"if ({self.cond()}) {{ {self.block(depth - 1)} }} "
+                f"else {{ {self.block(depth - 1)} }}"
+            )
+        if roll < 0.72:
+            self.loops += 1
+            i = f"i{self.loops}"
+            return (
+                f"for (var {i} = 0; {i} < {rng.randint(1, 5)}; "
+                f"{i} = {i} + 1) {{ {self.block(depth - 1)} }}"
+            )
+        if roll < 0.86:
+            cases = " ".join(
+                f"case {v}: {{ {self.block(0)} }}"
+                for v in range(rng.randint(1, 4))
+            )
+            return (
+                f"switch ({self.expr(1)} & 3) {{ {cases} "
+                f"default: {{ {self.block(0)} }} }}"
+            )
+        return f"g[({self.expr(1)}) & {_ARRAY_MASK}] = {self.expr(1)};"
+
+    def block(self, depth: int) -> str:
+        return " ".join(self.stmt(depth)
+                        for _ in range(self.rng.randint(1, 3)))
+
+    def helper(self, index: int) -> str:
+        name = f"helper{index}"
+        saved, self.vars = self.vars, ["x", "y"]
+        body = self.block(1)
+        self.vars = saved
+        self.helpers.append(name)
+        return (
+            f"func {name}(x, y) {{\n    {body}\n"
+            f"    return x + y * 2;\n}}\n"
+        )
+
+    def program(self) -> str:
+        helpers = "".join(self.helper(i)
+                          for i in range(self.rng.randint(0, 2)))
+        body = self.block(3)
+        return (
+            f"array g[{ARRAY_SIZE}];\n"
+            f"{helpers}"
+            "func main(a, b) {\n"
+            f"    var c = a - b;\n    {body}\n"
+            "    var out = a + b * 3 + c;\n"
+            f"    for (var k = 0; k < {ARRAY_SIZE}; k = k + 1)"
+            " { out = out + g[k]; }\n"
+            "    return out;\n"
+            "}\n"
+        )
+
+
+def _minic_source(rng: random.Random) -> Tuple[str, List[Tuple[int, ...]]]:
+    source = _MinicGenerator(rng).program()
+    inputs = [(rng.randint(-20, 20), rng.randint(-20, 20))
+              for _ in range(rng.randint(2, 3))]
+    return source, inputs

@@ -1,0 +1,449 @@
+"""Differential oracle: every backend must agree on every program.
+
+For one generated program the oracle cross-checks, per grid cell
+(scheme × machine × heuristic) and per input set:
+
+* **result/memory** — the VLIW simulator's return value and final memory
+  must equal the sequential interpreter's (the semantic reference);
+* **cycles** — when the profile comes from *exactly* the simulated input,
+  the simulator's dynamic cycle count must equal the static
+  profile-weighted estimate (``sum(exit.weight × retire cycle)``) — not
+  approximately: both are sums of integer-valued floats, so equality is
+  exact.  This holds for mutating schemes too, because tail duplication
+  splits weights consistently with the single profiled path;
+* **verify** — the transformed clone a mutating scheme scheduled must
+  still pass the structural IR verifier;
+* **engine** — the PR-1 evaluation engine's serial shared-work path,
+  its parallel path, and per-cell :func:`evaluate_cell` must produce
+  bit-identical :class:`CellResult` rows for the program.
+
+Any disagreement becomes a :class:`Mismatch` carrying the failing cell,
+the inputs, expected/actual values, and a first-divergence detail (the
+first region visit at which the simulator left the interpreter's path,
+or the lowest differing memory address).  Crashes in any backend are
+reported as mismatches too, never raised — the minimizer
+(:mod:`repro.validate.shrink`) relies on the oracle being total.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.clone import clone_program
+from repro.ir.function import Function, Program
+from repro.ir.printer import format_program
+from repro.ir.verify import check_program
+from repro.interp.interpreter import ExecutionObserver, Interpreter
+from repro.interp.profiler import profile_program
+from repro.evaluation.engine import GridCell, evaluate_cell, evaluate_grid
+from repro.evaluation.schemes import SchemeSpec
+from repro.machine.model import MachineModel
+from repro.vliw.simulator import (
+    RegionSchedule,
+    VLIWSimulator,
+    schedule_program,
+)
+from repro.validate.generator import GeneratedProgram
+
+#: The default validation grid: every scheme the library implements.
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "bb", "slr", "treegion", "superblock", "treegion-td:2.0", "hyperblock",
+)
+DEFAULT_MACHINES: Tuple[str, ...] = ("4U", "8U")
+DEFAULT_HEURISTICS: Tuple[str, ...] = ("global_weight",)
+
+#: Step budget for oracle runs — generated programs terminate by
+#: construction, so hitting this is itself a reportable failure.
+MAX_STEPS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the validation grid."""
+
+    scheme: str
+    machine: str
+    heuristic: str
+
+    def __str__(self) -> str:
+        return f"{self.scheme}/{self.machine}/{self.heuristic}"
+
+    def build_scheme(self):
+        return SchemeSpec.parse(self.scheme).build()
+
+
+def default_grid(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    machines: Sequence[str] = DEFAULT_MACHINES,
+    heuristics: Sequence[str] = DEFAULT_HEURISTICS,
+) -> List[Cell]:
+    """The cross product of the given axes, validated eagerly."""
+    for scheme in schemes:
+        SchemeSpec.parse(scheme)  # raise early on a bad spec
+    return [
+        Cell(scheme, machine, heuristic)
+        for scheme, machine, heuristic in itertools.product(
+            schemes, machines, heuristics
+        )
+    ]
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between two backends on one program."""
+
+    #: Which oracle check failed: ``result``, ``memory``, ``cycles``,
+    #: ``verify``, ``engine``, ``interp-crash``, or ``sim-crash``.
+    check: str
+    expected: str
+    actual: str
+    cell: Optional[Cell] = None
+    inputs: Optional[Tuple[object, ...]] = None
+    #: First divergence point (region-visit index / memory address) or a
+    #: traceback summary for crashes.
+    detail: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "cell": str(self.cell) if self.cell is not None else None,
+            "inputs": list(self.inputs) if self.inputs is not None else None,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracle concluded about one generated program."""
+
+    name: str
+    seed: int
+    origin: str
+    cells_checked: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "origin": self.origin,
+            "cells_checked": self.cells_checked,
+            "ok": self.ok,
+            "mismatches": [m.to_json() for m in self.mismatches],
+        }
+
+
+# ----------------------------------------------------------------------
+# Execution tracing (for the first-divergence detail)
+
+
+class _BlockTrace(ExecutionObserver):
+    """Records every (function, block) the interpreter enters."""
+
+    def __init__(self) -> None:
+        self.visits: List[Tuple[str, int]] = []
+
+    def on_block(self, function: Function, block) -> None:
+        self.visits.append((function.name, block.bid))
+
+
+class _TracingSimulator(VLIWSimulator):
+    """Records the root block of every region visit."""
+
+    def __init__(self, scheduled, **kwargs) -> None:
+        super().__init__(scheduled, **kwargs)
+        self.trace: List[Tuple[str, int]] = []
+        self._function_of_cfg = {
+            id(sf.function.cfg): name
+            for name, sf in scheduled.functions.items()
+        }
+
+    def _run_region(self, schedule: RegionSchedule, state):
+        root = schedule.region.root
+        name = self._function_of_cfg.get(id(root.cfg), "?")
+        self.trace.append((name, root.bid))
+        return super()._run_region(schedule, state)
+
+
+def _first_trace_divergence(
+    interp_trace: List[Tuple[str, int]],
+    roots: Dict[str, frozenset],
+    sim_trace: List[Tuple[str, int]],
+) -> str:
+    """Where the simulator's region path left the interpreter's.
+
+    The interpreter's block trace is projected onto region roots; with a
+    non-mutating scheme both traverse the same CFG, so the projections
+    must match visit for visit.
+    """
+    projected = [
+        (name, bid) for name, bid in interp_trace
+        if bid in roots.get(name, frozenset())
+    ]
+    for index, (want, got) in enumerate(zip(projected, sim_trace)):
+        if want != got:
+            return (
+                f"region visit {index}: interpreter reached "
+                f"{want[0]}/bb{want[1]}, simulator entered {got[0]}/bb{got[1]}"
+            )
+    if len(projected) != len(sim_trace):
+        return (
+            f"trace lengths differ: interpreter made {len(projected)} "
+            f"region visits, simulator {len(sim_trace)}"
+        )
+    return "traces agree; divergence is inside a region"
+
+
+def _first_memory_divergence(expected: Dict[int, object],
+                             actual: Dict[int, object]) -> str:
+    for address in sorted(set(expected) | set(actual)):
+        want = expected.get(address)
+        got = actual.get(address)
+        if want != got:
+            return f"memory[{address}]: expected {want!r}, got {got!r}"
+    return ""
+
+
+def _crash_detail(error: BaseException) -> str:
+    line = traceback.format_exception_only(type(error), error)[-1].strip()
+    return line
+
+
+# ----------------------------------------------------------------------
+# Per-cell checks
+
+
+def check_cell(
+    program: Program,
+    inputs: Sequence[object],
+    cell: Cell,
+    machine: MachineModel,
+    reference: Tuple[object, Dict[int, object], List[Tuple[str, int]]],
+) -> List[Mismatch]:
+    """Run one grid cell against the interpreter reference.
+
+    ``reference`` is ``(value, memory, block_trace)`` from
+    :func:`_interpret`.  The program is cloned and profiled on *exactly*
+    these inputs, which is what makes the cycles check exact.
+    """
+    ref_value, ref_memory, ref_trace = reference
+    inputs = tuple(inputs)
+    worked = clone_program(program)
+    profile_program(worked, [list(inputs)])
+    scheme = cell.build_scheme()
+
+    try:
+        scheduled = schedule_program(worked, scheme, machine)
+        if scheme.mutates:
+            # Tail duplication re-splits profile weights proportionally,
+            # which can go fractional (e.g. a 1-visit merge split 0.5/0.5)
+            # and the estimate would drift off the integral cycle count.
+            # The transform preserves semantics, so re-profiling the
+            # transformed program on the same input restores exact exit
+            # counts; weighted_time reads weights lazily and picks them up.
+            profile_program(scheduled.program, [list(inputs)])
+        simulator = _TracingSimulator(scheduled)
+        value = simulator.run(inputs)
+    except Exception as error:  # scheduling or simulation blew up
+        return [Mismatch(
+            check="sim-crash", cell=cell, inputs=inputs,
+            expected=f"result {ref_value!r}",
+            actual=type(error).__name__,
+            detail=_crash_detail(error),
+        )]
+
+    mismatches: List[Mismatch] = []
+
+    problems = check_program(scheduled.program)
+    if problems:
+        mismatches.append(Mismatch(
+            check="verify", cell=cell, inputs=inputs,
+            expected="clean IR verifier on the scheduled clone",
+            actual=f"{len(problems)} violation(s)",
+            detail="; ".join(problems[:3]),
+        ))
+
+    if value != ref_value or simulator.memory != ref_memory:
+        if not scheme.mutates:
+            detail = _first_trace_divergence(
+                ref_trace,
+                {name: frozenset(sf.by_root)
+                 for name, sf in scheduled.functions.items()},
+                simulator.trace,
+            )
+        else:
+            detail = _first_memory_divergence(ref_memory, simulator.memory)
+        if value != ref_value:
+            mismatches.append(Mismatch(
+                check="result", cell=cell, inputs=inputs,
+                expected=repr(ref_value), actual=repr(value), detail=detail,
+            ))
+        else:
+            mismatches.append(Mismatch(
+                check="memory", cell=cell, inputs=inputs,
+                expected="interpreter memory image",
+                actual=_first_memory_divergence(ref_memory,
+                                                simulator.memory),
+                detail=detail,
+            ))
+
+    # Recompute the estimate from *live* profile weights rather than
+    # RegionSchedule.weighted_time: exit weights are snapshotted at
+    # formation time, so the re-profile after a mutating transform (see
+    # above) would not reach them.  For non-mutating schemes the live
+    # weights equal the snapshots.
+    estimate = 0.0
+    for scheduled_fn in scheduled.functions.values():
+        for schedule in scheduled_fn.by_root.values():
+            for record in schedule.exits:
+                exit = record.exit
+                weight = (exit.edge.weight if exit.edge is not None
+                          else exit.source.weight)
+                estimate += weight * record.cycle
+    if simulator.cycles != estimate:
+        mismatches.append(Mismatch(
+            check="cycles", cell=cell, inputs=inputs,
+            expected=f"static estimate {estimate:g}",
+            actual=f"simulated {simulator.cycles}",
+            detail="profile taken from exactly this input",
+        ))
+
+    return mismatches
+
+
+def _interpret(program: Program, inputs: Sequence[object]):
+    trace = _BlockTrace()
+    interpreter = Interpreter(program, max_steps=MAX_STEPS, observer=trace)
+    value = interpreter.run(list(inputs))
+    return value, interpreter.memory, trace.visits
+
+
+# ----------------------------------------------------------------------
+# Engine identity
+
+
+def check_engine_identity(
+    program: Program,
+    name: str,
+    grid: Sequence[Cell],
+    jobs: int = 2,
+) -> List[Mismatch]:
+    """Serial grid, parallel grid, and per-cell evaluation must agree.
+
+    The program crosses the process boundary as printed IR text
+    (``program_texts``), so the parallel workers genuinely rebuild it —
+    this doubles as a printer/parser round-trip check.
+    """
+    cells = [
+        GridCell(benchmark=name, scheme=cell.scheme, machine=cell.machine,
+                 heuristic=cell.heuristic)
+        for cell in grid
+    ]
+    texts = {name: format_program(program)}
+    mismatches: List[Mismatch] = []
+    try:
+        serial = evaluate_grid(cells, jobs=1, program_texts=texts)
+        reference = [
+            evaluate_cell(cell, program=program) for cell in cells
+        ]
+        parallel = (
+            evaluate_grid(cells, jobs=jobs, program_texts=texts)
+            if jobs > 1 else serial
+        )
+    except Exception as error:
+        return [Mismatch(
+            check="engine",
+            expected="engine evaluates the grid",
+            actual=type(error).__name__,
+            detail=_crash_detail(error),
+        )]
+    for cell, row_serial, row_ref, row_par in zip(
+        grid, serial, reference, parallel
+    ):
+        if row_serial != row_ref:
+            mismatches.append(Mismatch(
+                check="engine", cell=cell,
+                expected=f"evaluate_cell time {row_ref.time!r}",
+                actual=f"serial grid time {row_serial.time!r}",
+                detail="serial shared-work path diverged from per-cell",
+            ))
+        if row_par != row_serial:
+            mismatches.append(Mismatch(
+                check="engine", cell=cell,
+                expected=f"serial time {row_serial.time!r}",
+                actual=f"parallel time {row_par.time!r}",
+                detail=f"parallel path (jobs={jobs}) not bit-identical",
+            ))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Whole-program entry points
+
+
+def check_ir(
+    program: Program,
+    input_sets: Sequence[Sequence[object]],
+    grid: Sequence[Cell],
+    report: OracleReport,
+    stop_early: bool = False,
+) -> OracleReport:
+    """Run the per-cell differential checks; append to ``report``."""
+    machines = {cell.machine: None for cell in grid}
+    from repro.evaluation.engine import machine_by_name
+
+    resolved = {name: machine_by_name(name) for name in machines}
+    for inputs in input_sets:
+        try:
+            reference = _interpret(program, inputs)
+        except Exception as error:
+            report.mismatches.append(Mismatch(
+                check="interp-crash", inputs=tuple(inputs),
+                expected="interpreter terminates",
+                actual=type(error).__name__,
+                detail=_crash_detail(error),
+            ))
+            continue
+        for cell in grid:
+            report.cells_checked += 1
+            found = check_cell(
+                program, inputs, cell, resolved[cell.machine], reference
+            )
+            report.mismatches.extend(found)
+            if found and stop_early:
+                return report
+    return report
+
+
+def check_generated(
+    generated: GeneratedProgram,
+    grid: Optional[Sequence[Cell]] = None,
+    engine_jobs: int = 0,
+) -> OracleReport:
+    """The full oracle for one generated program.
+
+    ``engine_jobs=0`` skips the engine-identity check (spawning a worker
+    pool per seed is expensive; the runner samples it every Nth seed),
+    ``engine_jobs=1`` checks serial-vs-per-cell only, ``>1`` adds the
+    parallel path.
+    """
+    if grid is None:
+        grid = default_grid()
+    report = OracleReport(
+        name=generated.name, seed=generated.seed, origin=generated.origin,
+    )
+    check_ir(generated.program, generated.inputs, grid, report)
+    if engine_jobs > 0:
+        report.mismatches.extend(check_engine_identity(
+            generated.program, generated.name, grid, jobs=engine_jobs,
+        ))
+    return report

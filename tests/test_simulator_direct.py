@@ -1,0 +1,281 @@
+"""Direct unit tests for the VLIW simulator's execution model.
+
+``tests/test_vliw_simulator.py`` drives the whole pipeline (compile →
+schedule → simulate); these tests instead build :class:`RegionSchedule`
+objects *by hand*, so each one controls exactly which op issues in which
+cycle under which guard — the only way to pin down the simulator's own
+semantics independently of what the list scheduler happens to emit:
+
+* guarded ops squash (and squashed predicate-writers still clear their
+  destinations);
+* speculative divide-by-zero is dismissible (writes 0, no trap);
+* exactly one exit may fire per region visit (disjoint-exit assertion);
+* in-flight multi-cycle writes drain at the region boundary.
+"""
+
+import pytest
+
+from repro.ir import (
+    CompareCond,
+    IRBuilder,
+    Immediate,
+    Opcode,
+    Operation,
+    Program,
+    RegClass,
+    Register,
+)
+from repro.machine import VLIW_4U
+from repro.regions import form_basic_block_regions
+from repro.schedule.schedule import RegionSchedule, SchedOp
+from repro.util.errors import SchedulingError
+from repro.vliw.simulator import (
+    ScheduledFunction,
+    ScheduledProgram,
+    VLIWSimulator,
+)
+
+
+def _single_block_main(params=1):
+    """A one-block ``main`` returning its first parameter."""
+    program = Program(entry="main")
+    regs = [Register(RegClass.GPR, index) for index in range(params)]
+    fn = program.new_function("main", list(regs))
+    for reg in regs:
+        fn.regs.reserve(reg)
+    builder = IRBuilder(fn)
+    entry = builder.block("entry")
+    builder.at(entry)
+    builder.ret(regs[0])
+    return program, fn, regs
+
+
+def _manual(program, fn, schedules):
+    """Wrap hand-built region schedules into a simulatable program.
+
+    The simulator only consults the per-root schedule table, so the
+    partition slot can stay empty here.
+    """
+    scheduled = ScheduledProgram(program, VLIW_4U, "manual")
+    scheduled.add(ScheduledFunction(fn, None, list(schedules)))
+    return VLIWSimulator(scheduled)
+
+
+class TestGuardSquash:
+    def _run(self, cond):
+        program, fn, (a,) = _single_block_main()
+        region = list(form_basic_block_regions(fn.cfg))[0]
+        exit_ = region.exits()[0]
+        assert exit_.is_return
+
+        pred = Register(RegClass.PRED, 0)
+        schedule = RegionSchedule(region)
+        schedule.place(SchedOp(0, Operation(
+            1, Opcode.CMPP, dests=[pred],
+            srcs=[Immediate(0), Immediate(1)], cond=cond,
+        ), region.root), 1)
+        schedule.place(SchedOp(1, Operation(
+            2, Opcode.ADD, dests=[a], srcs=[a, Immediate(100)], guard=pred,
+        ), region.root), 2)
+        schedule.place(SchedOp(2, Operation(
+            3, Opcode.RET, srcs=[a],
+        ), region.root, exit=exit_), 3)
+        return _manual(program, fn, [schedule]).run([7])
+
+    def test_false_guard_squashes_op(self):
+        assert self._run(CompareCond.GT) == 7  # 0 > 1: squashed
+
+    def test_true_guard_executes_op(self):
+        assert self._run(CompareCond.LT) == 107  # 0 < 1: executes
+
+    def test_squashed_cmpp_still_clears_dests(self):
+        """A squashed predicate-writer clears its dests so guard chains
+        stay well-defined along not-taken paths."""
+        program, fn, (a,) = _single_block_main()
+        region = list(form_basic_block_regions(fn.cfg))[0]
+        exit_ = region.exits()[0]
+
+        off = Register(RegClass.PRED, 0)
+        q_true = Register(RegClass.PRED, 1)
+        q_false = Register(RegClass.PRED, 2)
+        schedule = RegionSchedule(region)
+        schedule.place(SchedOp(0, Operation(
+            1, Opcode.CMPP, dests=[off],
+            srcs=[Immediate(0), Immediate(1)], cond=CompareCond.GT,
+        ), region.root), 1)  # off = False
+        # Squashed two-dest CMPP: without clearing, q_false would stay
+        # undefined and the guarded add below would misfire.
+        schedule.place(SchedOp(1, Operation(
+            2, Opcode.CMPP, dests=[q_true, q_false],
+            srcs=[Immediate(0), Immediate(1)], cond=CompareCond.LT,
+            guard=off,
+        ), region.root), 2)
+        schedule.place(SchedOp(2, Operation(
+            3, Opcode.ADD, dests=[a], srcs=[a, Immediate(100)],
+            guard=q_false,
+        ), region.root), 3)
+        schedule.place(SchedOp(3, Operation(
+            4, Opcode.RET, srcs=[a],
+        ), region.root, exit=exit_), 4)
+        assert _manual(program, fn, [schedule]).run([7]) == 7
+
+
+class TestDismissibleSpeculation:
+    def test_divide_by_zero_writes_zero(self):
+        program, fn, (a,) = _single_block_main()
+        region = list(form_basic_block_regions(fn.cfg))[0]
+        exit_ = region.exits()[0]
+
+        quotient = Register(RegClass.GPR, 50)
+        schedule = RegionSchedule(region)
+        schedule.place(SchedOp(0, Operation(
+            1, Opcode.DIV, dests=[quotient],
+            srcs=[Immediate(5), Immediate(0)],
+        ), region.root), 1)
+        schedule.place(SchedOp(1, Operation(
+            2, Opcode.RET, srcs=[quotient],
+        ), region.root, exit=exit_), 2)
+        assert _manual(program, fn, [schedule]).run([3]) == 0
+
+    def test_mod_by_zero_writes_zero(self):
+        program, fn, (a,) = _single_block_main()
+        region = list(form_basic_block_regions(fn.cfg))[0]
+        exit_ = region.exits()[0]
+
+        remainder = Register(RegClass.GPR, 50)
+        schedule = RegionSchedule(region)
+        schedule.place(SchedOp(0, Operation(
+            1, Opcode.MOD, dests=[remainder],
+            srcs=[a, Immediate(0)],
+        ), region.root), 1)
+        schedule.place(SchedOp(1, Operation(
+            2, Opcode.RET, srcs=[remainder],
+        ), region.root, exit=exit_), 2)
+        assert _manual(program, fn, [schedule]).run([9]) == 0
+
+
+def _branching_main():
+    """main(a): entry branches on a > 0 to two RET blocks."""
+    program = Program(entry="main")
+    a = Register(RegClass.GPR, 0)
+    fn = program.new_function("main", [a])
+    fn.regs.reserve(a)
+    builder = IRBuilder(fn)
+    entry = builder.block("entry")
+    pos = builder.block("pos")
+    neg = builder.block("neg")
+    builder.at(entry)
+    pred = builder.cmpp(CompareCond.GT, a, 0)
+    builder.br_true(pred, pos, neg)
+    builder.at(pos)
+    builder.ret(1)
+    builder.at(neg)
+    builder.ret(2)
+    return program, fn, a, entry, pos, neg
+
+
+class TestDisjointExits:
+    def _schedules(self, fn, entry, pos, neg, second_guard):
+        partition = list(form_basic_block_regions(fn.cfg))
+        by_root = {region.root.bid: region for region in partition}
+        root_region = by_root[entry.bid]
+        exits = {exit_.edge.dst.bid: exit_ for exit_ in root_region.exits()}
+
+        p_taken = Register(RegClass.PRED, 10)
+        p_fall = Register(RegClass.PRED, 11)
+        a = fn.params[0]
+        schedule = RegionSchedule(root_region)
+        schedule.place(SchedOp(0, Operation(
+            1, Opcode.CMPP, dests=[p_taken, p_fall],
+            srcs=[a, Immediate(0)], cond=CompareCond.GT,
+        ), root_region.root), 1)
+        schedule.place(SchedOp(1, Operation(
+            2, Opcode.BRCT, srcs=[p_taken], target=pos.bid,
+        ), root_region.root, exit=exits[pos.bid]), 2)
+        schedule.place(SchedOp(2, Operation(
+            3, Opcode.BRCT, srcs=[second_guard(p_taken, p_fall)],
+            target=neg.bid,
+        ), root_region.root, exit=exits[neg.bid]), 2)
+
+        rets = []
+        for block, value in ((pos, 1), (neg, 2)):
+            region = by_root[block.bid]
+            ret_schedule = RegionSchedule(region)
+            ret_schedule.place(SchedOp(0, Operation(
+                4, Opcode.RET, srcs=[Immediate(value)],
+            ), region.root, exit=region.exits()[0]), 1)
+            rets.append(ret_schedule)
+        return [schedule] + rets
+
+    def test_disjoint_exits_route_correctly(self):
+        for args, expected in (([5], 1), ([-5], 2)):
+            program, fn, _a, entry, pos, neg = _branching_main()
+            schedules = self._schedules(
+                fn, entry, pos, neg, lambda taken, fall: fall,
+            )
+            assert _manual(program, fn, schedules).run(args) == expected
+
+    def test_two_firing_exits_rejected(self):
+        # Both exit branches guarded on the SAME predicate: when a > 0
+        # both would fire in one visit — the simulator must refuse.
+        program, fn, _a, entry, pos, neg = _branching_main()
+        schedules = self._schedules(
+            fn, entry, pos, neg, lambda taken, fall: taken,
+        )
+        with pytest.raises(SchedulingError, match="two exits fired"):
+            _manual(program, fn, schedules).run([5])
+
+    def test_no_exit_fired_rejected(self):
+        # Neither branch true (a == 0 under GT/LT guards): the region
+        # runs out of cycles with no exit — also a scheduling bug.
+        program, fn, _a, entry, pos, neg = _branching_main()
+        schedules = self._schedules(
+            fn, entry, pos, neg, lambda taken, fall: taken,
+        )
+        with pytest.raises(SchedulingError, match="no exit fired"):
+            _manual(program, fn, schedules).run([0])
+
+
+class TestInFlightDrain:
+    def test_pending_write_drains_at_region_exit(self):
+        """A 2-cycle load issued in the exit cycle commits across the
+        region boundary — the next region must observe its value."""
+        program = Program(entry="main")
+        var = program.add_global("g", size=1, initial=[7])
+        a = Register(RegClass.GPR, 0)
+        fn = program.new_function("main", [a])
+        fn.regs.reserve(a)
+        builder = IRBuilder(fn)
+        first = builder.block("first")
+        second = builder.block("second")
+        builder.at(first)
+        builder.jump(second)
+        builder.at(second)
+        builder.ret(a)
+
+        partition = list(form_basic_block_regions(fn.cfg))
+        by_root = {region.root.bid: region for region in partition}
+        loaded = Register(RegClass.GPR, 40)
+
+        first_region = by_root[first.bid]
+        first_schedule = RegionSchedule(first_region)
+        # LD (latency 2) and the exit branch share cycle 1: the write is
+        # still in flight when the exit fires and must drain.
+        first_schedule.place(SchedOp(0, Operation(
+            1, Opcode.LD, dests=[loaded],
+            srcs=[Immediate(var.address), Immediate(0)],
+        ), first_region.root), 1)
+        first_schedule.place(SchedOp(1, Operation(
+            2, Opcode.BRU, target=second.bid,
+        ), first_region.root, exit=first_region.exits()[0]), 1)
+
+        second_region = by_root[second.bid]
+        second_schedule = RegionSchedule(second_region)
+        second_schedule.place(SchedOp(0, Operation(
+            3, Opcode.RET, srcs=[loaded],
+        ), second_region.root, exit=second_region.exits()[0]), 1)
+
+        simulator = _manual(program, fn, [first_schedule, second_schedule])
+        assert simulator.run([99]) == 7
+        # Exit accounting: each region retired at cycle 1.
+        assert simulator.cycles == 2
