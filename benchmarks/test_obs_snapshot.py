@@ -1,0 +1,144 @@
+"""Observability regression benchmark.
+
+Runs the paper's evaluation grid twice through the engine —
+
+* **uninstrumented**: ``NULL_TIMER`` / ``NULL_METRICS`` / ``NULL_TRACER``
+  (the default for every caller that does not opt in), and
+* **instrumented**: a real :class:`StageTimer`, :class:`MetricsRegistry`,
+  and :class:`Tracer` collecting the full span tree;
+
+— verifies both produce identical numbers, bounds the instrumentation
+overhead, and writes ``BENCH_obs.json`` at the repo root (wall times,
+overhead ratio, per-stage timings, headline pipeline counters, histogram
+summaries) so future PRs can diff the perf trajectory.  The Chrome
+trace from the instrumented run is saved to
+``benchmarks/results/obs_trace.json`` as a viewable artifact.
+
+CI smoke runs shrink the grid via ``REPRO_OBS_BENCH_BENCHMARKS`` (a
+comma-separated benchmark subset, e.g. ``compress``); the snapshot
+records the grid size so shrunken runs are not mistaken for full ones.
+Regenerate the committed snapshot with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_obs_snapshot.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.evaluation.engine import default_grid, evaluate_grid
+from repro.obs import MetricsRegistry, Tracer
+from repro.util.timing import StageTimer
+
+from benchmarks.conftest import RESULTS_DIR, emit_table
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_obs.json"
+TRACE_ARTIFACT = RESULTS_DIR / "obs_trace.json"
+
+#: Headline counters recorded in the snapshot (a stable subset, so the
+#: JSON diffs cleanly when unrelated counters are added later).
+HEADLINE_COUNTERS = (
+    "engine.cells",
+    "formation.regions",
+    "formation.blocks",
+    "tail_dup.blocks",
+    "tail_dup.ops",
+    "prep.pand_merges",
+    "rename.registers_minted",
+    "rename.exit_copies",
+    "ddg.nodes",
+    "ddg.edges",
+    "schedule.regions",
+    "schedule.cycles",
+    "schedule.speculated",
+    "schedule.merged",
+)
+
+#: Generous ceiling on instrumented/uninstrumented wall time: the
+#: instrumentation points are per-region, never per-op, so the real
+#: ratio sits near 1.0; anything past this bound means a hot path grew
+#: an instrumentation call it should not have.
+MAX_OVERHEAD_RATIO = 1.5
+
+
+def _grid():
+    subset = os.environ.get("REPRO_OBS_BENCH_BENCHMARKS")
+    if subset:
+        return default_grid(benchmarks=[
+            name.strip() for name in subset.split(",") if name.strip()
+        ])
+    return default_grid()
+
+
+def test_obs_snapshot():
+    grid = _grid()
+
+    t0 = time.perf_counter()
+    plain = evaluate_grid(grid, jobs=1)
+    t_plain = time.perf_counter() - t0
+
+    timer = StageTimer()
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    instrumented = evaluate_grid(grid, jobs=1, timer=timer,
+                                 metrics=metrics, tracer=tracer)
+    t_instr = time.perf_counter() - t0
+
+    # Observability must never change the answer.
+    for a, b in zip(plain, instrumented):
+        assert a.time == b.time
+        assert a.code_expansion == b.code_expansion
+        assert a.schedule_lengths == b.schedule_lengths
+
+    assert metrics.counters["engine.cells"] == len(grid)
+    spans = tracer.finished_spans()
+    assert spans and all(s.end is not None for s in spans)
+
+    overhead = t_instr / t_plain if t_plain > 0 else 1.0
+    assert overhead < MAX_OVERHEAD_RATIO, (
+        f"instrumented grid run ({t_instr:.2f}s) is {overhead:.2f}x the "
+        f"uninstrumented run ({t_plain:.2f}s); bound {MAX_OVERHEAD_RATIO}"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    tracer.write_chrome(str(TRACE_ARTIFACT))
+
+    snapshot = {
+        "grid_cells": len(grid),
+        "uninstrumented_seconds": round(t_plain, 3),
+        "instrumented_seconds": round(t_instr, 3),
+        "overhead_ratio": round(overhead, 3),
+        "span_count": len(spans),
+        "stage_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(timer.totals.items())
+        },
+        "stage_counts": dict(sorted(timer.counts.items())),
+        "counters": {
+            name: metrics.counters[name]
+            for name in HEADLINE_COUNTERS if name in metrics.counters
+        },
+        "histograms": {
+            name: metrics.histograms[name].as_dict()
+            for name in sorted(metrics.histograms)
+        },
+    }
+    BENCH_FILE.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    counter_lines = [
+        f"{name:32s} {metrics.counters[name]:>12d}"
+        for name in HEADLINE_COUNTERS if name in metrics.counters
+    ]
+    emit_table("obs_snapshot", [
+        f"{'grid cells':32s} {len(grid):>12d}",
+        f"{'uninstrumented':32s} {t_plain:>11.2f}s",
+        f"{'instrumented':32s} {t_instr:>11.2f}s",
+        f"{'overhead':32s} {overhead:>11.2f}x",
+        f"{'spans':32s} {len(spans):>12d}",
+        "",
+    ] + counter_lines)

@@ -40,6 +40,7 @@ Subpackages:
 ``repro.workloads``     synthetic SPECint95 stand-ins + paper CFGs
 ``repro.api``           the stable typed facade (start here)
 ``repro.validate``      seeded differential validation + minimizer
+``repro.obs``           tracing (Chrome trace export) + metrics registry
 ======================  ==================================================
 """
 
@@ -110,6 +111,14 @@ from repro.evaluation import (
     treegion_td_scheme,
 )
 from repro.vliw import VLIWSimulator, schedule_program
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    current_metrics,
+    metrics_scope,
+)
 from repro.opt import optimize_function, optimize_program
 from repro import api
 from repro.api import (
@@ -173,6 +182,9 @@ __all__ = [
     # shadow the repro.validate subpackage
     "api", "load_program", "make_scheme", "SchemeSpec", "SchemeSpecError",
     "evaluate_grid", "evaluate_cell", "GridCell", "CellResult",
+    # observability
+    "MetricsRegistry", "NULL_METRICS", "Tracer", "NULL_TRACER",
+    "current_metrics", "metrics_scope",
     # optimizer
     "optimize_function", "optimize_program",
     # hyperblocks

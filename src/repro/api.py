@@ -29,6 +29,8 @@ from repro.evaluation.engine import (
     machine_by_name,
 )
 from repro.evaluation.schemes import Scheme, SchemeSpec, SchemeSpecError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.util.timing import NULL_TIMER, StageTimer
 
 SchemeLike = Union[str, SchemeSpec, Scheme]
@@ -96,16 +98,20 @@ def evaluate_grid(
     program_texts: Optional[Dict[str, str]] = None,
     jobs: int = 1,
     timer: StageTimer = NULL_TIMER,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> List[CellResult]:
     """Evaluate experiment grid cells (PR-1 engine; see its module doc).
 
     ``jobs=1`` runs the serial shared-work path, ``jobs>1`` (or 0 for
     the CPU count) fans out over a worker pool — both bit-identical to
-    per-cell evaluation.
+    per-cell evaluation.  A supplied ``metrics`` registry collects the
+    pipeline counters (identically on either path, worker registries
+    merged in); a ``tracer`` records the run as spans.
     """
     return _evaluate_grid(
         cells, jobs=jobs, programs=programs, program_texts=program_texts,
-        timer=timer,
+        timer=timer, metrics=metrics, tracer=tracer,
     )
 
 
@@ -140,6 +146,8 @@ def validate(
     engine_every: Optional[int] = None,
     report_dir: Optional[str] = None,
     progress=None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ):
     """Run the differential validation campaign; see :mod:`repro.validate`.
 
@@ -166,6 +174,8 @@ def validate(
                       else engine_every),
         report_dir=report_dir,
         progress=progress,
+        metrics=metrics,
+        tracer=tracer,
     )
 
 
@@ -184,4 +194,8 @@ __all__ = [
     "SchemeSpec",
     "SchemeSpecError",
     "ScheduleOptions",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "Tracer",
+    "NULL_TRACER",
 ]

@@ -11,8 +11,14 @@ Commands:
 * ``validate`` — seeded differential validation (interpreter vs VLIW
   simulator vs static estimate vs evaluation engine), with automatic
   failure minimization;
+* ``trace``    — run the full pipeline under the hierarchical tracer and
+  write a Chrome trace-event JSON (open in Perfetto / chrome://tracing);
 * ``dot``      — Graphviz rendering of a function's CFG, clustered by
-  region.
+  region and optionally annotated with schedule cycles.
+
+``run``, ``report``, and ``validate`` take ``--metrics FILE`` /
+``--trace FILE`` to dump pipeline counters and spans; ``bench`` takes
+``--timings-json FILE`` for machine-readable stage timings.
 
 Program inputs may be minic source (``.mc`` or anything else) or textual
 IR dumps (detected by the ``program entry=`` header).  Scheme arguments
@@ -70,6 +76,32 @@ def _parse_args_list(values: Optional[List[str]]) -> List[object]:
     return out
 
 
+def _obs_for(args):
+    """(metrics, tracer) per the command's --metrics/--trace flags."""
+    from repro.obs import (
+        NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer,
+    )
+
+    metrics = MetricsRegistry() if getattr(args, "metrics", None) \
+        else NULL_METRICS
+    tracer = Tracer() if getattr(args, "trace", None) else NULL_TRACER
+    return metrics, tracer
+
+
+def _write_obs(args, metrics, tracer, timer=None) -> None:
+    """Write the files the --metrics/--trace flags asked for."""
+    from repro.obs import NullMetrics, write_observability_json
+
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path and not isinstance(metrics, NullMetrics):
+        write_observability_json(metrics_path, metrics, timer)
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+    trace_path = getattr(args, "trace", None)
+    if trace_path and hasattr(tracer, "write_chrome"):
+        tracer.write_chrome(trace_path)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+
+
 # ----------------------------------------------------------------------
 # Commands
 
@@ -80,19 +112,31 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from repro.ir.analysis_cache import record_cache_metrics
+    from repro.obs import metrics_scope
+
     machine = _machine(args.machine)
     program = _load_program(args.file, optimize=args.optimize)
     inputs = _parse_args_list(args.args)
-    expected = Interpreter(program).run(inputs)
+    metrics, tracer = _obs_for(args)
+    with tracer.span("interpret"):
+        expected = Interpreter(program).run(inputs)
     print(f"interpreter result: {expected}")
-    profile_program(program, inputs=[inputs])
+    with tracer.span("profile"):
+        profile_program(program, inputs=[inputs])
     options = ScheduleOptions(heuristic=args.heuristic,
                               dominator_parallelism=True)
-    result, simulator = api.simulate(program, _scheme(args.scheme), machine,
-                                     inputs, options)
+    with metrics_scope(metrics), \
+            tracer.span("simulate", scheme=args.scheme,
+                        machine=args.machine):
+        result, simulator = api.simulate(program, _scheme(args.scheme),
+                                         machine, inputs, options)
+    simulator.record_metrics(metrics)
+    record_cache_metrics(metrics)
     status = "OK" if result == expected else "MISMATCH"
     print(f"VLIW simulator ({args.scheme}, {machine}): {result} [{status}] "
           f"in {simulator.cycles} cycles")
+    _write_obs(args, metrics, tracer)
     return 0 if result == expected else 1
 
 
@@ -136,8 +180,10 @@ def cmd_bench(args) -> int:
         for name in names
         for scheme in schemes
     ]
+    metrics, tracer = _obs_for(args)
     timer = StageTimer()
-    results = api.evaluate_grid(grid, jobs=args.jobs, timer=timer)
+    results = api.evaluate_grid(grid, jobs=args.jobs, timer=timer,
+                                metrics=metrics, tracer=tracer)
     baselines = {r.cell.benchmark: r.time for r in results[:len(names)]}
     rest = iter(results[len(names):])
     print(f"{'program':10s} " + " ".join(f"{s:>12s}" for s in schemes))
@@ -148,14 +194,25 @@ def cmd_bench(args) -> int:
     if args.timings:
         print()
         print(timer.format())
+    if args.timings_json:
+        from repro.obs import write_observability_json
+
+        write_observability_json(args.timings_json, metrics, timer)
+        print(f"timings written to {args.timings_json}", file=sys.stderr)
+    _write_obs(args, metrics, tracer, timer)
     return 0
 
 
 def cmd_report(args) -> int:
     from repro.evaluation.report import generate_report
+    from repro.util.timing import StageTimer
 
     names = args.benchmarks.split(",") if args.benchmarks else None
-    sys.stdout.write(generate_report(names, jobs=args.jobs))
+    metrics, tracer = _obs_for(args)
+    timer = StageTimer()
+    sys.stdout.write(generate_report(names, jobs=args.jobs, timer=timer,
+                                     metrics=metrics, tracer=tracer))
+    _write_obs(args, metrics, tracer, timer)
     return 0
 
 
@@ -175,6 +232,7 @@ def cmd_validate(args) -> int:
             print(f"seed {outcome.seed}: ok "
                   f"({outcome.cells_checked} cells)")
 
+    metrics, tracer = _obs_for(args)
     summary = api.validate(
         args.seeds,
         start=args.start,
@@ -184,7 +242,10 @@ def cmd_validate(args) -> int:
         max_trials=args.max_trials,
         report_dir=args.report_dir,
         progress=progress,
+        metrics=metrics,
+        tracer=tracer,
     )
+    _write_obs(args, metrics, tracer)
     status = "OK" if summary.ok else "FAIL"
     print(f"{status}: {summary.seeds} seeds, {summary.cells_checked} "
           f"cell-input checks, {len(summary.failures)} failing seed(s)")
@@ -202,6 +263,43 @@ def cmd_validate(args) -> int:
     return 0 if summary.ok else 1
 
 
+def cmd_trace(args) -> int:
+    """Run the full pipeline under the tracer; export Chrome trace JSON."""
+    from repro.ir.analysis_cache import record_cache_metrics
+    from repro.obs import MetricsRegistry, Tracer, write_observability_json
+    from repro.util.timing import StageTimer
+
+    program = _load_program(args.file, optimize=args.optimize)
+    if args.args is not None:
+        profile_program(program, inputs=[_parse_args_list(args.args)])
+    machine = _machine(args.machine)
+    options = ScheduleOptions(heuristic=args.heuristic,
+                              dominator_parallelism=True)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    timer = StageTimer()
+    result = evaluate_program(program, _scheme(args.scheme), machine,
+                              options, timer=timer, metrics=metrics,
+                              tracer=tracer)
+    record_cache_metrics(metrics)
+    tracer.write_chrome(args.out)
+    print(f"trace written to {args.out} "
+          f"(open in Perfetto / chrome://tracing)", file=sys.stderr)
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+        print(f"spans written to {args.jsonl}", file=sys.stderr)
+    if args.metrics_out:
+        write_observability_json(args.metrics_out, metrics, timer)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    print(f"estimated time: {result.time:g} weighted cycles "
+          f"({args.scheme}, {machine})")
+    print()
+    print(tracer.format_summary())
+    print()
+    print(metrics.format_table())
+    return 0
+
+
 def cmd_dot(args) -> int:
     from repro.core import form_treegions
     from repro.ir.dot import cfg_to_dot
@@ -217,8 +315,16 @@ def cmd_dot(args) -> int:
         partition = form_slrs(function.cfg)
     elif args.regions == "hyperblock":
         partition = form_hyperblocks(function.cfg)
+    schedules = None
+    if args.schedule and partition is not None:
+        from repro.schedule.scheduler import schedule_partition
+
+        options = ScheduleOptions(heuristic=args.heuristic,
+                                  dominator_parallelism=True)
+        schedules = schedule_partition(partition, _machine(args.machine),
+                                       options)
     sys.stdout.write(cfg_to_dot(function.cfg, partition=partition,
-                                name=function.name))
+                                name=function.name, schedules=schedules))
     return 0
 
 
@@ -242,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--heuristic", choices=list(HEURISTICS),
                        default="global_weight")
 
+    def obs_flags(p):
+        p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write pipeline counters as JSON to FILE")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace-event JSON to FILE")
+
     p = sub.add_parser("compile", help="minic -> textual IR")
     p.add_argument("file")
     p.add_argument("-O", "--optimize", action="store_true",
@@ -254,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-O", "--optimize", action="store_true",
                    help="apply classic optimizations first")
     common(p)
+    obs_flags(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("schedule", help="print region schedules")
@@ -274,7 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (1 = serial, 0 = one per CPU)")
     p.add_argument("--timings", action="store_true",
                    help="print per-stage wall time after the table")
+    p.add_argument("--timings-json", default=None, metavar="FILE",
+                   dest="timings_json",
+                   help="write per-stage timings (and counters, with "
+                        "--metrics) as JSON to FILE")
     common(p, with_scheme=False)
+    obs_flags(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="full markdown experiment report")
@@ -282,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset (default: all eight)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = serial, 0 = one per CPU)")
+    obs_flags(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -306,13 +425,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report failures without minimizing them")
     p.add_argument("--verbose", action="store_true",
                    help="print every seed, not just failures")
+    obs_flags(p)
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace the pipeline and export Chrome trace-event JSON",
+    )
+    p.add_argument("file")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="Chrome trace-event JSON output (default: "
+                        "trace.json)")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="also write one JSON object per span")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   dest="metrics_out",
+                   help="also write pipeline counters + timings as JSON")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile the program on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    common(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")
     p.add_argument("--function", default=None)
     p.add_argument("--regions", choices=["none", "treegion", "slr",
                                          "hyperblock"], default="treegion")
+    p.add_argument("--schedule", action="store_true",
+                   help="schedule the regions and annotate blocks with "
+                        "cycle counts")
+    common(p, with_scheme=False)
     p.set_defaults(func=cmd_dot)
     return parser
 

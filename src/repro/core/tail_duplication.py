@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.ir.cfg import BasicBlock, CFG, Edge
+from repro.obs.metrics import current_metrics
 from repro.regions.absorb import absorb_into_tree, grow_partition, region_saplings
 from repro.regions.region import Region, RegionPartition
 from repro.core.treegion import Treegion
@@ -100,6 +101,9 @@ class _TailDuplicatingFormer:
             sapling, edge = selection
             if sapling.is_merge_point():
                 clone = self.cfg.clone_block_for_edge(sapling, edge)
+                metrics = current_metrics()
+                metrics.inc("tail_dup.blocks")
+                metrics.inc("tail_dup.ops", len(clone.ops))
                 absorb_into_tree(region, clone, partition, parent=edge.src)
                 duplications += 1
             else:

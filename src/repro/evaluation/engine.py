@@ -46,6 +46,8 @@ from repro.ir.clone import clone_function, clone_program
 from repro.ir.function import Program
 from repro.machine.model import MachineModel
 from repro.machine.presets import PAPER_MACHINES, SCALAR_1U
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, metrics_scope
+from repro.obs.tracer import NULL_TRACER
 from repro.schedule.priorities import HEURISTICS
 from repro.schedule.scheduler import ScheduleOptions, schedule_region
 from repro.util.timing import NULL_TIMER, StageTimer
@@ -240,6 +242,8 @@ def evaluate_cell(
     cell: GridCell,
     program: Optional[Program] = None,
     timer: StageTimer = NULL_TIMER,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> CellResult:
     """Evaluate one grid cell from scratch (the reference serial path).
 
@@ -251,19 +255,27 @@ def evaluate_cell(
 
         program = build_benchmark(cell.benchmark)
     scheme = build_scheme(cell.scheme)
-    with timer.stage("clone"):
-        worked = clone_program(program) if scheme.mutates else program
-    partials: List[_FunctionPartial] = []
-    for original, function in zip(program.functions(), worked.functions()):
-        with timer.stage("formation"):
-            partition = scheme.form(function.cfg)
-        partials.append(
-            _schedule_function_partition(
-                partition, original.cfg.total_ops, function.cfg.total_ops,
-                cell, machine_by_name(cell.machine), timer,
+    with metrics_scope(metrics), \
+            tracer.span("evaluate_cell", benchmark=cell.benchmark,
+                        scheme=cell.scheme, machine=cell.machine,
+                        heuristic=cell.heuristic):
+        metrics.inc("engine.cells")
+        with timer.stage("clone"):
+            worked = clone_program(program) if scheme.mutates else program
+        partials: List[_FunctionPartial] = []
+        for original, function in zip(program.functions(),
+                                      worked.functions()):
+            with timer.stage("formation"), \
+                    tracer.span("formation", function=function.name):
+                partition = scheme.form(function.cfg)
+            partials.append(
+                _schedule_function_partition(
+                    partition, original.cfg.total_ops,
+                    function.cfg.total_ops,
+                    cell, machine_by_name(cell.machine), timer,
+                )
             )
-        )
-    return _merge_partials(cell, partials)
+        return _merge_partials(cell, partials)
 
 
 # ----------------------------------------------------------------------
@@ -275,42 +287,53 @@ def _evaluate_grid_serial(
     programs: Optional[Dict[str, Program]],
     timer: StageTimer,
     texts: Optional[Dict[str, str]] = None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> List[CellResult]:
     results: List[Optional[CellResult]] = [None] * len(cells)
     groups: Dict[Tuple[str, str], List[int]] = {}
     for index, cell in enumerate(cells):
         groups.setdefault((cell.benchmark, cell.scheme), []).append(index)
 
-    for (bench, scheme_spec), indices in groups.items():
-        program = _resolve_program(bench, programs, texts)
-        scheme = build_scheme(scheme_spec)
-        # Clone and form once: formation is machine- and heuristic-
-        # independent, and scheduling never mutates the IR, so every cell
-        # of the group schedules the same partitions.
-        with timer.stage("clone"):
-            worked = clone_program(program) if scheme.mutates else program
-        formed = []  # (partition, original_ops, final_ops) per function
-        for original, function in zip(program.functions(),
-                                      worked.functions()):
-            with timer.stage("formation"):
-                partition = scheme.form(function.cfg)
-            formed.append((partition, original.cfg.total_ops,
-                           function.cfg.total_ops))
-        # Priority keys are shared across the group's heuristics, keyed
-        # per (region, machine) — identically-prepared problems have
-        # aligned op indices.
-        key_caches: Dict[Tuple[int, str], Dict] = {}
-        for index in indices:
-            cell = cells[index]
-            machine = machine_by_name(cell.machine)
-            partials = [
-                _schedule_function_partition(
-                    partition, original_ops, final_ops, cell, machine,
-                    timer, key_caches=key_caches,
-                )
-                for partition, original_ops, final_ops in formed
-            ]
-            results[index] = _merge_partials(cell, partials)
+    with metrics_scope(metrics):
+        for (bench, scheme_spec), indices in groups.items():
+            with tracer.span("group", benchmark=bench, scheme=scheme_spec,
+                             cells=len(indices)):
+                program = _resolve_program(bench, programs, texts)
+                scheme = build_scheme(scheme_spec)
+                # Clone and form once: formation is machine- and
+                # heuristic-independent, and scheduling never mutates the
+                # IR, so every cell of the group schedules the same
+                # partitions.
+                with timer.stage("clone"):
+                    worked = clone_program(program) if scheme.mutates \
+                        else program
+                formed = []  # (partition, orig_ops, final_ops) per func
+                with tracer.span("formation"):
+                    for original, function in zip(program.functions(),
+                                                  worked.functions()):
+                        with timer.stage("formation"):
+                            partition = scheme.form(function.cfg)
+                        formed.append((partition, original.cfg.total_ops,
+                                       function.cfg.total_ops))
+                # Priority keys are shared across the group's heuristics,
+                # keyed per (region, machine) — identically-prepared
+                # problems have aligned op indices.
+                key_caches: Dict[Tuple[int, str], Dict] = {}
+                for index in indices:
+                    cell = cells[index]
+                    machine = machine_by_name(cell.machine)
+                    metrics.inc("engine.cells")
+                    with tracer.span("cell", machine=cell.machine,
+                                     heuristic=cell.heuristic):
+                        partials = [
+                            _schedule_function_partition(
+                                partition, original_ops, final_ops, cell,
+                                machine, timer, key_caches=key_caches,
+                            )
+                            for partition, original_ops, final_ops in formed
+                        ]
+                        results[index] = _merge_partials(cell, partials)
     return results  # type: ignore[return-value]
 
 
@@ -374,27 +397,30 @@ def _run_task(task: _Task):
         program = build_benchmark(bench)
     scheme = build_scheme(scheme_spec)
     timer = StageTimer()
-    formed = []  # (partition, original_ops, final_ops) per function
-    for function in list(program.functions())[lo:hi]:
-        with timer.stage("clone"):
-            worked = clone_function(function) if scheme.mutates else function
-        with timer.stage("formation"):
-            partition = scheme.form(worked.cfg)
-        formed.append((partition, function.cfg.total_ops,
-                       worked.cfg.total_ops))
-    key_caches: Dict[Tuple[int, str], Dict] = {}
-    out = []
-    for index, cell in indexed_cells:
-        machine = machine_by_name(cell.machine)
-        partials = [
-            _schedule_function_partition(
-                partition, original_ops, final_ops, cell, machine, timer,
-                key_caches=key_caches,
-            )
-            for partition, original_ops, final_ops in formed
-        ]
-        out.append((index, partials))
-    return out, lo, (timer.totals, timer.counts)
+    metrics = MetricsRegistry()
+    with metrics_scope(metrics):
+        formed = []  # (partition, original_ops, final_ops) per function
+        for function in list(program.functions())[lo:hi]:
+            with timer.stage("clone"):
+                worked = clone_function(function) if scheme.mutates \
+                    else function
+            with timer.stage("formation"):
+                partition = scheme.form(worked.cfg)
+            formed.append((partition, function.cfg.total_ops,
+                           worked.cfg.total_ops))
+        key_caches: Dict[Tuple[int, str], Dict] = {}
+        out = []
+        for index, cell in indexed_cells:
+            machine = machine_by_name(cell.machine)
+            partials = [
+                _schedule_function_partition(
+                    partition, original_ops, final_ops, cell, machine,
+                    timer, key_caches=key_caches,
+                )
+                for partition, original_ops, final_ops in formed
+            ]
+            out.append((index, partials))
+    return out, lo, (timer.totals, timer.counts), metrics.snapshot()
 
 
 def _split_cells(cells: Sequence[GridCell], jobs: int,
@@ -438,19 +464,29 @@ def _evaluate_grid_parallel(
     jobs: int,
     timer: StageTimer,
     texts: Optional[Dict[str, str]] = None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> List[CellResult]:
     tasks = _split_cells(cells, jobs, texts)
     # Per-cell partial lists keyed by slice start, merged in function
     # order below so the float accumulation matches the serial path.
     by_cell: Dict[int, Dict[int, List[_FunctionPartial]]] = {}
-    with multiprocessing.Pool(processes=jobs) as pool:
-        for out, lo, (totals, counts) in pool.imap_unordered(
-            _run_task, tasks
-        ):
-            for index, partials in out:
-                by_cell.setdefault(index, {})[lo] = partials
-            for name, seconds in totals.items():
-                timer.add(name, seconds, counts.get(name, 0))
+    with tracer.span("pool", jobs=jobs, tasks=len(tasks)):
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for out, lo, (totals, counts), snapshot in pool.imap_unordered(
+                _run_task, tasks
+            ):
+                for index, partials in out:
+                    by_cell.setdefault(index, {})[lo] = partials
+                for name, seconds in totals.items():
+                    timer.add(name, seconds, counts.get(name, 0))
+                metrics.merge_snapshot(snapshot)
+                tracer.event("task_done", slice_start=lo,
+                             cells=len(out))
+    # The per-cell counter lives in the parent: a group split into
+    # several function slices revisits each cell once per slice in the
+    # workers, so counting there would overcount.
+    metrics.inc("engine.cells", len(cells))
     results: List[CellResult] = []
     for index, cell in enumerate(cells):
         slices = by_cell[index]
@@ -470,6 +506,8 @@ def evaluate_grid(
     jobs: int = 1,
     timer: StageTimer = NULL_TIMER,
     program_texts: Optional[Dict[str, str]] = None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> List[CellResult]:
     """Evaluate every grid cell; results come back in input order.
 
@@ -489,6 +527,13 @@ def evaluate_grid(
             these benchmarks fan out to workers — this is how the
             validation oracle runs generated programs through the
             parallel path.  ``programs`` wins when a name is in both.
+        metrics: A :class:`repro.obs.metrics.MetricsRegistry` collecting
+            pipeline counters.  Worker registries merge in commutatively,
+            so serial and parallel runs of the same grid report identical
+            counters/histograms (``deterministic_snapshot``).
+        tracer: A :class:`repro.obs.tracer.Tracer` recording group/cell
+            spans (serial) or pool/task events (parallel; worker-side
+            spans do not cross the process boundary).
 
     Every path returns results bit-identical to calling
     :func:`evaluate_cell` per cell.
@@ -496,25 +541,29 @@ def evaluate_grid(
     cells = list(cells)
     if jobs == 0:
         jobs = os.cpu_count() or 1
-    if jobs <= 1 or not cells:
-        return _evaluate_grid_serial(cells, programs, timer, program_texts)
+    with tracer.span("evaluate_grid", cells=len(cells), jobs=jobs):
+        if jobs <= 1 or not cells:
+            return _evaluate_grid_serial(cells, programs, timer,
+                                         program_texts, metrics, tracer)
 
-    custom = set(programs) if programs is not None else set()
-    pooled = [c for c in cells if c.benchmark not in custom]
-    local = [c for c in cells if c.benchmark in custom]
-    merged: Dict[int, CellResult] = {}
-    if pooled:
-        pooled_indices = [i for i, c in enumerate(cells)
-                          if c.benchmark not in custom]
-        for position, result in enumerate(
-            _evaluate_grid_parallel(pooled, jobs, timer, program_texts)
-        ):
-            merged[pooled_indices[position]] = result
-    if local:
-        local_indices = [i for i, c in enumerate(cells)
-                         if c.benchmark in custom]
-        for position, result in enumerate(
-            _evaluate_grid_serial(local, programs, timer, program_texts)
-        ):
-            merged[local_indices[position]] = result
-    return [merged[i] for i in range(len(cells))]
+        custom = set(programs) if programs is not None else set()
+        pooled = [c for c in cells if c.benchmark not in custom]
+        local = [c for c in cells if c.benchmark in custom]
+        merged: Dict[int, CellResult] = {}
+        if pooled:
+            pooled_indices = [i for i, c in enumerate(cells)
+                              if c.benchmark not in custom]
+            for position, result in enumerate(
+                _evaluate_grid_parallel(pooled, jobs, timer, program_texts,
+                                        metrics, tracer)
+            ):
+                merged[pooled_indices[position]] = result
+        if local:
+            local_indices = [i for i, c in enumerate(cells)
+                             if c.benchmark in custom]
+            for position, result in enumerate(
+                _evaluate_grid_serial(local, programs, timer,
+                                      program_texts, metrics, tracer)
+            ):
+                merged[local_indices[position]] = result
+        return [merged[i] for i in range(len(cells))]

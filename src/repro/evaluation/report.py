@@ -15,10 +15,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.core import form_treegions
 from repro.interp import profile_program
 from repro.machine import VLIW_4U, universal_machine
+from repro.obs.metrics import NULL_METRICS, NullMetrics
+from repro.obs.tracer import NULL_TRACER
 from repro.regions import form_slrs, partition_stats
 from repro.schedule import ScheduleOptions
 from repro.schedule.priorities import DEP_HEIGHT, HEURISTICS
 from repro.util.stats import geometric_mean as _geomean
+from repro.util.timing import NULL_TIMER
 from repro.evaluation.engine import GridCell, evaluate_grid
 from repro.evaluation.schemes import bb_scheme, treegion_scheme
 from repro.evaluation.variation import variation_study
@@ -44,9 +47,13 @@ class ReportBuilder:
     """
 
     def __init__(self, benchmarks: Optional[List[str]] = None,
-                 jobs: int = 1):
+                 jobs: int = 1, timer=NULL_TIMER, metrics=NULL_METRICS,
+                 tracer=NULL_TRACER):
         self.benchmarks = benchmarks or list(BENCHMARK_NAMES)
         self.jobs = jobs
+        self.timer = timer
+        self.metrics = metrics
+        self.tracer = tracer
         self.lines: List[str] = [
             "# Treegion scheduling — experiment report",
             "",
@@ -55,12 +62,15 @@ class ReportBuilder:
         ]
         self._baselines: Dict[str, float] = {}
 
+    def _grid(self, grid: List[GridCell]):
+        return evaluate_grid(grid, jobs=self.jobs, timer=self.timer,
+                             metrics=self.metrics, tracer=self.tracer)
+
     def _baseline(self, name: str) -> float:
         if not self._baselines:
             grid = [GridCell(bench, "bb", "1U", DEP_HEIGHT)
                     for bench in self.benchmarks]
-            for cell, result in zip(grid, evaluate_grid(grid,
-                                                        jobs=self.jobs)):
+            for cell, result in zip(grid, self._grid(grid)):
                 self._baselines[cell.benchmark] = result.time
         return self._baselines[name]
 
@@ -89,7 +99,7 @@ class ReportBuilder:
             for name in self.benchmarks
             for heuristic in HEURISTICS
         ]
-        results = iter(evaluate_grid(grid, jobs=self.jobs))
+        results = iter(self._grid(grid))
         rows = []
         means = {heuristic: [] for heuristic in HEURISTICS}
         for name in self.benchmarks:
@@ -124,7 +134,7 @@ class ReportBuilder:
             for name in self.benchmarks
             for _, spec in schemes
         ]
-        results = iter(evaluate_grid(grid, jobs=self.jobs))
+        results = iter(self._grid(grid))
         rows = []
         means: Dict[str, List[float]] = {label: [] for label, _ in schemes}
         for name in self.benchmarks:
@@ -193,6 +203,33 @@ class ReportBuilder:
         self.lines.extend(_table(["program", "treegion 4U", "ooo 4-wide"],
                                  rows))
 
+    def add_observability(self) -> None:
+        """Per-stage timing and pipeline-counter tables for the studies
+        run so far (plain text inside code fences, stable column order,
+        so two report runs diff cleanly)."""
+        have_timer = self.timer is not NULL_TIMER and self.timer.counts
+        have_metrics = (not isinstance(self.metrics, NullMetrics)
+                        and self.metrics.counters)
+        if not have_timer and not have_metrics:
+            return
+        self.lines.append("## Observability")
+        self.lines.append("")
+        if have_timer:
+            self.lines.append("Per-stage wall time (all studies, worker "
+                              "timers merged in):")
+            self.lines.append("")
+            self.lines.append("```")
+            self.lines.append(self.timer.format())
+            self.lines.append("```")
+            self.lines.append("")
+        if have_metrics:
+            self.lines.append("Pipeline counters:")
+            self.lines.append("")
+            self.lines.append("```")
+            self.lines.append(self.metrics.format_table())
+            self.lines.append("```")
+            self.lines.append("")
+
     # ------------------------------------------------------------------
 
     def render(self) -> str:
@@ -200,16 +237,26 @@ class ReportBuilder:
 
 
 def generate_report(benchmarks: Optional[List[str]] = None,
-                    jobs: int = 1) -> str:
+                    jobs: int = 1, timer=NULL_TIMER, metrics=NULL_METRICS,
+                    tracer=NULL_TRACER) -> str:
     """Run every study and return the markdown report.
 
     ``jobs`` parallelizes the grid-shaped studies (see
-    :func:`repro.evaluation.engine.evaluate_grid`).
+    :func:`repro.evaluation.engine.evaluate_grid`).  Passing a
+    ``timer``/``metrics`` pair appends an Observability section with
+    per-stage timings and pipeline counters for the grid studies.
     """
-    builder = ReportBuilder(benchmarks, jobs=jobs)
-    builder.add_region_statistics()
-    builder.add_heuristic_speedups("4U")
-    builder.add_scheme_comparison("8U")
-    builder.add_variation_study()
-    builder.add_dynamic_comparison()
+    builder = ReportBuilder(benchmarks, jobs=jobs, timer=timer,
+                            metrics=metrics, tracer=tracer)
+    with tracer.span("report.region_statistics"):
+        builder.add_region_statistics()
+    with tracer.span("report.heuristic_speedups"):
+        builder.add_heuristic_speedups("4U")
+    with tracer.span("report.scheme_comparison"):
+        builder.add_scheme_comparison("8U")
+    with tracer.span("report.variation_study"):
+        builder.add_variation_study()
+    with tracer.span("report.dynamic_comparison"):
+        builder.add_dynamic_comparison()
+    builder.add_observability()
     return builder.render()

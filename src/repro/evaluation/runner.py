@@ -18,6 +18,8 @@ from repro.ir.clone import clone_program
 from repro.ir.function import Program
 from repro.machine.model import MachineModel
 from repro.machine.presets import SCALAR_1U
+from repro.obs.metrics import NULL_METRICS, metrics_scope
+from repro.obs.tracer import NULL_TRACER
 from repro.regions.region import RegionPartition
 from repro.regions.stats import RegionStats, partition_stats
 from repro.schedule.priorities import DEP_HEIGHT
@@ -73,40 +75,50 @@ def evaluate_program(
     machine: MachineModel,
     options: Optional[ScheduleOptions] = None,
     timer: StageTimer = NULL_TIMER,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> EvaluationResult:
     """Run one full formation + scheduling + estimation pipeline.
 
     The input program is never modified: schemes that tail-duplicate run
     on a deep clone (returned in the result for inspection).  ``timer``
-    accumulates per-stage wall time (formation + the scheduler's stages).
+    accumulates per-stage wall time (formation + the scheduler's stages);
+    ``metrics`` collects pipeline counters and ``tracer`` records the run
+    as nested spans (program → function → formation/schedule_region →
+    prep/renaming/ddg/list_schedule).
     """
     options = options or ScheduleOptions()
-    with timer.stage("clone"):
-        worked = clone_program(program) if scheme.mutates else program
-    original_ops = sum(fn.cfg.total_ops for fn in program.functions())
+    with metrics_scope(metrics), \
+            tracer.span("evaluate_program", scheme=scheme.name,
+                        machine=machine.name,
+                        heuristic=options.heuristic):
+        with timer.stage("clone"):
+            worked = clone_program(program) if scheme.mutates else program
+        original_ops = sum(fn.cfg.total_ops for fn in program.functions())
 
-    result = EvaluationResult(
-        scheme=scheme.name,
-        machine=machine.name,
-        heuristic=options.heuristic,
-        time=0.0,
-        code_expansion=1.0,
-        program=worked,
-    )
-    for function in worked.functions():
-        with timer.stage("formation"):
-            partition = scheme.form(function.cfg)
-        schedules = schedule_partition(partition, machine, options,
-                                       timer=timer)
-        result.partitions.append(partition)
-        result.schedules.extend(schedules)
-        with timer.stage("estimate"):
-            result.time += sum(s.weighted_time for s in schedules)
+        result = EvaluationResult(
+            scheme=scheme.name,
+            machine=machine.name,
+            heuristic=options.heuristic,
+            time=0.0,
+            code_expansion=1.0,
+            program=worked,
+        )
+        for function in worked.functions():
+            with tracer.span("function", function=function.name):
+                with timer.stage("formation"), tracer.span("formation"):
+                    partition = scheme.form(function.cfg)
+                schedules = schedule_partition(partition, machine, options,
+                                               timer=timer, tracer=tracer)
+                result.partitions.append(partition)
+                result.schedules.extend(schedules)
+                with timer.stage("estimate"):
+                    result.time += sum(s.weighted_time for s in schedules)
 
-    final_ops = sum(fn.cfg.total_ops for fn in worked.functions())
-    if original_ops > 0:
-        result.code_expansion = final_ops / original_ops
-    return result
+        final_ops = sum(fn.cfg.total_ops for fn in worked.functions())
+        if original_ops > 0:
+            result.code_expansion = final_ops / original_ops
+        return result
 
 
 def baseline_time(

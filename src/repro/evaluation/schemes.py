@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.ir.cfg import CFG
+from repro.obs.metrics import NULL_METRICS, current_metrics
 from repro.regions.basic import form_basic_block_regions
 from repro.regions.hyperblock import HyperblockLimits, form_hyperblocks
 from repro.regions.region import RegionPartition
@@ -44,23 +45,43 @@ class Scheme:
     mutates: bool = False
 
 
+def _counted(form: Callable[[CFG], RegionPartition]
+             ) -> Callable[[CFG], RegionPartition]:
+    """Wrap a former so each run counts formed regions/blocks into the
+    active metrics registry (formation happens once per (benchmark,
+    scheme, function) on every engine path, so these counters merge
+    deterministically)."""
+
+    def run(cfg: CFG) -> RegionPartition:
+        partition = form(cfg)
+        metrics = current_metrics()
+        if metrics is not NULL_METRICS:
+            regions = list(partition)
+            metrics.inc("formation.regions", len(regions))
+            metrics.inc("formation.blocks",
+                        sum(r.block_count for r in regions))
+        return partition
+
+    return run
+
+
 def bb_scheme() -> Scheme:
-    return Scheme("bb", form_basic_block_regions)
+    return Scheme("bb", _counted(form_basic_block_regions))
 
 
 def slr_scheme() -> Scheme:
-    return Scheme("slr", form_slrs)
+    return Scheme("slr", _counted(form_slrs))
 
 
 def treegion_scheme() -> Scheme:
-    return Scheme("treegion", form_treegions)
+    return Scheme("treegion", _counted(form_treegions))
 
 
 def superblock_scheme(limits: Optional[SuperblockLimits] = None) -> Scheme:
     limits = limits or SuperblockLimits()
     return Scheme(
         "superblock",
-        lambda cfg: form_superblocks(cfg, limits),
+        _counted(lambda cfg: form_superblocks(cfg, limits)),
         mutates=True,
     )
 
@@ -69,7 +90,7 @@ def treegion_td_scheme(limits: Optional[TreegionLimits] = None) -> Scheme:
     limits = limits or TreegionLimits()
     return Scheme(
         f"treegion-td({limits.code_expansion:g})",
-        lambda cfg: form_treegions_td(cfg, limits),
+        _counted(lambda cfg: form_treegions_td(cfg, limits)),
         mutates=True,
     )
 
@@ -80,7 +101,7 @@ def hyperblock_scheme(limits: Optional[HyperblockLimits] = None) -> Scheme:
     limits = limits or HyperblockLimits()
     return Scheme(
         "hyperblock",
-        lambda cfg: form_hyperblocks(cfg, limits),
+        _counted(lambda cfg: form_hyperblocks(cfg, limits)),
     )
 
 

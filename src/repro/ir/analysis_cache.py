@@ -138,3 +138,15 @@ def register_bounds_of(cfg: CFG) -> Dict[RegClass, int]:
 
 def invalidate(cfg: Optional[CFG] = None) -> None:
     GLOBAL_CACHE.invalidate(cfg)
+
+
+def record_cache_metrics(metrics, cache: Optional[AnalysisCache] = None) -> None:
+    """Publish a cache's hit/miss totals as gauges.
+
+    Gauges, not counters: the totals are process-local (each parallel
+    worker grows its own :data:`GLOBAL_CACHE`) and depend on execution
+    mode, so they sit outside the serial/parallel determinism contract.
+    """
+    cache = cache if cache is not None else GLOBAL_CACHE
+    metrics.gauge("cache.hits", cache.hits)
+    metrics.gauge("cache.misses", cache.misses)

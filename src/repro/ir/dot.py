@@ -10,7 +10,7 @@ region (treegions show up as the dotted groups of the paper's Figure 1).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.cfg import CFG, BasicBlock
 from repro.ir.printer import format_operation
@@ -18,8 +18,13 @@ from repro.ir.types import EdgeKind
 from repro.regions.region import RegionPartition
 
 
-def _block_label(block: BasicBlock, max_ops: int) -> str:
+def _block_label(block: BasicBlock, max_ops: int,
+                 cycle_info: Optional[Tuple[int, int]] = None) -> str:
     lines = [f"{block.name} (w={block.weight:g})"]
+    if cycle_info is not None:
+        last_cycle, region_length = cycle_info
+        lines.append(f"sched: last op @ cycle {last_cycle} "
+                     f"of {region_length}")
     for op in block.ops[:max_ops]:
         lines.append(format_operation(op))
     if len(block.ops) > max_ops:
@@ -28,13 +33,48 @@ def _block_label(block: BasicBlock, max_ops: int) -> str:
     return escaped + "\\l"
 
 
+def _schedule_cycle_map(schedules) -> Dict[int, Tuple[int, int]]:
+    """Map home block id -> (last placed cycle, region schedule length).
+
+    Built from the schedules' placed ops: each op knows its home block
+    and effective cycle, so a block's entry is the latest cycle any of
+    its ops issues in, paired with its region's total length — the two
+    numbers that let a rendered CFG cross-reference a trace.
+    """
+    info: Dict[int, Tuple[int, int]] = {}
+    for schedule in schedules:
+        for sop in schedule.all_ops():
+            cycle = sop.effective_cycle
+            if cycle is None:
+                continue
+            bid = sop.home.bid
+            previous = info.get(bid)
+            if previous is None or cycle > previous[0]:
+                info[bid] = (cycle, schedule.length)
+    return info
+
+
 def cfg_to_dot(
     cfg: CFG,
     partition: Optional[RegionPartition] = None,
     name: str = "cfg",
     max_ops_per_block: int = 6,
+    schedules: Optional[Sequence] = None,
 ) -> str:
-    """Render a CFG (optionally clustered by region) as DOT text."""
+    """Render a CFG (optionally clustered by region) as DOT text.
+
+    When ``schedules`` (the :class:`~repro.schedule.schedule.RegionSchedule`
+    list for ``partition``) is supplied, each block is annotated with the
+    last cycle one of its ops issues in and its region's schedule length,
+    and each region cluster label carries the schedule length — so the
+    graph cross-references `repro trace` output.
+    """
+    cycle_map = _schedule_cycle_map(schedules) if schedules else {}
+    lengths_by_root: Dict[int, int] = {}
+    if schedules:
+        for schedule in schedules:
+            lengths_by_root[schedule.region.root.bid] = schedule.length
+
     lines: List[str] = [
         f"digraph {name} {{",
         '  node [shape=box, fontname="monospace", fontsize=9];',
@@ -43,13 +83,17 @@ def cfg_to_dot(
 
     if partition is not None:
         for region in partition:
+            length = lengths_by_root.get(region.root.bid)
+            label = f"{region.kind} #{region.rid}"
+            if length is not None:
+                label += f" ({length} cycles)"
             lines.append(f"  subgraph cluster_r{region.rid} {{")
-            lines.append(f'    label="{region.kind} #{region.rid}";')
+            lines.append(f'    label="{label}";')
             lines.append("    style=dotted;")
             for block in region.blocks:
                 lines.append(
                     f'    bb{block.bid} '
-                    f'[label="{_block_label(block, max_ops_per_block)}"];'
+                    f'[label="{_block_label(block, max_ops_per_block, cycle_map.get(block.bid))}"];'
                 )
             lines.append("  }")
         covered = {b.bid for r in partition for b in r.blocks}
@@ -60,7 +104,7 @@ def cfg_to_dot(
         if block.bid not in covered:
             lines.append(
                 f'  bb{block.bid} '
-                f'[label="{_block_label(block, max_ops_per_block)}"];'
+                f'[label="{_block_label(block, max_ops_per_block, cycle_map.get(block.bid))}"];'
             )
 
     styles = {

@@ -1,0 +1,34 @@
+"""Observability: hierarchical tracing + deterministic metrics.
+
+See :mod:`repro.obs.tracer` and :mod:`repro.obs.metrics` for the two
+halves; DESIGN.md ("Observability") describes how the evaluation engine
+merges worker registries and why serial and parallel runs report
+identical counters.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    current_metrics,
+    metrics_scope,
+    observability_snapshot,
+    write_observability_json,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "current_metrics",
+    "metrics_scope",
+    "observability_snapshot",
+    "write_observability_json",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,280 @@
+"""Named counters, gauges, and histograms with deterministic merging.
+
+A :class:`MetricsRegistry` is the numeric half of the observability
+layer: the pipeline counts *what happened* (ops speculated, blocks tail-
+duplicated, registers minted by renaming, duplicates merged by dominator
+parallelism, simulator squashes) into named metrics, and the evaluation
+engine merges worker registries back into the parent exactly like
+:meth:`repro.util.timing.StageTimer.merge` merges stage timers.
+
+**Determinism contract.**  Counters and histograms are *deterministic*:
+they only record algorithmic events, merging is commutative integer
+addition, and snapshots sort their keys — so a serial run and a
+``jobs=N`` parallel run of the same grid serialize byte-identically
+(``tests/test_obs.py`` enforces this).  Gauges are *point-in-time* facts
+(analysis-cache hit counts, process-local state); they merge by ``max``
+and are explicitly outside the determinism guarantee, which is why
+:meth:`MetricsRegistry.deterministic_snapshot` excludes them.
+
+Instrumentation points deep in the pipeline (tail duplication, renaming,
+prep, the DDG builder) would need a ``metrics`` parameter threaded
+through a dozen signatures; instead they read the *active* registry via
+:func:`current_metrics`, which callers install with
+:func:`metrics_scope`.  With no scope installed the active registry is
+:data:`NULL_METRICS`, a shared no-op, so uninstrumented runs pay one
+list lookup and a no-op method call per event — events are per-region or
+per-duplication, never per scheduled op, so the overhead is unmeasurable
+(the engine benchmark thresholds in ``benchmarks/test_perf_engine.py``
+hold unchanged).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative integers."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        #: bucket exponent -> count; a value lands in bucket
+        #: ``value.bit_length()`` (so bucket b holds 2^(b-1) .. 2^b - 1).
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        v = int(value)
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        bucket = v.bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(b): self.buckets[b] for b in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        histogram = cls()
+        histogram.count = int(data["count"])
+        histogram.total = int(data["sum"])
+        histogram.min = None if data["min"] is None else int(data["min"])
+        histogram.max = None if data["max"] is None else int(data["max"])
+        histogram.buckets = {
+            int(bucket): int(count)
+            for bucket, count in dict(data["buckets"]).items()
+        }
+        return histogram
+
+    def __repr__(self) -> str:
+        return (f"<Histogram n={self.count} sum={self.total} "
+                f"min={self.min} max={self.max}>")
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a point-in-time ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value) -> None:
+        """Record ``value`` into histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (worker merge): counters and
+        histogram buckets add, gauges take the max."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None \
+                else max(current, value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot with sorted keys (the wire format workers
+        ship back to the engine parent)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].as_dict()
+                for k in sorted(self.histograms)
+            },
+        }
+
+    def deterministic_snapshot(self) -> Dict[str, object]:
+        """Counters + histograms only — the part guaranteed byte-identical
+        between serial and parallel evaluation of the same grid."""
+        snap = self.snapshot()
+        return {"counters": snap["counters"], "histograms": snap["histograms"]}
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters = dict(data.get("counters", {}))
+        registry.gauges = dict(data.get("gauges", {}))
+        registry.histograms = {
+            name: Histogram.from_dict(hist)
+            for name, hist in dict(data.get("histograms", {})).items()
+        }
+        return registry
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        self.merge(MetricsRegistry.from_snapshot(data))
+
+    # ------------------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Plain-text table, stable row and column order for diffing."""
+        lines: List[str] = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:>32s}  {self.counters[name]:>12d}")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            lines.append(
+                f"{name:>32s}  n={histogram.count} sum={histogram.total} "
+                f"min={histogram.min} max={histogram.max} "
+                f"mean={histogram.mean:.2f}"
+            )
+        for name in sorted(self.gauges):
+            lines.append(f"{name:>32s}  {self.gauges[name]:>12g}  (gauge)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry {len(self.counters)} counters, "
+                f"{len(self.gauges)} gauges, "
+                f"{len(self.histograms)} histograms>")
+
+
+class NullMetrics:
+    """No-op :class:`MetricsRegistry` stand-in."""
+
+    __slots__ = ()
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value) -> None:
+        pass
+
+    def merge(self, other) -> None:
+        pass
+
+    def merge_snapshot(self, data) -> None:
+        pass
+
+
+#: Shared no-op registry: ``metrics = metrics or NULL_METRICS``.
+NULL_METRICS = NullMetrics()
+
+
+# ----------------------------------------------------------------------
+# Active-registry scope (how deep pipeline internals find the registry)
+
+_ACTIVE: List[MetricsRegistry] = []
+
+
+def current_metrics():
+    """The innermost registry installed by :func:`metrics_scope`, or
+    :data:`NULL_METRICS` when none is active."""
+    return _ACTIVE[-1] if _ACTIVE else NULL_METRICS
+
+
+@contextmanager
+def metrics_scope(registry):
+    """Install ``registry`` as the active registry for the dynamic extent.
+
+    Passing :data:`NULL_METRICS` (or any :class:`NullMetrics`) is a
+    no-op: it does *not* mask an outer scope, so an instrumented caller
+    keeps collecting through uninstrumented intermediate layers.
+    """
+    if isinstance(registry, NullMetrics):
+        yield registry
+        return
+    _ACTIVE.append(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.pop()
+
+
+# ----------------------------------------------------------------------
+# Shared serialization helpers (CLI --metrics / --timings-json files)
+
+
+def observability_snapshot(metrics=None, timer=None) -> Dict[str, object]:
+    """One JSON document folding a metrics registry and a
+    :class:`~repro.util.timing.StageTimer` together (the ``--metrics``
+    and ``--timings-json`` file format)."""
+    snap: Dict[str, object] = {}
+    if metrics is not None and not isinstance(metrics, NullMetrics):
+        snap.update(metrics.snapshot())
+    if timer is not None:
+        snap["stages"] = timer.as_dict()
+        snap["total_seconds"] = timer.total
+    return snap
+
+
+def write_observability_json(path: str, metrics=None, timer=None) -> None:
+    with open(path, "w") as handle:
+        json.dump(observability_snapshot(metrics, timer), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")

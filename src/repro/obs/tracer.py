@@ -1,0 +1,241 @@
+"""Hierarchical tracing: nested spans with wall time and attributes.
+
+A :class:`Tracer` records *spans* — named, attributed intervals nested by
+a span stack — so one run of the pipeline can be replayed as a tree
+("evaluate_program" → "function f" → "formation" / "schedule_region" →
+"prep"/"renaming"/"ddg"/"list_schedule").  Two export formats:
+
+* **JSONL** (:meth:`Tracer.write_jsonl`): one JSON object per finished
+  span with its id, parent id, depth, relative start/end, and attributes
+  — grep- and pandas-friendly;
+* **Chrome trace-event JSON** (:meth:`Tracer.to_chrome` /
+  :meth:`Tracer.write_chrome`): the ``{"traceEvents": [...]}`` format
+  that loads directly in ``chrome://tracing`` and Perfetto.
+
+Uninstrumented code paths use :data:`NULL_TRACER`, a shared no-op
+mirroring :data:`repro.util.timing.NULL_TIMER`: ``span()`` returns a
+reusable singleton context manager and never reads the clock, so passing
+no tracer costs an attribute call per instrumentation point.
+
+Timestamps come from ``time.perf_counter`` (injectable for tests);
+exports normalize to the first span's start, so absolute clock epochs
+never leak into the files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+
+class Span:
+    """One finished (or still-open) traced interval."""
+
+    __slots__ = ("sid", "parent", "name", "depth", "start", "end", "args")
+
+    def __init__(self, sid: int, parent: Optional[int], name: str,
+                 depth: int, start: float, args: Dict[str, object]):
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.depth = depth
+        self.start = start
+        self.end: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.3f}ms" if self.end is not None \
+            else "open"
+        return f"<span {self.sid} {self.name!r} depth={self.depth} {state}>"
+
+
+class _SpanHandle:
+    """Context manager opening one span on enter, closing it on exit."""
+
+    __slots__ = ("_tracer", "_span", "_name", "_args")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, object]):
+        self._tracer = tracer
+        # The span is created on __enter__, not here, so building a
+        # handle without entering it records nothing.
+        self._span: Optional[Span] = None
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._args)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        assert self._span is not None
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects nested spans and instant events for one run."""
+
+    def __init__(self, clock: Callable[[], float] = perf_counter):
+        self._clock = clock
+        #: Every span ever opened, in open order (start-time order).
+        self.spans: List[Span] = []
+        #: Instant events: (timestamp, parent span id or None, name, args).
+        self.events: List[tuple] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **args) -> _SpanHandle:
+        """Context manager recording one nested span named ``name``."""
+        return _SpanHandle(self, name, args)
+
+    def event(self, name: str, **args) -> None:
+        """Record an instant (zero-duration) event at the current depth."""
+        parent = self._stack[-1].sid if self._stack else None
+        self.events.append((self._clock(), parent, name, args))
+
+    def _open(self, name: str, args: Dict[str, object]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            sid=len(self.spans),
+            parent=parent.sid if parent is not None else None,
+            name=name,
+            depth=len(self._stack),
+            start=self._clock(),
+            args=args,
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        # Exceptions can leave deeper spans open; unwind to this span.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        return [span for span in self.spans if span.end is not None]
+
+    def _epoch(self) -> float:
+        starts = [span.start for span in self.spans]
+        starts.extend(ts for ts, _parent, _name, _args in self.events)
+        return min(starts) if starts else 0.0
+
+    def to_chrome(self, process_name: str = "repro") -> Dict[str, object]:
+        """The Chrome trace-event JSON object (``chrome://tracing`` /
+        Perfetto).  Spans become complete (``"ph": "X"``) events with
+        microsecond timestamps relative to the first span."""
+        epoch = self._epoch()
+        pid = os.getpid()
+        events: List[Dict[str, object]] = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }]
+        for span in self.finished_spans():
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start - epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(span.args),
+            })
+        for ts, _parent, name, args in self.events:
+            events.append({
+                "name": name,
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": (ts - epoch) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(args),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str, process_name: str = "repro") -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(process_name), handle, indent=1)
+            handle.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        """One JSON object per finished span, in start order."""
+        epoch = self._epoch()
+        with open(path, "w") as handle:
+            for span in self.finished_spans():
+                handle.write(json.dumps({
+                    "sid": span.sid,
+                    "parent": span.parent,
+                    "name": span.name,
+                    "depth": span.depth,
+                    "start": span.start - epoch,
+                    "end": (span.end or span.start) - epoch,
+                    "dur": span.duration,
+                    "args": dict(span.args),
+                }, sort_keys=True))
+                handle.write("\n")
+
+    def format_summary(self, top: int = 8) -> str:
+        """Human summary: span count plus the slowest span names."""
+        finished = self.finished_spans()
+        totals: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for span in finished:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+            counts[span.name] = counts.get(span.name, 0) + 1
+        lines = [f"{len(finished)} spans, {len(self.events)} events"]
+        for name in sorted(totals, key=totals.get, reverse=True)[:top]:
+            lines.append(
+                f"{name:>20s}  {totals[name]:8.4f}s  x{counts[name]}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Tracer {len(self.spans)} spans>"
+
+
+class _NullSpanHandle:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTracer:
+    """No-op :class:`Tracer` stand-in; never reads the clock."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **args) -> _NullSpanHandle:
+        return _NULL_SPAN
+
+    def event(self, name: str, **args) -> None:
+        pass
+
+
+#: Shared no-op tracer: ``tracer = tracer or NULL_TRACER``.
+NULL_TRACER = NullTracer()

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.ir.cfg import BasicBlock, CFG, Edge
+from repro.obs.metrics import current_metrics
 from repro.regions.region import Region, RegionPartition
 
 
@@ -184,6 +185,7 @@ class _SuperblockFormer:
     def _duplicate_suffix(self, suffix: List[BasicBlock], side_edges: List[Edge]) -> None:
         """Clone ``suffix`` as a chain and move ``side_edges`` onto it."""
         moved = sum(e.weight for e in side_edges)
+        metrics = current_metrics()
         clones: List[BasicBlock] = []
         for block in suffix:
             clone = self.cfg.new_block(name=f"{block.name}.sbdup")
@@ -191,6 +193,8 @@ class _SuperblockFormer:
             for op in block.ops:
                 clones_op = op.clone(self.cfg._op_ids.allocate())
                 clone.ops.append(clones_op)
+            metrics.inc("tail_dup.blocks")
+            metrics.inc("tail_dup.ops", len(clone.ops))
             clones.append(clone)
 
         # Wire clone out-edges: internal trace edges chain the clones;

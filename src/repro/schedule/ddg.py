@@ -39,6 +39,7 @@ from repro.ir.liveness import LivenessInfo
 from repro.ir.registers import Register
 from repro.ir.types import Opcode
 from repro.machine.model import MachineModel
+from repro.obs.metrics import NULL_METRICS, current_metrics
 from repro.regions.region import RegionExit
 from repro.schedule.prep import ScheduleProblem
 from repro.schedule.renaming import ExitCopy
@@ -257,6 +258,12 @@ def build_ddg(
 
     _add_control_height_edges(ddg)
     ddg.compute_heights(machine)
+    metrics = current_metrics()
+    if metrics is not NULL_METRICS:
+        metrics.inc("ddg.nodes", len(problem.sched_ops))
+        metrics.inc("ddg.edges", sum(len(p) for p in ddg.preds))
+        metrics.inc("ddg.control_edges",
+                    sum(len(s) for s in ddg.control_succs))
     return ddg
 
 

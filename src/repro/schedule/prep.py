@@ -39,6 +39,7 @@ from repro.ir.operation import Operation
 from repro.ir.registers import Register, RegisterFactory
 from repro.ir.types import CompareCond, EdgeKind, Opcode
 from repro.machine.model import MachineModel
+from repro.obs.metrics import current_metrics
 from repro.regions.region import Region, RegionExit
 from repro.schedule.schedule import SchedOp
 
@@ -226,6 +227,7 @@ class _Prep:
         if guard is None:
             return op_guard
         dest = self.problem.regs.fresh_pred()
+        current_metrics().inc("prep.pand_merges")
         self._emit_synth(
             Operation(0, Opcode.PAND, dests=[dest], srcs=[op_guard, guard]),
             block, dest,

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.ir.analysis_cache import liveness_of
 from repro.ir.liveness import LivenessInfo
 from repro.machine.model import MachineModel
+from repro.obs.metrics import NULL_METRICS, current_metrics
+from repro.obs.tracer import NULL_TRACER
 from repro.regions.region import Region, RegionPartition
 from repro.schedule.ddg import build_ddg
 from repro.schedule.list_scheduler import list_schedule
@@ -57,6 +59,19 @@ class ScheduleOptions:
     max_cycles: int = 1_000_000
 
 
+def _record_schedule_metrics(schedule: RegionSchedule) -> RegionSchedule:
+    """Count one finished region schedule into the active registry."""
+    metrics = current_metrics()
+    if metrics is not NULL_METRICS:
+        metrics.inc("schedule.regions")
+        metrics.inc("schedule.cycles", schedule.length)
+        metrics.inc("schedule.speculated", schedule.speculated_count)
+        metrics.inc("schedule.merged", len(schedule.merged))
+        metrics.inc("rename.exit_copies", len(schedule.copies))
+        metrics.observe("schedule.length", schedule.length)
+    return schedule
+
+
 def schedule_region(
     region: Region,
     machine: MachineModel,
@@ -64,13 +79,17 @@ def schedule_region(
     liveness: Optional[LivenessInfo] = None,
     timer: StageTimer = NULL_TIMER,
     key_cache: Optional[Dict[Heuristic, List[Tuple]]] = None,
+    tracer=NULL_TRACER,
 ) -> RegionSchedule:
     """Schedule one region for the given machine.
 
     ``liveness`` may be supplied to avoid recomputing it per region when
     scheduling a whole partition.  The input IR is never modified.
 
-    ``timer`` records per-stage wall time (prep/renaming/ddg/list_schedule).
+    ``timer`` records per-stage wall time (prep/renaming/ddg/list_schedule)
+    and ``tracer`` records the same stages as nested spans; per-decision
+    counters land in the active :func:`repro.obs.metrics.current_metrics`
+    registry.
     ``key_cache`` shares priority keys across heuristic sweeps of the same
     region: on the first call it is filled with every heuristic's keys (the
     expensive ingredients — heights, exit counts — are computed once), and
@@ -89,36 +108,44 @@ def schedule_region(
     if isinstance(region, Hyperblock):
         from repro.schedule.hyperblock import schedule_hyperblock
 
-        with timer.stage("list_schedule"):
-            return schedule_hyperblock(
+        with timer.stage("list_schedule"), \
+                tracer.span("list_schedule", region=region.root.bid,
+                            kind="hyperblock"):
+            return _record_schedule_metrics(schedule_hyperblock(
                 region, machine, heuristic=options.heuristic,
                 liveness=liveness, max_cycles=options.max_cycles,
-            )
-    with timer.stage("prep"):
-        problem = prepare_region(region, machine, liveness)
-    with timer.stage("renaming"):
-        copies = rename_region(problem, liveness)
-        if options.schedule_copies:
-            _insert_copy_ops(problem, copies)
-    with timer.stage("ddg"):
-        ddg = build_ddg(problem, machine, liveness=liveness, copies=copies)
-        if key_cache is not None and not options.schedule_copies:
-            if not key_cache:
-                key_cache.update(all_priority_keys(problem, ddg))
-            keys = key_cache.get(options.heuristic)
-        else:
-            keys = None
-        order = priority_order(problem, ddg, options.heuristic, keys=keys)
-    with timer.stage("list_schedule"):
-        return list_schedule(
-            problem,
-            ddg,
-            order,
-            machine,
-            dominator_parallelism=options.dominator_parallelism,
-            copies=copies,
-            max_cycles=options.max_cycles,
-        )
+            ))
+    with tracer.span("schedule_region", region=region.root.bid,
+                     blocks=len(region.blocks),
+                     machine=machine.name,
+                     heuristic=options.heuristic):
+        with timer.stage("prep"), tracer.span("prep"):
+            problem = prepare_region(region, machine, liveness)
+        with timer.stage("renaming"), tracer.span("renaming"):
+            copies = rename_region(problem, liveness)
+            if options.schedule_copies:
+                _insert_copy_ops(problem, copies)
+        with timer.stage("ddg"), tracer.span("ddg"):
+            ddg = build_ddg(problem, machine, liveness=liveness,
+                            copies=copies)
+            if key_cache is not None and not options.schedule_copies:
+                if not key_cache:
+                    key_cache.update(all_priority_keys(problem, ddg))
+                keys = key_cache.get(options.heuristic)
+            else:
+                keys = None
+            order = priority_order(problem, ddg, options.heuristic,
+                                   keys=keys)
+        with timer.stage("list_schedule"), tracer.span("list_schedule"):
+            return _record_schedule_metrics(list_schedule(
+                problem,
+                ddg,
+                order,
+                machine,
+                dominator_parallelism=options.dominator_parallelism,
+                copies=copies,
+                max_cycles=options.max_cycles,
+            ))
 
 
 def _insert_copy_ops(problem, copies) -> None:
@@ -156,6 +183,7 @@ def schedule_partition(
     machine: MachineModel,
     options: Optional[ScheduleOptions] = None,
     timer: StageTimer = NULL_TIMER,
+    tracer=NULL_TRACER,
 ) -> List[RegionSchedule]:
     """Schedule every region of a partition (liveness cached per CFG)."""
     options = options or ScheduleOptions()
@@ -163,6 +191,7 @@ def schedule_partition(
     for region in partition:
         liveness = liveness_of(region.root.cfg)
         schedules.append(
-            schedule_region(region, machine, options, liveness, timer=timer)
+            schedule_region(region, machine, options, liveness, timer=timer,
+                            tracer=tracer)
         )
     return schedules

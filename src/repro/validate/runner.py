@@ -22,6 +22,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import NULL_METRICS, metrics_scope
+from repro.obs.tracer import NULL_TRACER
 from repro.validate.generator import generate
 from repro.validate.oracle import (
     Cell,
@@ -135,8 +137,18 @@ def run_validation(
     engine_every: int = ENGINE_SAMPLE_EVERY,
     report_dir: Optional[str] = None,
     progress: Optional[Callable[[SeedOutcome], None]] = None,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
 ) -> ValidationSummary:
-    """Run the oracle over ``seeds``; minimize and report any failure."""
+    """Run the oracle over ``seeds``; minimize and report any failure.
+
+    ``metrics`` counts campaign totals (``validate.*``, recorded in the
+    parent from the outcomes, so they are mode-independent); a serial
+    campaign additionally collects the deep pipeline counters of every
+    seed's oracle runs via the active-registry scope.  ``tracer``
+    records one span per seed (serial campaigns only — worker spans do
+    not cross the process boundary).
+    """
     if grid is None:
         grid = default_grid()
     if jobs == 0:
@@ -154,11 +166,13 @@ def run_validation(
     summary = ValidationSummary()
     if jobs == 1 or len(tasks) <= 1:
         outcomes = []
-        for task in tasks:
-            outcome = _seed_worker(task)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
+        with metrics_scope(metrics):
+            for task in tasks:
+                with tracer.span("seed", seed=task[0]):
+                    outcome = _seed_worker(task)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
     else:
         with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
             outcomes = []
@@ -172,6 +186,11 @@ def run_validation(
         summary.seeds += 1
         summary.cells_checked += outcome.cells_checked
         summary.outcomes.append(outcome)
+        metrics.inc("validate.seeds")
+        metrics.inc("validate.cells_checked", outcome.cells_checked)
+        metrics.inc("validate.mismatches", outcome.mismatch_count)
+        if not outcome.ok:
+            metrics.inc("validate.failing_seeds")
 
     if report_dir is not None:
         write_reports(summary, report_dir)

@@ -115,6 +115,19 @@ class VLIWSimulator:
         #: Total cycles spent, per the region-exit accounting above.
         self.cycles = 0
         self.region_visits = 0
+        #: Speculated/guarded ops whose guard was false at execute time.
+        self.squashes = 0
+        #: In-flight long-latency writes applied at a region boundary.
+        self.drained_writes = 0
+
+    def record_metrics(self, metrics) -> None:
+        """Count this run's totals into a metrics registry (gauges:
+        simulator state is per-run and process-local, so these sit
+        outside the serial/parallel determinism contract)."""
+        metrics.gauge("sim.cycles", self.cycles)
+        metrics.gauge("sim.region_visits", self.region_visits)
+        metrics.gauge("sim.squashes", self.squashes)
+        metrics.gauge("sim.drained_writes", self.drained_writes)
 
     # ------------------------------------------------------------------
 
@@ -192,6 +205,7 @@ class VLIWSimulator:
                 )
 
         # Drain in-flight writes at the boundary (stall-equivalent).
+        self.drained_writes += len(pending)
         for _ready, register, value in pending:
             state.write(register, value)
 
@@ -219,6 +233,7 @@ class VLIWSimulator:
 
     def _execute_store(self, sop: SchedOp, state: MachineState) -> None:
         if not self._guard_holds(state, sop):
+            self.squashes += 1
             return
         op = sop.op
         base = self._value(state, op.srcs[0])
@@ -260,6 +275,7 @@ class VLIWSimulator:
                 pending.append((cycle_index + latency, register, value))
 
         if not self._guard_holds(state, sop):
+            self.squashes += 1
             # Guarded op squashed; CMPPs still clear their dests so the
             # guard chain stays well-defined along not-taken paths.
             if opcode in (Opcode.CMPP, Opcode.NINSET, Opcode.PAND,
