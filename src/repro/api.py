@@ -135,6 +135,33 @@ def simulate(
     )
 
 
+def lint_program(
+    program: Program,
+    *,
+    schedule: bool = False,
+    scheme: Optional[SchemeLike] = None,
+    machine_model: Optional[MachineLike] = None,
+    options: Optional[ScheduleOptions] = None,
+):
+    """Run the static-analysis rules; returns a
+    :class:`~repro.lint.diagnostics.LintReport`.
+
+    IR rules always run.  With ``schedule=True`` the program is also
+    scheduled (default: treegion on 8U) and every region schedule is
+    certified against the machine model and pre-scheduling DDG; schedule
+    certification is skipped when the IR rules already found errors.
+    """
+    from repro.lint.run import lint_program as _lint
+
+    return _lint(
+        program,
+        schedule=schedule,
+        scheme=None if scheme is None else make_scheme(scheme),
+        machine=None if machine_model is None else machine(machine_model),
+        options=options,
+    )
+
+
 def validate(
     seeds: Union[int, Sequence[int]] = 50,
     *,
@@ -187,6 +214,7 @@ __all__ = [
     "evaluate_grid",
     "evaluate_cell",
     "simulate",
+    "lint_program",
     "validate",
     "GridCell",
     "CellResult",

@@ -13,6 +13,10 @@ Commands:
   failure minimization;
 * ``trace``    — run the full pipeline under the hierarchical tracer and
   write a Chrome trace-event JSON (open in Perfetto / chrome://tracing);
+* ``lint``     — static-analysis diagnostics: IR structure rules, and
+  (with ``--schedule``) certification of every region schedule against
+  the machine model and dependence graph; exit status 1 when any
+  diagnostic reaches ``--fail-on`` severity;
 * ``dot``      — Graphviz rendering of a function's CFG, clustered by
   region and optionally annotated with schedule cycles.
 
@@ -300,6 +304,73 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _corpus_programs():
+    """(label, profiled program) for every built-in workload."""
+    from repro.workloads.minic_programs import (
+        build_minic_program, minic_program_names,
+    )
+    from repro.workloads.paper_example import build_paper_example
+    from repro.workloads.pathological import (
+        build_biased_treegion, build_linearized_treegion,
+        build_wide_shallow_treegion,
+    )
+    from repro.workloads.specint import BENCHMARK_NAMES, build_benchmark
+
+    yield "paper-example", build_paper_example()
+    yield "pathological-biased", build_biased_treegion()
+    yield "pathological-wide", build_wide_shallow_treegion()
+    yield "pathological-linear", build_linearized_treegion()
+    for name in BENCHMARK_NAMES:
+        yield f"specint-{name}", build_benchmark(name)
+    for name in minic_program_names():
+        program, canonical_args = build_minic_program(name)
+        profile_program(program, inputs=[canonical_args])
+        yield f"minic-{name}", program
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import LintReport, Severity
+
+    if (args.file is None) == (not args.corpus):
+        raise SystemExit("pass exactly one of FILE or --corpus")
+    threshold = Severity.parse(args.fail_on)
+    options = ScheduleOptions(heuristic=args.heuristic,
+                              dominator_parallelism=True)
+    metrics, tracer = _obs_for(args)
+
+    if args.corpus:
+        targets = _corpus_programs()
+    else:
+        program = _load_program(args.file, optimize=args.optimize)
+        if args.args is not None:
+            profile_program(program, inputs=[_parse_args_list(args.args)])
+        targets = [(args.file, program)]
+
+    from repro.obs import metrics_scope
+
+    report = LintReport()
+    with metrics_scope(metrics):
+        for label, program in targets:
+            before = len(report)
+            partial = api.lint_program(
+                program, schedule=args.schedule, scheme=_scheme(args.scheme),
+                machine_model=_machine(args.machine), options=options,
+            )
+            report.extend(partial.diagnostics)
+            if args.corpus:
+                added = len(report) - before
+                status = "clean" if added == 0 else f"{added} diagnostic(s)"
+                print(f"{label}: {status}", file=sys.stderr)
+
+    if args.format == "json":
+        print(report.format("json"))
+    else:
+        print(report.format())
+    _write_obs(args, metrics, tracer)
+    failing = report.at_or_above(threshold)
+    return 1 if failing else 0
+
+
 def cmd_dot(args) -> int:
     from repro.core import form_treegions
     from repro.ir.dot import cfg_to_dot
@@ -447,6 +518,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="apply classic optimizations first")
     common(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="static IR lint and schedule-legality certification",
+    )
+    p.add_argument("file", nargs="?", default=None)
+    p.add_argument("--corpus", action="store_true",
+                   help="lint every built-in workload instead of FILE")
+    p.add_argument("--schedule", action="store_true",
+                   help="also schedule the program and certify every "
+                        "region schedule against the machine model")
+    p.add_argument("--fail-on", choices=["error", "warning"],
+                   default="error", dest="fail_on",
+                   help="lowest severity that makes the exit status 1 "
+                        "(default: error)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="diagnostic output format")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile FILE on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    common(p)
+    obs_flags(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")

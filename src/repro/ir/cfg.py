@@ -326,7 +326,7 @@ class CFG:
         """
         if incoming.dst is not block:
             raise IRValidationError("incoming edge does not reach the block being cloned")
-        clone = self.new_block(name=f"{block.name}.dup")
+        clone = self.new_block(name=self._clone_name(block.name))
         clone.origin = block.origin
         for op in block.ops:
             clone.ops.append(op.clone(self._op_ids.allocate()))
@@ -348,6 +348,21 @@ class CFG:
         block.weight = max(0.0, block.weight - moved)
         self.retarget_edge(incoming, clone)
         return clone
+
+    def _clone_name(self, base: str) -> str:
+        """A fresh ``.dup``-suffixed label for a tail-duplication clone.
+
+        The first clone of ``X`` is ``X.dup``; further clones count up
+        (``X.dup2``, ``X.dup3``) so every clone stays distinguishable in
+        dumps and dot output (``ir.duplicate-label``).
+        """
+        taken = {b.name for b in self._blocks.values()}
+        name = f"{base}.dup"
+        serial = 1
+        while name in taken:
+            serial += 1
+            name = f"{base}.dup{serial}"
+        return name
 
     # ------------------------------------------------------------------
     # Convenience op constructors (shared by builder, frontend, tests)

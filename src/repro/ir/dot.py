@@ -36,18 +36,15 @@ def _block_label(block: BasicBlock, max_ops: int,
 def _schedule_cycle_map(schedules) -> Dict[int, Tuple[int, int]]:
     """Map home block id -> (last placed cycle, region schedule length).
 
-    Built from the schedules' placed ops: each op knows its home block
-    and effective cycle, so a block's entry is the latest cycle any of
-    its ops issues in, paired with its region's total length — the two
-    numbers that let a rendered CFG cross-reference a trace.
+    Reads each schedule through its stable
+    :meth:`~repro.schedule.schedule.RegionSchedule.last_issue_by_block`
+    view — the same accessor the lint certifier and simulator use — paired
+    with the region's total length, the two numbers that let a rendered
+    CFG cross-reference a trace.
     """
     info: Dict[int, Tuple[int, int]] = {}
     for schedule in schedules:
-        for sop in schedule.all_ops():
-            cycle = sop.effective_cycle
-            if cycle is None:
-                continue
-            bid = sop.home.bid
+        for bid, cycle in schedule.last_issue_by_block().items():
             previous = info.get(bid)
             if previous is None or cycle > previous[0]:
                 info[bid] = (cycle, schedule.length)

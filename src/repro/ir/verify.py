@@ -1,162 +1,59 @@
-"""Structural IR verification.
+"""Structural IR verification — raising facade over ``repro.lint``.
 
-Every pass in this library is expected to leave the IR in a state that
-passes these checks; the tests call the verifier after formation, tail
-duplication, and lowering.  Checks cover:
+The checks themselves live in :mod:`repro.lint.ir_rules` as diagnostic-
+collecting rules (one :class:`~repro.lint.diagnostics.Diagnostic` per
+violation, with function/block/op locations).  This module keeps the
+historical raising API on top of them: each ``verify_*`` entry point runs
+the corresponding rule scopes and raises :class:`IRValidationError`
+listing *every* error found — not just the first, as the pre-lint
+verifier did.
 
-* entry block present; every block reachable from somewhere or the entry;
-* terminators are last; edge counts/kinds match the terminator
-  (``BRU`` → one taken edge, ``BRCT``/``BRCF`` → taken + fallthrough,
-  ``SWITCH`` → ≥1 case + one default with distinct case values,
-  ``RET`` → no out-edges, no terminator → exactly one fallthrough);
-* branch-op targets agree with the taken edge;
-* edge lists are symmetric between blocks;
-* register classes are sane (CMPP writes predicates, PBR writes BTRs,
-  guards are predicates, branch predicates are predicates);
-* op uids are unique within the function.
+Warning-severity rules (e.g. ``ir.use-def``) never fail verification;
+they describe suspicious-but-defined constructs and are surfaced by
+``repro lint`` instead.
+
+The rule modules are imported lazily inside each function:
+``repro.ir.__init__`` imports this module at package load, before the
+rest of the IR package (which the rules depend on) exists.
 """
 
 from __future__ import annotations
 
-
 from repro.util.errors import IRValidationError
-from repro.ir.cfg import CFG, BasicBlock
+from repro.ir.cfg import CFG
 from repro.ir.function import Function, Program
-from repro.ir.types import EdgeKind, Opcode, RegClass
 
 
-def _fail(message: str) -> None:
-    raise IRValidationError(message)
-
-
-def _verify_block_edges(block: BasicBlock) -> None:
-    term = block.terminator
-    kinds = [e.kind for e in block.out_edges]
-    where = f"bb{block.bid}"
-
-    for op in block.ops[:-1]:
-        if op.is_terminator:
-            _fail(f"{where}: terminator {op.opcode.value} not last")
-
-    if term is None:
-        if kinds != [EdgeKind.FALLTHROUGH]:
-            _fail(f"{where}: no terminator requires exactly one fallthrough edge, "
-                  f"got {[k.value for k in kinds]}")
-        return
-
-    if term.opcode is Opcode.RET:
-        if block.out_edges:
-            _fail(f"{where}: RET block has out-edges")
-        return
-
-    if term.opcode is Opcode.BRU:
-        if kinds != [EdgeKind.TAKEN]:
-            _fail(f"{where}: BRU requires exactly one taken edge, got "
-                  f"{[k.value for k in kinds]}")
-    elif term.opcode in (Opcode.BRCT, Opcode.BRCF):
-        if sorted(k.value for k in kinds) != ["fallthrough", "taken"]:
-            _fail(f"{where}: conditional branch requires taken + fallthrough, "
-                  f"got {[k.value for k in kinds]}")
-        pred_srcs = term.source_registers()
-        if not pred_srcs or pred_srcs[0].rclass is not RegClass.PRED:
-            _fail(f"{where}: conditional branch must read a predicate")
-    elif term.opcode is Opcode.SWITCH:
-        cases = [e for e in block.out_edges if e.kind is EdgeKind.CASE]
-        defaults = [e for e in block.out_edges if e.kind is EdgeKind.DEFAULT]
-        others = [e for e in block.out_edges
-                  if e.kind not in (EdgeKind.CASE, EdgeKind.DEFAULT)]
-        if others or len(defaults) != 1 or not cases:
-            _fail(f"{where}: SWITCH requires case edges plus one default")
-        values = [e.case_value for e in cases]
-        if len(set(values)) != len(values):
-            _fail(f"{where}: duplicate switch case values {values}")
-
-    if term.opcode in (Opcode.BRU, Opcode.BRCT, Opcode.BRCF):
-        taken = block.taken_edge
-        if taken is None or term.target != taken.dst.bid:
-            _fail(f"{where}: branch target bb{term.target} does not match "
-                  f"taken edge")
-
-
-def _verify_op_classes(block: BasicBlock) -> None:
-    where = f"bb{block.bid}"
-    for op in block.ops:
-        if op.guard is not None and op.guard.rclass is not RegClass.PRED:
-            _fail(f"{where}: guard {op.guard} is not a predicate")
-        if op.opcode is Opcode.CMPP:
-            if not (1 <= len(op.dests) <= 2):
-                _fail(f"{where}: CMPP needs 1 or 2 dests")
-            for dest in op.dests:
-                if dest.rclass is not RegClass.PRED:
-                    _fail(f"{where}: CMPP dest {dest} is not a predicate")
-            if op.cond is None:
-                _fail(f"{where}: CMPP without a condition")
-        elif op.opcode is Opcode.PBR:
-            if len(op.dests) != 1 or op.dest.rclass is not RegClass.BTR:
-                _fail(f"{where}: PBR must write one BTR")
-            if op.target is None:
-                _fail(f"{where}: PBR without a target")
-        elif op.opcode is Opcode.LD:
-            if len(op.dests) != 1 or op.dest.rclass is not RegClass.GPR:
-                _fail(f"{where}: LD must write one GPR")
-            if len(op.srcs) != 2:
-                _fail(f"{where}: LD needs base and offset")
-        elif op.opcode is Opcode.ST:
-            if op.dests:
-                _fail(f"{where}: ST has no destination")
-            if len(op.srcs) != 3:
-                _fail(f"{where}: ST needs base, offset, value")
-        elif op.opcode is Opcode.CALL:
-            if op.callee is None:
-                _fail(f"{where}: CALL without callee")
+def _raise_on_errors(report) -> None:
+    errors = report.errors
+    if errors:
+        raise IRValidationError(
+            "; ".join(d.format() for d in errors)
+        )
 
 
 def verify_cfg(cfg: CFG) -> None:
     """Raise :class:`IRValidationError` on any structural violation."""
-    if cfg.entry is None:
-        _fail("CFG has no entry block")
+    from repro.lint.diagnostics import LintReport
+    from repro.lint.ir_rules import lint_cfg
 
-    seen_uids = set()
-    for block in cfg.blocks():
-        for op in block.ops:
-            if op.uid in seen_uids:
-                _fail(f"duplicate op uid {op.uid}")
-            seen_uids.add(op.uid)
-        for edge in block.out_edges:
-            if edge.src is not block:
-                _fail(f"edge {edge!r} in wrong out list")
-            if edge not in edge.dst.in_edges:
-                _fail(f"edge {edge!r} missing from destination in list")
-        for edge in block.in_edges:
-            if edge.dst is not block:
-                _fail(f"edge {edge!r} in wrong in list")
-            if edge not in edge.src.out_edges:
-                _fail(f"edge {edge!r} missing from source out list")
-        _verify_block_edges(block)
-        _verify_op_classes(block)
+    _raise_on_errors(lint_cfg(cfg, LintReport()))
 
 
 def verify_function(function: Function) -> None:
-    verify_cfg(function.cfg)
-    returns = [
-        block
-        for block in function.cfg.blocks()
-        if block.terminator is not None
-        and block.terminator.opcode is Opcode.RET
-    ]
-    if not returns:
-        _fail(f"function {function.name} has no return block")
+    """Verify one function (CFG structure plus function-level rules)."""
+    from repro.lint.diagnostics import LintReport
+    from repro.lint.ir_rules import lint_function
+
+    _raise_on_errors(lint_function(function, LintReport()))
 
 
 def verify_program(program: Program) -> None:
-    if not program.has_function(program.entry_name):
-        _fail(f"program entry '{program.entry_name}' is not defined")
-    for function in program.functions():
-        verify_function(function)
-        for block in function.cfg.blocks():
-            for op in block.ops:
-                if op.opcode is Opcode.CALL and not program.has_function(op.callee or ""):
-                    _fail(f"call to undefined function '{op.callee}'")
+    """Verify a whole program (all functions plus program-level rules)."""
+    from repro.lint.diagnostics import LintReport
+    from repro.lint.ir_rules import lint_program_ir
+
+    _raise_on_errors(lint_program_ir(program, LintReport()))
 
 
 def check_program(program: Program) -> "list[str]":
@@ -164,27 +61,12 @@ def check_program(program: Program) -> "list[str]":
 
     The differential-validation oracle verifies every transformed clone of
     a generated program; a raising verifier would hide all but one problem
-    per program, so this wrapper runs the checks function by function and
-    returns every message (empty list = clean).  The granularity is one
-    message per failing function plus one per bad call target — the
-    verifier itself still stops a function at its first violation.
+    per program, so this returns one formatted message per error-severity
+    diagnostic (empty list = clean).  Unlike the pre-lint implementation,
+    every violation in a function is reported, each with its location.
     """
-    problems: list = []
-    if not program.has_function(program.entry_name):
-        problems.append(
-            f"program entry '{program.entry_name}' is not defined"
-        )
-    for function in program.functions():
-        try:
-            verify_function(function)
-        except IRValidationError as error:
-            problems.append(f"{function.name}: {error}")
-        for block in function.cfg.blocks():
-            for op in block.ops:
-                if (op.opcode is Opcode.CALL
-                        and not program.has_function(op.callee or "")):
-                    problems.append(
-                        f"{function.name}: call to undefined function "
-                        f"'{op.callee}'"
-                    )
-    return problems
+    from repro.lint.diagnostics import LintReport
+    from repro.lint.ir_rules import lint_program_ir
+
+    report = lint_program_ir(program, LintReport())
+    return [d.format() for d in report.errors]

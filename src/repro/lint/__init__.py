@@ -1,0 +1,56 @@
+"""Static analysis for IR and schedules (``repro lint``).
+
+Two rule families over one :class:`Diagnostic`/:class:`LintReport`
+vocabulary:
+
+* **IR rules** (``ir.*``) re-express the structural checks of
+  :mod:`repro.ir.verify` — and extend them with duplicate-label,
+  dominating-guard, and use-before-def analyses — collecting *every*
+  violation with function/block/op locations instead of raising on the
+  first.
+* **Schedule rules** (``sched.*``) statically certify scheduler output
+  against the machine model and the pre-scheduling DDG: issue width,
+  latencies, speculation safety, renaming correctness, exit retirement,
+  treegion shape, and dominator-parallelism merge legality.
+
+This package root stays import-light (the scheduler imports
+:mod:`repro.lint.collect` on every pipeline run); the program-level
+drivers load lazily on first attribute access.
+"""
+
+from repro.lint.collect import current_collector, current_function, lint_scope
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, rules_for
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rules_for",
+    "current_collector",
+    "current_function",
+    "lint_scope",
+    "lint_ir",
+    "lint_schedules",
+    "lint_program",
+    "check_schedule",
+]
+
+_LAZY = {
+    "lint_ir": "repro.lint.run",
+    "lint_schedules": "repro.lint.run",
+    "lint_program": "repro.lint.run",
+    "check_schedule": "repro.lint.schedule_rules",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.lint' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

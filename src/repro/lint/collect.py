@@ -1,0 +1,49 @@
+"""The active diagnostic collector, mirroring ``repro.obs.metrics``.
+
+The schedule certifier lives inside :func:`repro.schedule.scheduler.
+schedule_region`, where the scheduling problem and pre-scheduling DDG
+still exist — but the callers that want its diagnostics (the lint runner,
+the validation oracle) sit several layers up, behind signatures that do
+not thread a report through.  Exactly like ``metrics_scope`` /
+``current_metrics``, callers install a :class:`LintReport` with
+:func:`lint_scope` and the certifier appends to the innermost active one;
+with no scope installed (and ``ScheduleOptions.certify`` off) the
+certifier does not run at all, so the default pipeline pays one list
+lookup per region.
+
+The scope also carries the enclosing function name so schedule
+diagnostics can say *where* — ``schedule_region`` has no function in
+hand (regions only know their CFG).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+from repro.lint.diagnostics import LintReport
+
+_ACTIVE: List[Tuple[LintReport, Optional[str]]] = []
+
+
+def current_collector() -> Optional[LintReport]:
+    """The innermost active lint report, or None when no scope is open."""
+    return _ACTIVE[-1][0] if _ACTIVE else None
+
+
+def current_function() -> Optional[str]:
+    """The function name the innermost scope was opened for, if any."""
+    return _ACTIVE[-1][1] if _ACTIVE else None
+
+
+@contextmanager
+def lint_scope(report: LintReport, function: Optional[str] = None):
+    """Collect certifier diagnostics into ``report`` for the duration.
+
+    Scopes nest; the innermost wins (matching ``metrics_scope``).
+    """
+    _ACTIVE.append((report, function))
+    try:
+        yield report
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,188 @@
+"""Diagnostic value types for the static-analysis subsystem.
+
+A :class:`Diagnostic` is one rule violation: which rule fired, how bad it
+is, where in the program it points (function / block / op uid), a human
+message, and an optional fix hint.  A :class:`LintReport` is an ordered
+collection of diagnostics with the aggregation the CLI, the scheduler
+certifier, and the validation oracle all need: per-rule counts, severity
+filters, and text/JSON rendering.
+
+These types are deliberately leaf-level — they import nothing from the
+IR or scheduling packages, so every layer of the pipeline (including
+``repro.ir.verify``, which the IR package imports at module load) can
+depend on them without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is.
+
+    ``ERROR`` means the invariant the rule encodes is violated and the
+    program/schedule is wrong; ``WARNING`` means the construct is
+    suspicious but has defined behaviour; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        """True when this severity is as bad as ``other`` or worse."""
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        for severity in cls:
+            if severity.value == text:
+                return severity
+        raise ValueError(
+            f"unknown severity {text!r}; use one of "
+            f"{[s.value for s in cls]}"
+        )
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at one program location."""
+
+    #: Rule id, e.g. ``ir.op-shape`` or ``sched.latency``.
+    rule: str
+    severity: Severity
+    message: str
+    #: Enclosing function name, when known.
+    function: Optional[str] = None
+    #: Basic block id the violation anchors to.
+    block: Optional[int] = None
+    #: Operation uid the violation anchors to.
+    op: Optional[int] = None
+    #: Optional suggestion for fixing the violation.
+    hint: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """``fn/bb3/op7``-style location string (parts present only when
+        known; empty string for a program-level diagnostic)."""
+        parts: List[str] = []
+        if self.function is not None:
+            parts.append(self.function)
+        if self.block is not None:
+            parts.append(f"bb{self.block}")
+        if self.op is not None:
+            parts.append(f"op{self.op}")
+        return "/".join(parts)
+
+    def format(self) -> str:
+        location = self.location
+        where = f" {location}" if location else ""
+        text = f"{self.severity.value} [{self.rule}]{where}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": self.location,
+            "function": self.function,
+            "block": self.block,
+            "op": self.op,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class LintReport:
+    """An ordered collection of diagnostics from one lint run."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the report carries no errors (warnings allowed)."""
+        return not self.errors
+
+    def at_or_above(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity.at_least(severity)]
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule ids present, in first-occurrence order."""
+        seen: Dict[str, None] = {}
+        for diagnostic in self.diagnostics:
+            seen.setdefault(diagnostic.rule, None)
+        return list(seen)
+
+    def counts(self) -> Dict[str, int]:
+        """Diagnostics per rule id, sorted by rule id."""
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return {rule: counts[rule] for rule in sorted(counts)}
+
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "counts": self.counts(),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def format(self, fmt: str = "text") -> str:
+        """Render the report; ``fmt`` is ``text`` or ``json``."""
+        if fmt == "json":
+            return json.dumps(self.to_json(), indent=2)
+        if fmt != "text":
+            raise ValueError(f"unknown lint format {fmt!r}")
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<LintReport errors={len(self.errors)} "
+                f"warnings={len(self.warnings)}>")

@@ -1,0 +1,82 @@
+"""Lint drivers over whole programs.
+
+:func:`lint_ir` runs the IR rule family; :func:`lint_schedules` drives
+the genuine scheduling pipeline under a :func:`~repro.lint.collect.
+lint_scope` so the scheduler's own certifier hook produces the
+diagnostics (the lint runner never re-implements scheduling — it
+certifies exactly what the pipeline built); :func:`lint_program` is the
+facade combining both, behind ``repro.api.lint_program`` and the
+``repro lint`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.clone import clone_program
+from repro.ir.function import Program
+from repro.lint.collect import lint_scope
+from repro.lint.diagnostics import LintReport
+from repro.lint.ir_rules import lint_program_ir
+
+
+def lint_ir(program: Program,
+            report: Optional[LintReport] = None) -> LintReport:
+    """Run the IR rule family over ``program``."""
+    return lint_program_ir(program, report)
+
+
+def lint_schedules(
+    program: Program,
+    scheme,
+    machine,
+    options=None,
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Schedule every function of ``program`` and certify the result.
+
+    Mirrors :func:`repro.vliw.simulator.schedule_program` function by
+    function, but opens a lint scope per function so each diagnostic
+    carries the function it came from.  The schedules themselves are
+    produced by the ordinary pipeline; the certifier inside
+    ``schedule_region`` sees the open scope and reports into it.
+    """
+    from repro.schedule.scheduler import ScheduleOptions, schedule_partition
+
+    report = report if report is not None else LintReport()
+    options = options or ScheduleOptions()
+    worked = clone_program(program) if scheme.mutates else program
+    for function in worked.functions():
+        with lint_scope(report, function=function.name):
+            partition = scheme.form(function.cfg)
+            schedule_partition(partition, machine, options)
+    return report
+
+
+def lint_program(
+    program: Program,
+    schedule: bool = False,
+    scheme=None,
+    machine=None,
+    options=None,
+) -> LintReport:
+    """Lint a program: IR rules, plus schedule certification on request.
+
+    ``scheme`` / ``machine`` accept the same spec strings or objects as
+    :mod:`repro.api` and default to ``treegion`` on the ``8U`` machine.
+    Schedule certification is skipped when the IR rules already found
+    errors — scheduling a structurally broken program would raise (or
+    certify garbage) rather than add signal.
+    """
+    report = lint_ir(program)
+    if not schedule:
+        return report
+    if not report.ok:
+        return report
+    from repro.api import machine as resolve_machine
+    from repro.api import make_scheme
+
+    scheme = make_scheme(scheme if scheme is not None else "treegion")
+    machine = resolve_machine(machine if machine is not None else "8U")
+    return lint_schedules(program, scheme, machine, options=options,
+                          report=report)

@@ -71,6 +71,8 @@ class _SuperblockFormer:
         self.limits = limits
         self.visited: Dict[int, bool] = {}
         self.original_ops = max(1, cfg.total_ops)
+        self.traces: List[List[BasicBlock]] = []
+        self.finished: Dict[int, bool] = {}
         self.partition = RegionPartition("superblock")
 
     # ------------------------------------------------------------------
@@ -82,14 +84,42 @@ class _SuperblockFormer:
                 break
             trace = self._grow_trace(seed)
             trace = self._remove_side_entrances(trace)
-            region = Region("superblock")
-            parent: Optional[BasicBlock] = None
+            self.traces.append(trace)
             for block in trace:
-                region.add_block(block, parent)
-                parent = block
-            self.partition.add(region)
+                self.finished[block.bid] = True
+        # Regions are built only after *every* trace is formed:
+        # duplicating a later trace points clone out-edges at original
+        # destinations, which can sit mid-trace in an earlier one —
+        # re-introducing a side entrance after its own removal pass ran.
+        for trace in self.traces:
+            for piece in self._split_late_side_entries(trace):
+                region = Region("superblock")
+                parent: Optional[BasicBlock] = None
+                for block in piece:
+                    region.add_block(block, parent)
+                    parent = block
+                self.partition.add(region)
         self.partition.verify_covering(self.cfg)
         return self.partition
+
+    def _split_late_side_entries(
+        self, trace: List[BasicBlock]
+    ) -> List[List[BasicBlock]]:
+        """Split a trace at every block with a non-chain in-edge.
+
+        Each piece stays a single-entry chain (region roots may have any
+        number of in-edges), so the schedule-legality invariant holds at
+        the cost of a shorter trace — the same trade truncation makes.
+        """
+        metrics = current_metrics()
+        pieces = [[trace[0]]]
+        for prev, block in zip(trace, trace[1:]):
+            if any(edge.src is not prev for edge in block.in_edges):
+                metrics.inc("superblock.late_splits")
+                pieces.append([block])
+            else:
+                pieces[-1].append(block)
+        return pieces
 
     # ------------------------------------------------------------------
 
@@ -97,7 +127,7 @@ class _SuperblockFormer:
         """Heaviest unclaimed block; ties go to the lowest id."""
         best: Optional[BasicBlock] = None
         for block in self.cfg.blocks():
-            if self.partition.region_of(block) is not None:
+            if self.finished.get(block.bid):
                 continue
             if self.visited.get(block.bid):
                 continue
@@ -108,7 +138,7 @@ class _SuperblockFormer:
     def _claimed(self, block: BasicBlock) -> bool:
         return (
             self.visited.get(block.bid, False)
-            or self.partition.region_of(block) is not None
+            or self.finished.get(block.bid, False)
         )
 
     def _grow_trace(self, seed: BasicBlock) -> List[BasicBlock]:

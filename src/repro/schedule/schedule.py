@@ -11,7 +11,7 @@ counts).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.ir.cfg import BasicBlock
 from repro.ir.operation import Operation
@@ -150,6 +150,49 @@ class RegionSchedule:
 
     def all_ops(self) -> List[SchedOp]:
         return [sop for multiop in self.cycles for sop in multiop]
+
+    # ------------------------------------------------------------------
+    # Stable public views.  The simulator, ``dot --schedule``, and the
+    # lint certifier all read the schedule through these three accessors,
+    # so they cannot drift apart on indexing conventions (1-based cycles,
+    # merged ops resolving to their survivor's placement).
+
+    def iter_bundles(self) -> Iterator[Tuple[int, List[SchedOp]]]:
+        """``(cycle, MultiOp)`` pairs in issue order, cycles 1-based."""
+        return enumerate(self.cycles, start=1)
+
+    def placement(self, sop: SchedOp) -> Optional[Tuple[int, int]]:
+        """The op's ``(cycle, slot)``, following dominator-parallelism
+        merges to the surviving duplicate; None while unscheduled."""
+        while sop.merged_into is not None:
+            sop = sop.merged_into
+        if sop.cycle is None or sop.slot is None:
+            return None
+        return (sop.cycle, sop.slot)
+
+    def last_issue_by_block(self) -> Dict[int, int]:
+        """Latest effective issue cycle per home block (bid-keyed).
+
+        The quantity ``dot --schedule`` annotates blocks with; merged ops
+        count at their survivor's cycle, like every other consumer-visible
+        view of the schedule.
+        """
+        last: Dict[int, int] = {}
+        for multiop in self.cycles:
+            for sop in multiop:
+                placed = self.placement(sop)
+                assert placed is not None
+                bid = sop.home.bid
+                if placed[0] > last.get(bid, 0):
+                    last[bid] = placed[0]
+        for sop in self.merged:
+            placed = self.placement(sop)
+            if placed is None:
+                continue
+            bid = sop.home.bid
+            if placed[0] > last.get(bid, 0):
+                last[bid] = placed[0]
+        return last
 
     def exit_cycle(self, exit: RegionExit) -> int:
         for record in self.exits:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ir.analysis_cache import liveness_of
 from repro.ir.liveness import LivenessInfo
+from repro.lint.collect import current_collector
 from repro.machine.model import MachineModel
 from repro.obs.metrics import NULL_METRICS, current_metrics
 from repro.obs.tracer import NULL_TRACER
@@ -51,12 +52,18 @@ class ScheduleOptions:
             used in computing speedup"); turning this on quantifies that
             choice.
         max_cycles: Safety bound on schedule length.
+        certify: Run the static legality certifier (``repro.lint``
+            schedule rules) on every tree-region schedule and raise
+            :class:`~repro.util.errors.ScheduleCertificationError` on any
+            error diagnostic.  The certifier also runs — without raising —
+            whenever a :func:`repro.lint.collect.lint_scope` is active.
     """
 
     heuristic: Heuristic = GLOBAL_WEIGHT
     dominator_parallelism: bool = False
     schedule_copies: bool = False
     max_cycles: int = 1_000_000
+    certify: bool = False
 
 
 def _record_schedule_metrics(schedule: RegionSchedule) -> RegionSchedule:
@@ -137,7 +144,7 @@ def schedule_region(
             order = priority_order(problem, ddg, options.heuristic,
                                    keys=keys)
         with timer.stage("list_schedule"), tracer.span("list_schedule"):
-            return _record_schedule_metrics(list_schedule(
+            schedule = _record_schedule_metrics(list_schedule(
                 problem,
                 ddg,
                 order,
@@ -146,6 +153,30 @@ def schedule_region(
                 copies=copies,
                 max_cycles=options.max_cycles,
             ))
+        if options.certify or current_collector() is not None:
+            with timer.stage("certify"), tracer.span("certify"):
+                _certify(problem, ddg, schedule, machine, liveness, options)
+        return schedule
+
+
+def _certify(problem, ddg, schedule, machine, liveness, options) -> None:
+    """Run the schedule-legality rules over a freshly built schedule.
+
+    Diagnostics flow into the active lint collector when one is open (the
+    lint runner / validation oracle path); with ``options.certify`` the
+    pipeline additionally fails fast on any error diagnostic.
+    """
+    from repro.lint.schedule_rules import check_schedule
+
+    report = check_schedule(problem, ddg, schedule, machine=machine,
+                            liveness=liveness)
+    collector = current_collector()
+    if collector is not None and report.diagnostics:
+        collector.extend(report.diagnostics)
+    if options.certify and not report.ok:
+        from repro.util.errors import ScheduleCertificationError
+
+        raise ScheduleCertificationError(report.errors)
 
 
 def _insert_copy_ops(problem, copies) -> None:

@@ -52,3 +52,20 @@ class StepLimitExceeded(InterpreterError):
 
 class SchedulingError(ReproError):
     """Region formation or list scheduling failed an internal invariant."""
+
+
+class ScheduleCertificationError(SchedulingError):
+    """The static certifier rejected a schedule (``repro.lint``).
+
+    Raised only when certification is explicitly requested
+    (``ScheduleOptions(certify=True)``); carries the error diagnostics so
+    callers can report which rules the schedule violated.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        rules = sorted({d.rule for d in self.diagnostics})
+        super().__init__(
+            f"schedule failed certification: {len(self.diagnostics)} "
+            f"error(s) from rule(s) {', '.join(rules)}"
+        )

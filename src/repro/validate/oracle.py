@@ -13,6 +13,11 @@ For one generated program the oracle cross-checks, per grid cell
   splits weights consistently with the single profiled path;
 * **verify** — the transformed clone a mutating scheme scheduled must
   still pass the structural IR verifier;
+* **lint** — every region schedule produced for the cell must pass the
+  static schedule-legality certifier (:mod:`repro.lint`): issue width,
+  resources, DDG latencies, speculation safety, renaming correctness,
+  treegion shape, merge legality.  Failures carry the rule ids that
+  fired, so a fuzz failure names the broken invariant directly;
 * **engine** — the PR-1 evaluation engine's serial shared-work path,
   its parallel path, and per-cell :func:`evaluate_cell` must produce
   bit-identical :class:`CellResult` rows for the program.
@@ -37,6 +42,8 @@ from repro.ir.function import Function, Program
 from repro.ir.printer import format_program
 from repro.ir.verify import check_program
 from repro.interp.interpreter import ExecutionObserver, Interpreter
+from repro.lint.collect import lint_scope
+from repro.lint.diagnostics import LintReport
 from repro.interp.profiler import profile_program
 from repro.evaluation.engine import GridCell, evaluate_cell, evaluate_grid
 from repro.evaluation.schemes import SchemeSpec
@@ -96,7 +103,8 @@ class Mismatch:
     """One disagreement between two backends on one program."""
 
     #: Which oracle check failed: ``result``, ``memory``, ``cycles``,
-    #: ``verify``, ``engine``, ``interp-crash``, or ``sim-crash``.
+    #: ``verify``, ``lint``, ``engine``, ``interp-crash``, or
+    #: ``sim-crash``.
     check: str
     expected: str
     actual: str
@@ -105,6 +113,9 @@ class Mismatch:
     #: First divergence point (region-visit index / memory address) or a
     #: traceback summary for crashes.
     detail: str = ""
+    #: For ``lint`` mismatches: the static-analysis rule ids that fired,
+    #: so failure reports say *which* legality invariant broke.
+    rules: Optional[List[str]] = None
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -114,6 +125,7 @@ class Mismatch:
             "expected": self.expected,
             "actual": self.actual,
             "detail": self.detail,
+            "rules": self.rules,
         }
 
 
@@ -241,8 +253,10 @@ def check_cell(
     profile_program(worked, [list(inputs)])
     scheme = cell.build_scheme()
 
+    lint_report = LintReport()
     try:
-        scheduled = schedule_program(worked, scheme, machine)
+        with lint_scope(lint_report):
+            scheduled = schedule_program(worked, scheme, machine)
         if scheme.mutates:
             # Tail duplication re-splits profile weights proportionally,
             # which can go fractional (e.g. a 1-visit merge split 0.5/0.5)
@@ -262,6 +276,16 @@ def check_cell(
         )]
 
     mismatches: List[Mismatch] = []
+
+    if lint_report.errors:
+        failed = lint_report.errors
+        mismatches.append(Mismatch(
+            check="lint", cell=cell, inputs=inputs,
+            expected="certifier-clean region schedules",
+            actual=f"{len(failed)} schedule-legality violation(s)",
+            detail="; ".join(d.format() for d in failed[:3]),
+            rules=sorted({d.rule for d in failed}),
+        ))
 
     problems = check_program(scheduled.program)
     if problems:

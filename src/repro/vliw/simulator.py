@@ -163,7 +163,7 @@ class VLIWSimulator:
         pending: List[Tuple[int, Register, object]] = []
         fired: Optional[Tuple[SchedOp, object]] = None
 
-        for cycle_index, multiop in enumerate(schedule.cycles, start=1):
+        for cycle_index, multiop in schedule.iter_bundles():
             # 1. Commit writes whose latency elapsed.
             still_pending = []
             for ready, register, value in pending:
