@@ -44,7 +44,31 @@ Subpackages:
 ======================  ==================================================
 """
 
-__version__ = "1.0.0"
+#: Kept in sync with pyproject.toml; the authoritative value when the
+#: package is installed comes from the distribution metadata below.
+_FALLBACK_VERSION = "1.0.0"
+
+
+def _detect_version() -> str:
+    """Package version from installed metadata, or the source fallback.
+
+    Service clients and artifact-store cache keys report this string
+    (see :func:`repro.serve.store.store_schema`), so results produced
+    by different tool versions never alias.  Source checkouts run from
+    ``PYTHONPATH=src`` without installed metadata; they use the
+    fallback constant.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 never reaches here
+        return _FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = _detect_version()
 
 from repro.core import (
     Treegion,

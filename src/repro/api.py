@@ -115,6 +115,120 @@ def evaluate_grid(
     )
 
 
+def cached_evaluate(
+    cells: Sequence[GridCell],
+    *,
+    store=None,
+    cache_dir: Optional[str] = None,
+    cache_max_mb: float = 256,
+    programs: Optional[Dict[str, Program]] = None,
+    program_texts: Optional[Dict[str, str]] = None,
+    jobs: int = 1,
+    timer: StageTimer = NULL_TIMER,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
+) -> List[CellResult]:
+    """:func:`evaluate_grid` routed through the persistent artifact store.
+
+    Every cell is first looked up in the store (an
+    :class:`~repro.serve.store.ArtifactStore`, or one opened at
+    ``cache_dir``); only the misses are evaluated — in one engine run,
+    so the PR-1 work sharing still applies — and their results are
+    written back.  Results are bit-identical to :func:`evaluate_grid`
+    on every path (the store round-trips results losslessly).
+
+    Pass exactly one of ``store`` or ``cache_dir``; with neither this
+    degrades to a plain :func:`evaluate_grid` call.
+    """
+    from repro.ir.printer import format_program
+    from repro.serve.service import resolve_program_text
+    from repro.serve.store import ArtifactStore, cell_key
+    from repro.serve.jobs import JobRequest
+
+    if store is not None and cache_dir is not None:
+        raise ValueError("pass at most one of store= or cache_dir=")
+    if store is None and cache_dir is None:
+        return evaluate_grid(
+            cells, programs=programs, program_texts=program_texts,
+            jobs=jobs, timer=timer, metrics=metrics, tracer=tracer,
+        )
+    opened = store is None
+    if opened:
+        store = ArtifactStore(cache_dir, max_mb=cache_max_mb)
+    try:
+        with tracer.span("cached_evaluate", cells=len(cells)):
+            keys: List[str] = []
+            text_cache: Dict[str, str] = dict(program_texts or {})
+            for cell in cells:
+                text = text_cache.get(cell.benchmark)
+                if text is None:
+                    if programs is not None and cell.benchmark in programs:
+                        text = format_program(programs[cell.benchmark])
+                    else:
+                        text = resolve_program_text(
+                            JobRequest(cell=cell)
+                        )
+                    text_cache[cell.benchmark] = text
+                keys.append(cell_key(text, cell))
+            from repro.obs.metrics import metrics_scope
+
+            with metrics_scope(metrics):
+                found = {index: store.get(key)
+                         for index, key in enumerate(keys)}
+            miss_indices = [i for i, result in found.items()
+                            if result is None]
+            if miss_indices:
+                fresh = evaluate_grid(
+                    [cells[i] for i in miss_indices],
+                    programs=programs, program_texts=program_texts,
+                    jobs=jobs, timer=timer, metrics=metrics,
+                    tracer=tracer,
+                )
+                with metrics_scope(metrics):
+                    for index, result in zip(miss_indices, fresh):
+                        store.put(keys[index], result)
+                        found[index] = result
+            return [found[i] for i in range(len(cells))]
+    finally:
+        if opened:
+            store.close()
+
+
+def open_service(
+    *,
+    cache_dir: Optional[str] = None,
+    cache_max_mb: float = 256,
+    jobs: int = 2,
+    batch_size: int = 16,
+    max_pending: int = 256,
+    job_timeout: Optional[float] = None,
+    retries: int = 2,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
+):
+    """Open a :class:`~repro.serve.service.CompileService`.
+
+    With ``cache_dir`` the service fronts a persistent
+    :class:`~repro.serve.store.ArtifactStore`; without it the service
+    still batches, dedups, and retries but recomputes across runs.
+    Use as a context manager (``close(drain=True)`` on exit)::
+
+        with repro.api.open_service(cache_dir=".repro-cache") as svc:
+            results = svc.evaluate(cells)
+    """
+    from repro.serve.service import CompileService
+    from repro.serve.store import ArtifactStore
+
+    store = None
+    if cache_dir is not None:
+        store = ArtifactStore(cache_dir, max_mb=cache_max_mb)
+    return CompileService(
+        store=store, jobs=jobs, batch_size=batch_size,
+        max_pending=max_pending, job_timeout=job_timeout,
+        retries=retries, metrics=metrics, tracer=tracer,
+    )
+
+
 def simulate(
     program: Program,
     scheme: SchemeLike = "treegion",
@@ -212,6 +326,8 @@ __all__ = [
     "make_scheme",
     "machine",
     "evaluate_grid",
+    "cached_evaluate",
+    "open_service",
     "evaluate_cell",
     "simulate",
     "lint_program",

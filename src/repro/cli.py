@@ -17,12 +17,27 @@ Commands:
   (with ``--schedule``) certification of every region schedule against
   the machine model and dependence graph; exit status 1 when any
   diagnostic reaches ``--fail-on`` severity;
+* ``warm``     — prime the persistent artifact store for a program (or
+  the built-in suite) across a scheme/machine/heuristic grid;
+* ``serve``    — long-lived batched compilation service over a Unix
+  socket (JSON-per-line protocol, backed by the artifact store);
+* ``client``   — one request against a running ``serve`` socket
+  (compile a program, ``--ping``, ``--stats``, or ``--shutdown``);
 * ``dot``      — Graphviz rendering of a function's CFG, clustered by
   region and optionally annotated with schedule cycles.
 
 ``run``, ``report``, and ``validate`` take ``--metrics FILE`` /
 ``--trace FILE`` to dump pipeline counters and spans; ``bench`` takes
-``--timings-json FILE`` for machine-readable stage timings.
+``--timings-json FILE`` for machine-readable stage timings.  ``run``,
+``bench``, and ``report`` take ``--cache-dir DIR`` (with
+``--cache-max-mb``) to cache cell results in a content-addressed
+artifact store across invocations.
+
+Exit codes: 0 — success; 1 — the tool ran but the result is a failure
+(failed seeds, lint errors past ``--fail-on``, simulator disagreement);
+2 — the invocation itself is bad (missing file, unknown scheme,
+malformed grid spec, unreachable service), reported as one
+``repro: error: ...`` line on stderr.
 
 Program inputs may be minic source (``.mc`` or anything else) or textual
 IR dumps (detected by the ``program entry=`` header).  Scheme arguments
@@ -38,12 +53,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import api
+from repro import __version__, api
 from repro.ir.function import Program
 from repro.ir.printer import format_program
 from repro.interp import Interpreter, profile_program
 from repro.schedule import ScheduleOptions
 from repro.schedule.priorities import HEURISTICS
+from repro.util.errors import ReproError
 from repro.evaluation import evaluate_program
 
 #: Plain scheme names offered in ``--help`` (any ``treegion-td:<limit>``
@@ -52,25 +68,35 @@ SCHEME_CHOICES = ("bb", "slr", "treegion", "superblock", "treegion-td",
                   "hyperblock")
 
 
+class CLIError(Exception):
+    """An operational failure the CLI reports as one line + exit 2.
+
+    Covers bad user inputs (unreadable file, unparsable program, bad
+    scheme/machine/grid spec) as opposed to *result* failures, which
+    keep their command-specific exit 1, and crashes, which keep their
+    tracebacks.
+    """
+
+
 def _load_program(path: str, optimize: bool = False) -> Program:
     try:
         return api.load_program(path, optimize=optimize)
-    except OSError as error:
-        raise SystemExit(str(error))
+    except (OSError, ReproError, ValueError) as error:
+        raise CLIError(f"cannot load {path}: {error}")
 
 
 def _machine(name: str):
     try:
         return api.machine(name)
     except ValueError as error:
-        raise SystemExit(str(error))
+        raise CLIError(str(error))
 
 
 def _scheme(spec: str):
     try:
         return api.make_scheme(spec)
     except ValueError as error:
-        raise SystemExit(str(error))
+        raise CLIError(str(error))
 
 
 def _parse_args_list(values: Optional[List[str]]) -> List[object]:
@@ -140,6 +166,18 @@ def cmd_run(args) -> int:
     status = "OK" if result == expected else "MISMATCH"
     print(f"VLIW simulator ({args.scheme}, {machine}): {result} [{status}] "
           f"in {simulator.cycles} cycles")
+    if getattr(args, "cache_dir", None):
+        from repro.api import GridCell
+
+        cell = GridCell(args.file, args.scheme, args.machine,
+                        args.heuristic, dominator_parallelism=True)
+        cached = api.cached_evaluate(
+            [cell], cache_dir=args.cache_dir,
+            cache_max_mb=args.cache_max_mb,
+            programs={args.file: program}, metrics=metrics, tracer=tracer,
+        )[0]
+        print(f"cached estimate: {cached.time:g} weighted cycles "
+              f"(store at {args.cache_dir})")
     _write_obs(args, metrics, tracer)
     return 0 if result == expected else 1
 
@@ -177,7 +215,7 @@ def cmd_bench(args) -> int:
         try:
             SchemeSpec.parse(scheme)
         except ValueError as error:
-            raise SystemExit(str(error))
+            raise CLIError(str(error))
     grid = [GridCell(name, "bb", "1U", DEP_HEIGHT) for name in names] + [
         GridCell(name, scheme, args.machine, args.heuristic,
                  dominator_parallelism=True)
@@ -186,8 +224,15 @@ def cmd_bench(args) -> int:
     ]
     metrics, tracer = _obs_for(args)
     timer = StageTimer()
-    results = api.evaluate_grid(grid, jobs=args.jobs, timer=timer,
-                                metrics=metrics, tracer=tracer)
+    if args.cache_dir:
+        results = api.cached_evaluate(
+            grid, cache_dir=args.cache_dir,
+            cache_max_mb=args.cache_max_mb, jobs=args.jobs,
+            timer=timer, metrics=metrics, tracer=tracer,
+        )
+    else:
+        results = api.evaluate_grid(grid, jobs=args.jobs, timer=timer,
+                                    metrics=metrics, tracer=tracer)
     baselines = {r.cell.benchmark: r.time for r in results[:len(names)]}
     rest = iter(results[len(names):])
     print(f"{'program':10s} " + " ".join(f"{s:>12s}" for s in schemes))
@@ -215,7 +260,9 @@ def cmd_report(args) -> int:
     metrics, tracer = _obs_for(args)
     timer = StageTimer()
     sys.stdout.write(generate_report(names, jobs=args.jobs, timer=timer,
-                                     metrics=metrics, tracer=tracer))
+                                     metrics=metrics, tracer=tracer,
+                                     cache_dir=args.cache_dir,
+                                     cache_max_mb=args.cache_max_mb))
     _write_obs(args, metrics, tracer, timer)
     return 0
 
@@ -226,7 +273,7 @@ def cmd_validate(args) -> int:
     try:
         grid = parse_grid_spec(args.grid)
     except ValueError as error:
-        raise SystemExit(str(error))
+        raise CLIError(str(error))
 
     def progress(outcome) -> None:
         if not outcome.ok:
@@ -332,7 +379,7 @@ def cmd_lint(args) -> int:
     from repro.lint import LintReport, Severity
 
     if (args.file is None) == (not args.corpus):
-        raise SystemExit("pass exactly one of FILE or --corpus")
+        raise CLIError("pass exactly one of FILE or --corpus")
     threshold = Severity.parse(args.fail_on)
     options = ScheduleOptions(heuristic=args.heuristic,
                               dominator_parallelism=True)
@@ -400,12 +447,143 @@ def cmd_dot(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Service & caching commands (repro.serve)
+
+
+def _warm_grid(args, benchmark: str) -> List:
+    """Grid cells for one benchmark label from a --grid axes spec."""
+    from repro.api import GridCell
+    from repro.validate import parse_grid_spec
+
+    try:
+        axes = parse_grid_spec(args.grid)
+    except ValueError as error:
+        raise CLIError(str(error))
+    return [
+        GridCell(benchmark, cell.scheme, cell.machine, cell.heuristic,
+                 dominator_parallelism=True)
+        for cell in axes
+    ]
+
+
+def cmd_warm(args) -> int:
+    """Prime the artifact store for a program (or the built-in suite)."""
+    metrics, tracer = _obs_for(args)
+    programs = None
+    cells = []
+    if args.file is not None:
+        program = _load_program(args.file, optimize=args.optimize)
+        if args.args is not None:
+            profile_program(program, inputs=[_parse_args_list(args.args)])
+        programs = {args.file: program}
+        cells = _warm_grid(args, args.file)
+    else:
+        from repro.workloads.specint import BENCHMARK_NAMES
+
+        names = (args.benchmarks.split(",") if args.benchmarks
+                 else list(BENCHMARK_NAMES))
+        for name in names:
+            cells.extend(_warm_grid(args, name))
+    from repro.serve.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir, max_mb=args.cache_max_mb)
+    with store:
+        before = store.stats()
+        api.cached_evaluate(cells, store=store, programs=programs,
+                            jobs=args.jobs, metrics=metrics,
+                            tracer=tracer)
+        after = store.stats()
+    print(f"warmed {len(cells)} cell(s): "
+          f"{after['hits'] - before['hits']} already cached, "
+          f"{after['misses'] - before['misses']} compiled; store holds "
+          f"{after['entries']} entries ({after['bytes']} bytes)")
+    _write_obs(args, metrics, tracer)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve compiles over a Unix socket until a client sends shutdown."""
+    import socket as _socket
+
+    if not hasattr(_socket, "AF_UNIX"):
+        raise CLIError("this platform has no AF_UNIX sockets")
+    from repro.serve.wire import serve_socket
+
+    metrics, tracer = _obs_for(args)
+    service = api.open_service(
+        cache_dir=args.cache_dir, cache_max_mb=args.cache_max_mb,
+        jobs=args.jobs, batch_size=args.batch_size,
+        max_pending=args.max_pending, job_timeout=args.job_timeout,
+        retries=args.retries, metrics=metrics, tracer=tracer,
+    )
+    print(f"serving on {args.socket} "
+          f"(cache: {args.cache_dir or 'none'})", file=sys.stderr)
+    try:
+        serve_socket(args.socket, service)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close(drain=True)
+        print(f"service stats: {service.stats()}", file=sys.stderr)
+        _write_obs(args, metrics, tracer)
+    return 0
+
+
+def cmd_client(args) -> int:
+    """One client round trip against a running ``repro serve`` socket."""
+    import json as _json
+    import socket as _socket
+
+    if not hasattr(_socket, "AF_UNIX"):
+        raise CLIError("this platform has no AF_UNIX sockets")
+    from repro.serve.wire import request
+
+    if args.ping:
+        payload = {"op": "ping"}
+    elif args.stats:
+        payload = {"op": "stats"}
+    elif args.shutdown:
+        payload = {"op": "shutdown"}
+    else:
+        if args.file is None:
+            raise CLIError(
+                "pass FILE to compile, or one of --ping/--stats/--shutdown"
+            )
+        program = _load_program(args.file, optimize=args.optimize)
+        if args.args is not None:
+            profile_program(program, inputs=[_parse_args_list(args.args)])
+        _scheme(args.scheme)  # validate specs client-side
+        _machine(args.machine)
+        payload = {
+            "op": "compile",
+            "program_text": format_program(program),
+            "cell": {
+                "benchmark": args.file,
+                "scheme": args.scheme,
+                "machine": args.machine,
+                "heuristic": args.heuristic,
+                "dominator_parallelism": True,
+            },
+        }
+    try:
+        response = request(args.socket, payload, timeout=args.timeout)
+    except OSError as error:
+        raise CLIError(f"cannot reach service at {args.socket}: {error}")
+    print(_json.dumps(response, indent=2, sort_keys=True))
+    if not response.get("ok"):
+        raise CLIError(response.get("error", "service reported failure"))
+    return 0
+
+
+# ----------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Treegion scheduling (HPCA 1998) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, with_scheme=True):
@@ -425,6 +603,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome trace-event JSON to FILE")
 
+    def cache_flags(p, required=False):
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       dest="cache_dir", required=required,
+                       help="persistent artifact store directory "
+                            "(results are cached across runs)")
+        p.add_argument("--cache-max-mb", type=float, default=256.0,
+                       dest="cache_max_mb", metavar="MB",
+                       help="LRU size bound of the store (default: 256)")
+
     p = sub.add_parser("compile", help="minic -> textual IR")
     p.add_argument("file")
     p.add_argument("-O", "--optimize", action="store_true",
@@ -438,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="apply classic optimizations first")
     common(p)
     obs_flags(p)
+    cache_flags(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("schedule", help="print region schedules")
@@ -464,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "--metrics) as JSON to FILE")
     common(p, with_scheme=False)
     obs_flags(p)
+    cache_flags(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="full markdown experiment report")
@@ -472,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (1 = serial, 0 = one per CPU)")
     obs_flags(p)
+    cache_flags(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -543,6 +733,72 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(p)
     p.set_defaults(func=cmd_lint)
 
+    p = sub.add_parser(
+        "warm",
+        help="prime the artifact store for a program or the suite",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="program to warm (default: built-in benchmarks)")
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated built-in subset (no FILE)")
+    p.add_argument("--grid", default=None, metavar="SPEC",
+                   help="axes, e.g. 'schemes=bb,treegion;machines=4U,8U;"
+                        "heuristics=global_weight'")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the cold cells")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile FILE on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    cache_flags(p, required=True)
+    obs_flags(p)
+    p.set_defaults(func=cmd_warm)
+
+    p = sub.add_parser(
+        "serve",
+        help="batched compilation service over a Unix socket",
+    )
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="Unix socket path to listen on")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes in the service pool")
+    p.add_argument("--batch-size", type=int, default=16,
+                   dest="batch_size",
+                   help="max jobs coalesced into one dispatch")
+    p.add_argument("--max-pending", type=int, default=256,
+                   dest="max_pending",
+                   help="intake queue bound (backpressure)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   dest="job_timeout", metavar="SECONDS",
+                   help="per-dispatch timeout before a retry")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts for crashed/timed-out dispatches")
+    cache_flags(p)
+    obs_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="send one request to a running 'repro serve' socket",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="program to compile remotely")
+    p.add_argument("--socket", required=True, metavar="PATH")
+    p.add_argument("--ping", action="store_true",
+                   help="health-check the service")
+    p.add_argument("--stats", action="store_true",
+                   help="fetch service + store statistics")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the service to shut down")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="socket timeout in seconds")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile FILE on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    common(p)
+    p.set_defaults(func=cmd_client)
+
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")
     p.add_argument("--function", default=None)
@@ -559,7 +815,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

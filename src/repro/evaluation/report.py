@@ -48,12 +48,15 @@ class ReportBuilder:
 
     def __init__(self, benchmarks: Optional[List[str]] = None,
                  jobs: int = 1, timer=NULL_TIMER, metrics=NULL_METRICS,
-                 tracer=NULL_TRACER):
+                 tracer=NULL_TRACER, cache_dir: Optional[str] = None,
+                 cache_max_mb: float = 256.0):
         self.benchmarks = benchmarks or list(BENCHMARK_NAMES)
         self.jobs = jobs
         self.timer = timer
         self.metrics = metrics
         self.tracer = tracer
+        self.cache_dir = cache_dir
+        self.cache_max_mb = cache_max_mb
         self.lines: List[str] = [
             "# Treegion scheduling — experiment report",
             "",
@@ -63,6 +66,15 @@ class ReportBuilder:
         self._baselines: Dict[str, float] = {}
 
     def _grid(self, grid: List[GridCell]):
+        if self.cache_dir is not None:
+            from repro.api import cached_evaluate
+
+            return cached_evaluate(
+                grid, cache_dir=self.cache_dir,
+                cache_max_mb=self.cache_max_mb, jobs=self.jobs,
+                timer=self.timer, metrics=self.metrics,
+                tracer=self.tracer,
+            )
         return evaluate_grid(grid, jobs=self.jobs, timer=self.timer,
                              metrics=self.metrics, tracer=self.tracer)
 
@@ -238,16 +250,22 @@ class ReportBuilder:
 
 def generate_report(benchmarks: Optional[List[str]] = None,
                     jobs: int = 1, timer=NULL_TIMER, metrics=NULL_METRICS,
-                    tracer=NULL_TRACER) -> str:
+                    tracer=NULL_TRACER, cache_dir: Optional[str] = None,
+                    cache_max_mb: float = 256.0) -> str:
     """Run every study and return the markdown report.
 
     ``jobs`` parallelizes the grid-shaped studies (see
     :func:`repro.evaluation.engine.evaluate_grid`).  Passing a
     ``timer``/``metrics`` pair appends an Observability section with
     per-stage timings and pipeline counters for the grid studies.
+    ``cache_dir`` routes the grid studies through the persistent
+    artifact store (:mod:`repro.serve.store`), so repeated reports
+    reuse each other's schedule results.
     """
     builder = ReportBuilder(benchmarks, jobs=jobs, timer=timer,
-                            metrics=metrics, tracer=tracer)
+                            metrics=metrics, tracer=tracer,
+                            cache_dir=cache_dir,
+                            cache_max_mb=cache_max_mb)
     with tracer.span("report.region_statistics"):
         builder.add_region_statistics()
     with tracer.span("report.heuristic_speedups"):

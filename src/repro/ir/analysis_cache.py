@@ -19,6 +19,13 @@ The invalidation contract is simple and strict:
 
 Entries are held in ``WeakKeyDictionary``s so a CFG that goes away takes
 its cached analyses with it; the cache never extends object lifetimes.
+Because a long campaign (a multi-thousand-seed ``validate`` run) can
+keep many CFGs alive at once, each table is additionally bounded to
+``max_entries`` live CFGs: inserting past the cap evicts the least-
+recently-used entry (counted in :attr:`AnalysisCache.evictions`,
+published as the ``cache.evictions`` gauge) — the same recency policy
+the disk-backed artifact store uses (:mod:`repro.serve.store`).
+Eviction only ever costs a recompute, never correctness.
 
 Profile weights are deliberately *not* part of the version: liveness,
 dominators, and register bounds are structural and do not read weights,
@@ -57,35 +64,67 @@ def _register_bounds(cfg: CFG) -> Dict[RegClass, int]:
     return bounds
 
 
-class AnalysisCache:
-    """Memoized per-CFG analyses, invalidated by the CFG version counter."""
+#: Default per-table bound on live CFG entries.  Each entry is one
+#: function's analysis results, so this comfortably covers every
+#: program of a whole evaluation grid while capping a validate
+#: campaign's growth.
+DEFAULT_MAX_ENTRIES = 1024
 
-    def __init__(self):
-        self._liveness: "WeakKeyDictionary[CFG, Tuple[int, LivenessInfo]]" = \
+
+class AnalysisCache:
+    """Memoized per-CFG analyses, invalidated by the CFG version counter.
+
+    ``max_entries`` bounds each analysis table to that many live CFGs;
+    the least recently used entry is evicted on overflow.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.max_entries = max(1, max_entries)
+        self._liveness: "WeakKeyDictionary[CFG, Tuple[int, LivenessInfo, int]]" = \
             WeakKeyDictionary()
-        self._dominators: "WeakKeyDictionary[CFG, Tuple[int, DominatorTree]]" = \
+        self._dominators: "WeakKeyDictionary[CFG, Tuple[int, DominatorTree, int]]" = \
             WeakKeyDictionary()
-        self._reg_bounds: "WeakKeyDictionary[CFG, Tuple[int, Dict[RegClass, int]]]" = \
+        self._reg_bounds: "WeakKeyDictionary[CFG, Tuple[int, Dict[RegClass, int], int]]" = \
             WeakKeyDictionary()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._tick = 0
 
     # ------------------------------------------------------------------
 
     def _get(
         self,
-        table: "WeakKeyDictionary[CFG, Tuple[int, T]]",
+        table: "WeakKeyDictionary[CFG, Tuple[int, T, int]]",
         cfg: CFG,
         compute: Callable[[CFG], T],
     ) -> T:
+        self._tick += 1
         entry = table.get(cfg)
         if entry is not None and entry[0] == cfg.version:
             self.hits += 1
+            table[cfg] = (entry[0], entry[1], self._tick)
             return entry[1]
         self.misses += 1
         value = compute(cfg)
-        table[cfg] = (cfg.version, value)
+        table[cfg] = (cfg.version, value, self._tick)
+        if len(table) > self.max_entries:
+            self._evict_lru(table)
         return value
+
+    def _evict_lru(
+        self, table: "WeakKeyDictionary[CFG, Tuple[int, T, int]]",
+    ) -> None:
+        while len(table) > self.max_entries:
+            victim = None
+            oldest = None
+            for cfg, (_, _, used) in table.items():
+                if oldest is None or used < oldest:
+                    victim, oldest = cfg, used
+            if victim is None:
+                return
+            del table[victim]
+            self.evictions += 1
 
     def liveness(self, cfg: CFG) -> LivenessInfo:
         """Live-variable analysis for ``cfg``, cached per version."""
@@ -115,6 +154,7 @@ class AnalysisCache:
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 #: Process-wide cache used by the scheduler and the evaluation engine.
@@ -150,3 +190,4 @@ def record_cache_metrics(metrics, cache: Optional[AnalysisCache] = None) -> None
     cache = cache if cache is not None else GLOBAL_CACHE
     metrics.gauge("cache.hits", cache.hits)
     metrics.gauge("cache.misses", cache.misses)
+    metrics.gauge("cache.evictions", cache.evictions)

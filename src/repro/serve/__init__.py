@@ -1,0 +1,54 @@
+"""Persistent artifact store + batched compilation service.
+
+Two layers (see DESIGN.md §10):
+
+* :mod:`repro.serve.store` — a content-addressed, disk-backed cache of
+  grid-cell schedule results, keyed by SHA-256 of (canonical IR text,
+  scheme spec, machine fingerprint, heuristic, schema version), with
+  atomic writes, LRU size-bounded eviction, and corruption tolerance;
+* :mod:`repro.serve.service` (+ :mod:`repro.serve.jobs`) — a
+  :class:`CompileService` that deduplicates in-flight requests, checks
+  the store first, coalesces misses into batches for the PR-1
+  multiprocessing worker, retries crashed/timed-out dispatches with
+  backoff, applies backpressure through a bounded queue, and shuts
+  down gracefully.  Results are bit-identical to
+  :func:`repro.api.evaluate_grid`.
+
+:mod:`repro.serve.wire` exposes the service over a JSON-over-Unix-
+socket protocol (``repro serve --socket`` / ``repro client``).
+"""
+
+from repro.serve.jobs import (
+    JobFailedError,
+    JobHandle,
+    JobRequest,
+    ServeError,
+    ServiceClosedError,
+    ServiceSaturatedError,
+)
+from repro.serve.service import CompileService, resolve_program_text
+from repro.serve.store import (
+    ArtifactStore,
+    cell_key,
+    machine_fingerprint,
+    result_from_payload,
+    result_to_payload,
+    store_schema,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CompileService",
+    "JobFailedError",
+    "JobHandle",
+    "JobRequest",
+    "ServeError",
+    "ServiceClosedError",
+    "ServiceSaturatedError",
+    "cell_key",
+    "machine_fingerprint",
+    "resolve_program_text",
+    "result_from_payload",
+    "result_to_payload",
+    "store_schema",
+]

@@ -1,0 +1,95 @@
+"""Job-layer types for the batched compilation service.
+
+A :class:`JobRequest` names one unit of work — one program under one
+grid cell — in plain, hashable data, so identical requests submitted
+while the first is still in flight collapse onto one computation.  A
+:class:`JobHandle` is the caller's ticket: it resolves exactly once,
+either with a :class:`~repro.evaluation.engine.CellResult` or with an
+error, and :meth:`JobHandle.result` blocks until then.
+
+The error taxonomy mirrors the service's failure edges:
+
+* :class:`ServiceSaturatedError` — the bounded intake queue is full
+  (backpressure; retry later or raise ``max_pending``);
+* :class:`ServiceClosedError` — submitted after shutdown began, or the
+  job was cancelled by a non-draining shutdown;
+* :class:`JobFailedError` — the job exhausted its retry budget (worker
+  crash or per-dispatch timeout each time).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.evaluation.engine import CellResult, GridCell
+
+
+class ServeError(Exception):
+    """Base class for compilation-service errors."""
+
+
+class ServiceSaturatedError(ServeError):
+    """The bounded intake queue is full (backpressure)."""
+
+
+class ServiceClosedError(ServeError):
+    """The service no longer accepts or will not finish this work."""
+
+
+class JobFailedError(ServeError):
+    """A job failed every dispatch attempt (crash/timeout each time)."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One compile request: a program (by text) under one grid cell.
+
+    ``program_text`` is the canonical textual IR
+    (:func:`repro.ir.printer.format_program`); None means "the built-in
+    benchmark named by ``cell.benchmark``" and the service resolves the
+    text itself for keying.
+    """
+
+    cell: GridCell
+    program_text: Optional[str] = None
+
+
+@dataclass
+class JobHandle:
+    """The resolvable future of one submitted job."""
+
+    key: str
+    request: JobRequest
+    #: True when the result came straight from the artifact store.
+    cached: bool = False
+    #: Dispatch attempts actually spent on this job (0 for cache hits).
+    attempts: int = 0
+    _event: threading.Event = field(default_factory=threading.Event,
+                                    repr=False)
+    _result: Optional[CellResult] = field(default=None, repr=False)
+    _error: Optional[BaseException] = field(default=None, repr=False)
+
+    def resolve(self, result: CellResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> CellResult:
+        """Block until the job resolves; raise its error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.key[:12]} not done within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result

@@ -1,0 +1,144 @@
+"""JSON-over-Unix-socket wire layer for the compilation service.
+
+The protocol is deliberately tiny and stdlib-only: one JSON object per
+line in each direction over an ``AF_UNIX`` stream socket.  Requests:
+
+* ``{"op": "ping"}`` → ``{"ok": true, "schema": ...}``
+* ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}``
+* ``{"op": "compile", "cell": {...}, "program_text": "..."}`` →
+  ``{"ok": true, "cached": bool, "attempts": n, "result": {...}}``
+  (``program_text`` optional — omitted means the built-in benchmark
+  named by ``cell.benchmark``; the result payload is the store's
+  full-fidelity :func:`~repro.serve.store.result_to_payload` shape)
+* ``{"op": "shutdown"}`` → ``{"ok": true}`` and the server loop exits
+  after draining the service.
+
+Errors come back as ``{"ok": false, "error": "..."}`` — a malformed
+request never kills the server.  This is a smoke-test transport, not a
+hardened RPC system: one thread per connection, no auth, no framing
+beyond newlines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional
+
+from repro.evaluation.engine import GridCell
+from repro.serve.jobs import JobRequest, ServeError
+from repro.serve.service import CompileService
+from repro.serve.store import result_to_payload, store_schema
+
+
+def cell_from_wire(raw: Dict[str, object]) -> GridCell:
+    return GridCell(
+        benchmark=raw.get("benchmark", "<wire>"),
+        scheme=raw["scheme"],
+        machine=raw.get("machine", "4U"),
+        heuristic=raw.get("heuristic", "global_weight"),
+        dominator_parallelism=bool(raw.get("dominator_parallelism", False)),
+        schedule_copies=bool(raw.get("schedule_copies", False)),
+    )
+
+
+def _handle_request(service: CompileService,
+                    request: Dict[str, object]) -> Dict[str, object]:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "schema": store_schema()}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "shutdown":
+        return {"ok": True, "shutdown": True}
+    if op == "compile":
+        cell = cell_from_wire(request["cell"])
+        handle = service.submit(JobRequest(
+            cell=cell, program_text=request.get("program_text"),
+        ))
+        result = handle.result(request.get("timeout"))
+        return {
+            "ok": True,
+            "cached": handle.cached,
+            "attempts": handle.attempts,
+            "result": result_to_payload(handle.key, result),
+        }
+    raise ValueError(f"unknown op {op!r}")
+
+
+class ServiceServer(socketserver.ThreadingMixIn,
+                    socketserver.UnixStreamServer):
+    """One service behind one Unix socket; shut down by a client op."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, path: str, service: CompileService):
+        self.service = service
+        self.shutdown_requested = threading.Event()
+        if os.path.exists(path):
+            os.unlink(path)
+        super().__init__(path, _Handler)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: ServiceServer = self.server  # type: ignore[assignment]
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                response = _handle_request(server.service, request)
+            except (ValueError, KeyError, TypeError, ServeError,
+                    TimeoutError) as error:
+                response = {"ok": False,
+                            "error": f"{type(error).__name__}: {error}"}
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            if response.get("shutdown"):
+                server.shutdown_requested.set()
+                # shutdown() must come from another thread than the
+                # serve_forever loop's handler.
+                threading.Thread(target=server.shutdown,
+                                 daemon=True).start()
+                return
+
+
+def serve_socket(path: str, service: CompileService) -> None:
+    """Serve ``service`` on the Unix socket at ``path`` until a client
+    sends ``{"op": "shutdown"}`` (or the process is interrupted)."""
+    server = ServiceServer(path, service)
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def request(path: str, payload: Dict[str, object],
+            timeout: Optional[float] = 60.0) -> Dict[str, object]:
+    """One client round trip: send ``payload``, return the response."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    raw = b"".join(chunks)
+    if not raw:
+        raise ConnectionError("empty response from service")
+    return json.loads(raw.decode("utf-8"))

@@ -30,6 +30,7 @@ from repro.validate.oracle import (
     Mismatch,
     OracleReport,
     check_generated,
+    check_store_identity,
     default_grid,
 )
 from repro.validate.shrink import FailureReport, Shrinker, minimize_failure
@@ -48,6 +49,7 @@ __all__ = [
     "Mismatch",
     "OracleReport",
     "check_generated",
+    "check_store_identity",
     "default_grid",
     "DEFAULT_SCHEMES",
     "DEFAULT_MACHINES",

@@ -103,8 +103,8 @@ class Mismatch:
     """One disagreement between two backends on one program."""
 
     #: Which oracle check failed: ``result``, ``memory``, ``cycles``,
-    #: ``verify``, ``lint``, ``engine``, ``interp-crash``, or
-    #: ``sim-crash``.
+    #: ``verify``, ``lint``, ``engine``, ``store``, ``interp-crash``,
+    #: or ``sim-crash``.
     check: str
     expected: str
     actual: str
@@ -411,6 +411,82 @@ def check_engine_identity(
 
 
 # ----------------------------------------------------------------------
+# Store identity
+
+
+def check_store_identity(
+    program: Program,
+    name: str,
+    grid: Sequence[Cell],
+) -> List[Mismatch]:
+    """Direct, cold-store, and warm-store evaluation must agree.
+
+    Routes the grid through :func:`repro.api.cached_evaluate` against a
+    throwaway on-disk artifact store twice — the first pass populates
+    it (every cell a miss), the second serves entirely from disk — and
+    compares both against per-cell direct evaluation.  This certifies
+    the store's key derivation and the JSON round trip of results: a
+    lossy float path or a key collision shows up as a ``store``
+    mismatch.
+    """
+    import tempfile
+
+    from repro.api import cached_evaluate
+    from repro.serve.store import ArtifactStore
+
+    cells = [
+        GridCell(benchmark=name, scheme=cell.scheme, machine=cell.machine,
+                 heuristic=cell.heuristic)
+        for cell in grid
+    ]
+    texts = {name: format_program(program)}
+    mismatches: List[Mismatch] = []
+    try:
+        reference = [
+            evaluate_cell(cell, program=program) for cell in cells
+        ]
+        with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
+            store = ArtifactStore(tmp)
+            cold = cached_evaluate(cells, store=store,
+                                   program_texts=texts)
+            warm = cached_evaluate(cells, store=store,
+                                   program_texts=texts)
+            served = store.hits
+    except Exception as error:
+        return [Mismatch(
+            check="store",
+            expected="store round trip evaluates the grid",
+            actual=type(error).__name__,
+            detail=_crash_detail(error),
+        )]
+    if served < len(cells):
+        mismatches.append(Mismatch(
+            check="store",
+            expected=f"warm pass serves all {len(cells)} cells from disk",
+            actual=f"{served} hit(s)",
+            detail="cache keys unstable across identical evaluations",
+        ))
+    for cell, row_ref, row_cold, row_warm in zip(
+        grid, reference, cold, warm
+    ):
+        if row_cold != row_ref:
+            mismatches.append(Mismatch(
+                check="store", cell=cell,
+                expected=f"evaluate_cell time {row_ref.time!r}",
+                actual=f"cold-store time {row_cold.time!r}",
+                detail="store-routed evaluation diverged from direct",
+            ))
+        if row_warm != row_ref:
+            mismatches.append(Mismatch(
+                check="store", cell=cell,
+                expected=f"evaluate_cell time {row_ref.time!r}",
+                actual=f"warm-store time {row_warm.time!r}",
+                detail="JSON round trip through the store not lossless",
+            ))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
 # Whole-program entry points
 
 
@@ -452,13 +528,17 @@ def check_generated(
     generated: GeneratedProgram,
     grid: Optional[Sequence[Cell]] = None,
     engine_jobs: int = 0,
+    store_check: bool = False,
 ) -> OracleReport:
     """The full oracle for one generated program.
 
     ``engine_jobs=0`` skips the engine-identity check (spawning a worker
     pool per seed is expensive; the runner samples it every Nth seed),
     ``engine_jobs=1`` checks serial-vs-per-cell only, ``>1`` adds the
-    parallel path.
+    parallel path.  ``store_check=True`` additionally routes the grid
+    through a throwaway on-disk artifact store, cold then warm, and
+    requires both passes bit-identical to direct evaluation (sampled by
+    the runner alongside the engine check).
     """
     if grid is None:
         grid = default_grid()
@@ -469,5 +549,9 @@ def check_generated(
     if engine_jobs > 0:
         report.mismatches.extend(check_engine_identity(
             generated.program, generated.name, grid, jobs=engine_jobs,
+        ))
+    if store_check:
+        report.mismatches.extend(check_store_identity(
+            generated.program, generated.name, grid,
         ))
     return report

@@ -109,7 +109,12 @@ def _run_seed(
     max_trials: int,
 ) -> SeedOutcome:
     generated = generate(seed)
-    report = check_generated(generated, grid=grid, engine_jobs=engine_jobs)
+    # The store-identity check rides the same sampling cadence as the
+    # engine check: both certify an alternate evaluation route, and the
+    # store check is pure disk I/O (no nested pool), so it is safe on
+    # parallel campaigns too.
+    report = check_generated(generated, grid=grid, engine_jobs=engine_jobs,
+                             store_check=engine_jobs > 0)
     failure = None
     if report.mismatches and shrink:
         failure = minimize_failure(

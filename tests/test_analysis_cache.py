@@ -189,6 +189,76 @@ class TestCacheBehaviour:
         assert len(cache._liveness) == 0
 
 
+class TestBoundedSize:
+    """The cap satellite: each table holds at most ``max_entries`` live
+    CFGs and evicts least-recently-used on overflow."""
+
+    def _functions(self, count):
+        return [clone_function(diamond_function()) for _ in range(count)]
+
+    def test_cap_evicts_least_recently_used(self):
+        cache = AnalysisCache(max_entries=2)
+        a, b, c = self._functions(3)
+        cache.liveness(a.cfg)
+        cache.liveness(b.cfg)
+        cache.liveness(a.cfg)  # refresh a: b is now the LRU entry
+        cache.liveness(c.cfg)  # overflow evicts b
+        assert cache.evictions == 1
+        assert a.cfg in cache._liveness
+        assert c.cfg in cache._liveness
+        assert b.cfg not in cache._liveness
+        # An evicted entry only costs a recompute, never correctness.
+        assert cache.liveness(b.cfg) is not None
+
+    def test_cap_is_per_table(self):
+        cache = AnalysisCache(max_entries=1)
+        fn = diamond_function()
+        cache.liveness(fn.cfg)
+        cache.dominators(fn.cfg)
+        cache.register_bounds(fn.cfg)
+        # One CFG in three tables never overflows a per-table cap of 1.
+        assert cache.evictions == 0
+
+    def test_version_refresh_does_not_grow_the_table(self):
+        cache = AnalysisCache(max_entries=1)
+        fn = diamond_function()
+        cache.liveness(fn.cfg)
+        fn.cfg.bump_version()
+        cache.liveness(fn.cfg)  # recompute replaces in place
+        assert len(cache._liveness) == 1
+        assert cache.evictions == 0
+
+    def test_floor_of_one_entry(self):
+        cache = AnalysisCache(max_entries=0)
+        assert cache.max_entries == 1
+        a, b = self._functions(2)
+        cache.liveness(a.cfg)
+        cache.liveness(b.cfg)
+        assert len(cache._liveness) == 1
+        assert cache.evictions == 1
+
+    def test_reset_counters_clears_evictions(self):
+        cache = AnalysisCache(max_entries=1)
+        a, b = self._functions(2)
+        cache.liveness(a.cfg)
+        cache.liveness(b.cfg)
+        assert cache.evictions == 1
+        cache.reset_counters()
+        assert cache.evictions == 0
+
+    def test_evictions_published_as_gauge(self):
+        from repro.ir.analysis_cache import record_cache_metrics
+        from repro.obs import MetricsRegistry
+
+        cache = AnalysisCache(max_entries=1)
+        a, b = self._functions(2)
+        cache.liveness(a.cfg)
+        cache.liveness(b.cfg)
+        metrics = MetricsRegistry()
+        record_cache_metrics(metrics, cache)
+        assert metrics.snapshot()["gauges"]["cache.evictions"] == 1
+
+
 class TestOptPassesBump:
     def test_fold_constants_bumps_only_on_change(self):
         from repro.opt.fold import fold_constants

@@ -647,13 +647,15 @@ class TestApiAndCli:
         assert status == 1
         assert "ir.use-def" in out
 
-    def test_cli_rejects_file_plus_corpus(self, tmp_path):
+    def test_cli_rejects_file_plus_corpus(self, tmp_path, capsys):
         from repro.cli import main
 
-        with pytest.raises(SystemExit):
-            main(["lint", self._write_minic(tmp_path), "--corpus"])
-        with pytest.raises(SystemExit):
-            main(["lint"])
+        # Bad invocations follow the CLI contract: exit 2 plus a single
+        # "repro: error:" line on stderr (see tests/test_cli_exit_codes).
+        assert main(["lint", self._write_minic(tmp_path), "--corpus"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+        assert main(["lint"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------

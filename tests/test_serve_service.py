@@ -1,0 +1,369 @@
+"""The batched compilation service: identity, dedup, faults, wire.
+
+The service's one non-negotiable is bit-identity: routing a grid cell
+through batching, the worker pool, retries, and the artifact store must
+produce the same :class:`CellResult` as the reference serial path.  The
+fault-injection tests then kill workers, poison cache entries, and fill
+the intake queue to show every recovery path preserves that identity.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.evaluation.engine import (
+    GridCell,
+    evaluate_cell,
+    evaluate_grid,
+)
+from repro.ir.parser import parse_program
+from repro.ir.printer import format_program
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    ArtifactStore,
+    CompileService,
+    JobFailedError,
+    JobRequest,
+    ServiceClosedError,
+    ServiceSaturatedError,
+    cell_key,
+    resolve_program_text,
+    result_from_payload,
+    store_schema,
+)
+from repro.serve.service import _service_worker
+from repro.serve.wire import request as wire_request, serve_socket
+from repro.workloads.specint import build_benchmark
+
+_NO_SLEEP = lambda seconds: None  # noqa: E731 - retry backoff stub
+
+
+def _grid(heuristics=("global_weight", "dep_height"),
+          machines=("4U",), schemes=("bb", "treegion")):
+    return [
+        GridCell("compress", scheme, machine, heuristic)
+        for scheme in schemes
+        for machine in machines
+        for heuristic in heuristics
+    ]
+
+
+# -- fault-injection workers (module level: they cross the fork) -------
+
+def _crash_once_worker(flag_path, task):
+    """Die hard on the first call ever, behave on every later one."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as handle:
+            handle.write("crashed\n")
+        os._exit(1)
+    return _service_worker(task)
+
+
+def _hang_once_worker(flag_path, task):
+    """Overrun any reasonable job timeout once, then behave."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as handle:
+            handle.write("hung\n")
+        time.sleep(2.0)
+    return _service_worker(task)
+
+
+def _always_failing_worker(task):
+    raise ValueError("deterministically unschedulable")
+
+
+def _gated_worker(gate_path, task):
+    """Block until the test opens the gate (deterministic queue fill)."""
+    while not os.path.exists(gate_path):
+        time.sleep(0.01)
+    return _service_worker(task)
+
+
+class TestIdentity:
+    def test_service_matches_serial_and_per_cell(self):
+        cells = _grid()
+        direct = evaluate_grid(cells)
+        with CompileService(jobs=2) as service:
+            served = service.evaluate(cells)
+        assert served == direct
+        assert served[0] == evaluate_cell(cells[0])
+
+    def test_cold_and_warm_store_match_direct(self, tmp_path):
+        cells = _grid()
+        direct = evaluate_grid(cells)
+        store = ArtifactStore(str(tmp_path))
+        with CompileService(store=store, jobs=2) as service:
+            cold = service.evaluate(cells)
+        # A fresh service on the same directory answers from disk.
+        warm_store = ArtifactStore(str(tmp_path))
+        with CompileService(store=warm_store, jobs=2) as service:
+            handles = [service.submit(JobRequest(cell=cell))
+                       for cell in cells]
+            warm = [handle.result(60.0) for handle in handles]
+            assert all(handle.cached for handle in handles)
+        assert cold == direct
+        assert warm == direct
+        assert warm_store.hits == len(cells)
+
+    def test_explicit_program_text_round_trips(self):
+        text = format_program(build_benchmark("compress"))
+        cell = GridCell("compress", "treegion", "4U", "global_weight")
+        reference = evaluate_cell(cell, program=parse_program(text))
+        with CompileService(jobs=1) as service:
+            [served] = service.evaluate([cell], program_text=text)
+        assert served == reference
+
+    def test_results_come_back_in_input_order(self):
+        cells = _grid()
+        with CompileService(jobs=2, batch_size=2) as service:
+            served = service.evaluate(cells)
+        assert [result.cell for result in served] == cells
+
+
+class TestDedupAndBatching:
+    def test_inflight_duplicates_share_one_handle(self, tmp_path):
+        gate = str(tmp_path / "gate")
+        metrics = MetricsRegistry()
+        cell = _grid()[0]
+        service = CompileService(
+            jobs=1, metrics=metrics,
+            worker=functools.partial(_gated_worker, gate),
+        )
+        try:
+            first = service.submit(JobRequest(cell=cell))
+            second = service.submit(JobRequest(cell=cell))
+            assert second is first
+            with open(gate, "w") as handle:
+                handle.write("go\n")
+            assert first.result(60.0) == evaluate_cell(cell)
+        finally:
+            service.close()
+        assert metrics.snapshot()["counters"]["serve.jobs.deduped"] == 1
+
+    def test_cache_hit_skips_the_pool(self, tmp_path):
+        cell = _grid()[0]
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = cell_key(resolve_program_text(JobRequest(cell=cell)), cell)
+        store.put(key, evaluate_cell(cell))
+        # A worker that would fail proves the pool is never consulted.
+        with CompileService(store=store,
+                            worker=_always_failing_worker) as service:
+            handle = service.submit(JobRequest(cell=cell))
+            assert handle.cached
+            assert handle.attempts == 0
+            assert handle.result(10.0) == evaluate_cell(cell)
+
+
+class TestFaults:
+    def test_killed_worker_is_retried_to_success(self, tmp_path):
+        flag = str(tmp_path / "crashed-once")
+        metrics = MetricsRegistry()
+        cell = _grid()[0]
+        with CompileService(
+            jobs=1, retries=2, metrics=metrics, sleep=_NO_SLEEP,
+            worker=functools.partial(_crash_once_worker, flag),
+        ) as service:
+            handle = service.submit(JobRequest(cell=cell))
+            result = handle.result(60.0)
+        assert result == evaluate_cell(cell)
+        assert handle.attempts == 2
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.worker_crashes"] == 1
+        assert counters["serve.jobs.retries"] == 1
+        assert counters["serve.jobs.completed"] == 1
+
+    def test_hung_worker_times_out_and_retries(self, tmp_path):
+        flag = str(tmp_path / "hung-once")
+        metrics = MetricsRegistry()
+        cell = _grid()[0]
+        with CompileService(
+            jobs=1, retries=2, job_timeout=0.3, metrics=metrics,
+            sleep=_NO_SLEEP,
+            worker=functools.partial(_hang_once_worker, flag),
+        ) as service:
+            handle = service.submit(JobRequest(cell=cell))
+            result = handle.result(60.0)
+        assert result == evaluate_cell(cell)
+        assert metrics.snapshot()["counters"]["serve.timeouts"] == 1
+
+    def test_deterministic_failure_fails_fast(self):
+        metrics = MetricsRegistry()
+        cell = _grid()[0]
+        with CompileService(jobs=1, retries=5, metrics=metrics,
+                            sleep=_NO_SLEEP,
+                            worker=_always_failing_worker) as service:
+            handle = service.submit(JobRequest(cell=cell))
+            with pytest.raises(JobFailedError, match="unschedulable"):
+                handle.result(60.0)
+        # No retry budget spent: replaying a deterministic job is futile.
+        assert handle.attempts == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.jobs.failed"] == 1
+        assert "serve.jobs.retries" not in counters
+
+    def test_retry_budget_exhaustion_fails_the_job(self, tmp_path):
+        always_crash = str(tmp_path / "never-created") + "/missing"
+        cell = _grid()[0]
+        with CompileService(
+            jobs=1, retries=1, sleep=_NO_SLEEP,
+            worker=functools.partial(_crash_once_worker, always_crash),
+        ) as service:
+            handle = service.submit(JobRequest(cell=cell))
+            with pytest.raises(JobFailedError, match="2 attempt"):
+                handle.result(60.0)
+
+    def test_poisoned_cache_entry_recomputes_correctly(self, tmp_path):
+        cell = _grid()[0]
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = cell_key(resolve_program_text(JobRequest(cell=cell)), cell)
+        poison = store._object_path(key)
+        os.makedirs(os.path.dirname(poison), exist_ok=True)
+        with open(poison, "w") as handle:
+            handle.write('{"schema": "evil", "time": -1}')
+        with CompileService(store=store, jobs=1) as service:
+            handle = service.submit(JobRequest(cell=cell))
+            result = handle.result(60.0)
+        assert not handle.cached
+        assert result == evaluate_cell(cell)
+        assert store.corrupt == 1
+        # The recompute healed the entry on disk.
+        assert ArtifactStore(str(tmp_path / "store")).get(key) == result
+
+    def test_full_queue_applies_backpressure_then_drains(self, tmp_path):
+        gate = str(tmp_path / "gate")
+        cells = _grid(heuristics=("global_weight", "dep_height",
+                                  "exit_count"))[:3]
+        metrics = MetricsRegistry()
+        service = CompileService(
+            jobs=1, batch_size=1, max_pending=1, metrics=metrics,
+            worker=functools.partial(_gated_worker, gate),
+        )
+        try:
+            first = service.submit(JobRequest(cell=cells[0]))
+            # Wait for the dispatcher to pull the first job so exactly
+            # one queue slot is in play.
+            deadline = time.monotonic() + 5.0
+            while service._queue.qsize() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            second = service.submit(JobRequest(cell=cells[1]))
+            with pytest.raises(ServiceSaturatedError):
+                service.submit(JobRequest(cell=cells[2]))
+            with open(gate, "w") as handle:
+                handle.write("go\n")
+            assert first.result(60.0) == evaluate_cell(cells[0])
+            assert second.result(60.0) == evaluate_cell(cells[1])
+            # Pressure released: the rejected job now goes through.
+            third = service.submit(JobRequest(cell=cells[2]))
+            assert third.result(60.0) == evaluate_cell(cells[2])
+        finally:
+            service.close()
+        assert metrics.snapshot()["counters"]["serve.jobs.rejected"] == 1
+
+
+class TestShutdown:
+    def test_non_draining_close_cancels_queued_jobs(self, tmp_path):
+        gate = str(tmp_path / "gate")
+        cells = _grid()
+        service = CompileService(
+            jobs=1, batch_size=1, max_pending=4,
+            worker=functools.partial(_gated_worker, gate),
+        )
+        dispatched = service.submit(JobRequest(cell=cells[0]))
+        deadline = time.monotonic() + 5.0
+        while service._queue.qsize() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        queued = service.submit(JobRequest(cell=cells[1]))
+        opener = threading.Timer(0.2, lambda: open(gate, "w").close())
+        opener.start()
+        try:
+            service.close(drain=False, timeout=30.0)
+        finally:
+            opener.join()
+        # The in-flight job still completed; the queued one was failed.
+        assert dispatched.result(60.0) == evaluate_cell(cells[0])
+        with pytest.raises(ServiceClosedError):
+            queued.result(60.0)
+        with pytest.raises(ServiceClosedError):
+            service.submit(JobRequest(cell=cells[2]))
+
+    def test_draining_close_finishes_accepted_work(self):
+        cells = _grid()
+        service = CompileService(jobs=1, batch_size=2)
+        handles = [service.submit(JobRequest(cell=cell)) for cell in cells]
+        service.close(drain=True, timeout=120.0)
+        direct = evaluate_grid(cells)
+        assert [handle.result(0.0) for handle in handles] == direct
+
+
+class TestWire:
+    def _start_server(self, tmp_path, store=None):
+        path = str(tmp_path / "serve.sock")
+        service = CompileService(store=store, jobs=1)
+        thread = threading.Thread(target=serve_socket,
+                                  args=(path, service), daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(path):
+            assert time.monotonic() < deadline, "socket never appeared"
+            time.sleep(0.01)
+        return path, service, thread
+
+    def test_socket_round_trip_cold_then_warm(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        path, service, thread = self._start_server(tmp_path, store=store)
+        try:
+            ping = wire_request(path, {"op": "ping"})
+            assert ping == {"ok": True, "schema": store_schema()}
+
+            compile_req = {
+                "op": "compile",
+                "cell": {"benchmark": "compress", "scheme": "treegion",
+                         "machine": "4U", "heuristic": "global_weight"},
+            }
+            cold = wire_request(path, compile_req, timeout=120.0)
+            assert cold["ok"] and not cold["cached"]
+            warm = wire_request(path, compile_req, timeout=120.0)
+            assert warm["ok"] and warm["cached"]
+            expected = evaluate_cell(
+                GridCell("compress", "treegion", "4U", "global_weight")
+            )
+            for response in (cold, warm):
+                assert result_from_payload(response["result"]) == expected
+
+            stats = wire_request(path, {"op": "stats"})
+            assert stats["ok"]
+            assert stats["stats"]["store"]["hits"] == 1
+
+            bad = wire_request(path, {"op": "no-such-op"})
+            assert not bad["ok"] and "no-such-op" in bad["error"]
+
+            down = wire_request(path, {"op": "shutdown"})
+            assert down["ok"]
+        finally:
+            thread.join(timeout=30.0)
+            service.close()
+        assert not thread.is_alive()
+        assert not os.path.exists(path)
+
+    def test_malformed_line_does_not_kill_the_server(self, tmp_path):
+        path, service, thread = self._start_server(tmp_path)
+        try:
+            with socket.socket(socket.AF_UNIX,
+                               socket.SOCK_STREAM) as sock:
+                sock.settimeout(10.0)
+                sock.connect(path)
+                sock.sendall(b"this is not json\n")
+                garbage = json.loads(sock.makefile().readline())
+            assert not garbage["ok"]
+            assert wire_request(path, {"op": "ping"})["ok"]
+        finally:
+            wire_request(path, {"op": "shutdown"})
+            thread.join(timeout=30.0)
+            service.close()

@@ -142,9 +142,11 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "compress" in out and "x" in out
 
-    def test_bad_machine_rejected(self, source_file):
-        with pytest.raises(SystemExit):
-            main(["run", source_file, "--machine", "potato"])
+    def test_bad_machine_rejected(self, source_file, capsys):
+        # Exit-code contract: bad invocations return 2 with one error
+        # line on stderr (full sweep in tests/test_cli_exit_codes.py).
+        assert main(["run", source_file, "--machine", "potato"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
 
     @pytest.mark.parametrize("scheme", ["bb", "slr", "superblock",
                                         "treegion", "treegion-td",
