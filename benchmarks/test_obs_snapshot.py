@@ -1,6 +1,7 @@
 """Observability regression benchmark.
 
-Runs the paper's evaluation grid twice through the engine —
+Runs the paper's evaluation grid through the engine in two
+configurations —
 
 * **uninstrumented**: ``NULL_TIMER`` / ``NULL_METRICS`` / ``NULL_TRACER``
   (the default for every caller that does not opt in), and
@@ -13,6 +14,17 @@ overhead ratio, per-stage timings, headline pipeline counters, histogram
 summaries) so future PRs can diff the perf trajectory.  The Chrome
 trace from the instrumented run is saved to
 ``benchmarks/results/obs_trace.json`` as a viewable artifact.
+
+Measurement discipline: the grid runs with ``region_memo=False`` — this
+benchmark measures the *direct pipeline's* instrumentation overhead, and
+with the memo on the second configuration would be served from cache and
+time the cache instead (the memoized path has its own benchmark,
+``test_sched_snapshot.py``).  Each configuration is timed best-of-N
+(minimum of ``BEST_OF`` runs), with the two configurations
+*interleaved* so neither gets all the late, process-warmed iterations:
+the minimum is the standard noise floor for CPU-bound benchmarks, and
+without both disciplines warm-up asymmetry used to push the overhead
+ratio *below* 1.0.
 
 CI smoke runs shrink the grid via ``REPRO_OBS_BENCH_BENCHMARKS`` (a
 comma-separated benchmark subset, e.g. ``compress``); the snapshot
@@ -38,6 +50,9 @@ from benchmarks.conftest import RESULTS_DIR, emit_table
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_obs.json"
 TRACE_ARTIFACT = RESULTS_DIR / "obs_trace.json"
+
+#: Runs per configuration; the recorded wall time is the minimum.
+BEST_OF = 3
 
 #: Headline counters recorded in the snapshot (a stable subset, so the
 #: JSON diffs cleanly when unrelated counters are added later).
@@ -74,20 +89,37 @@ def _grid():
     return default_grid()
 
 
+def _timed(make_run):
+    """Time one run; ``make_run`` returns (payload, result-rows)."""
+    t0 = time.perf_counter()
+    payload, rows = make_run()
+    return time.perf_counter() - t0, payload, rows
+
+
 def test_obs_snapshot():
     grid = _grid()
 
-    t0 = time.perf_counter()
-    plain = evaluate_grid(grid, jobs=1)
-    t_plain = time.perf_counter() - t0
+    def plain_run():
+        return None, evaluate_grid(grid, jobs=1, region_memo=False)
 
-    timer = StageTimer()
-    metrics = MetricsRegistry()
-    tracer = Tracer()
-    t0 = time.perf_counter()
-    instrumented = evaluate_grid(grid, jobs=1, timer=timer,
-                                 metrics=metrics, tracer=tracer)
-    t_instr = time.perf_counter() - t0
+    def instrumented_run():
+        timer = StageTimer()
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        rows = evaluate_grid(grid, jobs=1, timer=timer, metrics=metrics,
+                             tracer=tracer, region_memo=False)
+        return (timer, metrics, tracer), rows
+
+    best_plain = best_instr = None
+    for _ in range(BEST_OF):
+        run = _timed(plain_run)
+        if best_plain is None or run[0] < best_plain[0]:
+            best_plain = run
+        run = _timed(instrumented_run)
+        if best_instr is None or run[0] < best_instr[0]:
+            best_instr = run
+    t_plain, _, plain = best_plain
+    t_instr, (timer, metrics, tracer), instrumented = best_instr
 
     # Observability must never change the answer.
     for a, b in zip(plain, instrumented):
@@ -110,6 +142,7 @@ def test_obs_snapshot():
 
     snapshot = {
         "grid_cells": len(grid),
+        "best_of": BEST_OF,
         "uninstrumented_seconds": round(t_plain, 3),
         "instrumented_seconds": round(t_instr, 3),
         "overhead_ratio": round(overhead, 3),

@@ -100,6 +100,8 @@ def evaluate_grid(
     timer: StageTimer = NULL_TIMER,
     metrics=NULL_METRICS,
     tracer=NULL_TRACER,
+    region_memo=None,
+    region_store=None,
 ) -> List[CellResult]:
     """Evaluate experiment grid cells (PR-1 engine; see its module doc).
 
@@ -107,11 +109,15 @@ def evaluate_grid(
     the CPU count) fans out over a worker pool — both bit-identical to
     per-cell evaluation.  A supplied ``metrics`` registry collects the
     pipeline counters (identically on either path, worker registries
-    merged in); a ``tracer`` records the run as spans.
+    merged in); a ``tracer`` records the run as spans.  ``region_memo``
+    and ``region_store`` control the region-level result cache — see
+    :func:`repro.evaluation.engine.evaluate_grid` (memoization is on by
+    default and bit-identical; pass ``region_memo=False`` to disable).
     """
     return _evaluate_grid(
         cells, jobs=jobs, programs=programs, program_texts=program_texts,
         timer=timer, metrics=metrics, tracer=tracer,
+        region_memo=region_memo, region_store=region_store,
     )
 
 
@@ -127,6 +133,7 @@ def cached_evaluate(
     timer: StageTimer = NULL_TIMER,
     metrics=NULL_METRICS,
     tracer=NULL_TRACER,
+    region_memo=None,
 ) -> List[CellResult]:
     """:func:`evaluate_grid` routed through the persistent artifact store.
 
@@ -137,9 +144,15 @@ def cached_evaluate(
     written back.  Results are bit-identical to :func:`evaluate_grid`
     on every path (the store round-trips results losslessly).
 
+    The region memo persists alongside the cell results: misses are
+    evaluated with a region store rooted at ``<store dir>/regions``, so
+    even a *changed* program reuses every region it has in common with
+    earlier runs.  ``region_memo=False`` turns that layer off.
+
     Pass exactly one of ``store`` or ``cache_dir``; with neither this
     degrades to a plain :func:`evaluate_grid` call.
     """
+    import os
     from repro.ir.printer import format_program
     from repro.serve.service import resolve_program_text
     from repro.serve.store import ArtifactStore, cell_key
@@ -178,11 +191,16 @@ def cached_evaluate(
             miss_indices = [i for i, result in found.items()
                             if result is None]
             if miss_indices:
+                region_spec = None
+                if region_memo is not False:
+                    region_spec = (os.path.join(store.directory, "regions"),
+                                   store.max_bytes / (1024 * 1024))
                 fresh = evaluate_grid(
                     [cells[i] for i in miss_indices],
                     programs=programs, program_texts=program_texts,
                     jobs=jobs, timer=timer, metrics=metrics,
-                    tracer=tracer,
+                    tracer=tracer, region_memo=region_memo,
+                    region_store=region_spec,
                 )
                 with metrics_scope(metrics):
                     for index, result in zip(miss_indices, fresh):

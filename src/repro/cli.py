@@ -106,6 +106,11 @@ def _parse_args_list(values: Optional[List[str]]) -> List[object]:
     return out
 
 
+def _region_memo_arg(args):
+    """--no-region-memo → False (off); default → None (engine default)."""
+    return None if getattr(args, "region_memo", True) else False
+
+
 def _obs_for(args):
     """(metrics, tracer) per the command's --metrics/--trace flags."""
     from repro.obs import (
@@ -175,6 +180,7 @@ def cmd_run(args) -> int:
             [cell], cache_dir=args.cache_dir,
             cache_max_mb=args.cache_max_mb,
             programs={args.file: program}, metrics=metrics, tracer=tracer,
+            region_memo=_region_memo_arg(args),
         )[0]
         print(f"cached estimate: {cached.time:g} weighted cycles "
               f"(store at {args.cache_dir})")
@@ -229,10 +235,12 @@ def cmd_bench(args) -> int:
             grid, cache_dir=args.cache_dir,
             cache_max_mb=args.cache_max_mb, jobs=args.jobs,
             timer=timer, metrics=metrics, tracer=tracer,
+            region_memo=_region_memo_arg(args),
         )
     else:
         results = api.evaluate_grid(grid, jobs=args.jobs, timer=timer,
-                                    metrics=metrics, tracer=tracer)
+                                    metrics=metrics, tracer=tracer,
+                                    region_memo=_region_memo_arg(args))
     baselines = {r.cell.benchmark: r.time for r in results[:len(names)]}
     rest = iter(results[len(names):])
     print(f"{'program':10s} " + " ".join(f"{s:>12s}" for s in schemes))
@@ -262,7 +270,8 @@ def cmd_report(args) -> int:
     sys.stdout.write(generate_report(names, jobs=args.jobs, timer=timer,
                                      metrics=metrics, tracer=tracer,
                                      cache_dir=args.cache_dir,
-                                     cache_max_mb=args.cache_max_mb))
+                                     cache_max_mb=args.cache_max_mb,
+                                     region_memo=_region_memo_arg(args)))
     _write_obs(args, metrics, tracer, timer)
     return 0
 
@@ -491,7 +500,8 @@ def cmd_warm(args) -> int:
         before = store.stats()
         api.cached_evaluate(cells, store=store, programs=programs,
                             jobs=args.jobs, metrics=metrics,
-                            tracer=tracer)
+                            tracer=tracer,
+                            region_memo=_region_memo_arg(args))
         after = store.stats()
     print(f"warmed {len(cells)} cell(s): "
           f"{after['hits'] - before['hits']} already cached, "
@@ -611,6 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-max-mb", type=float, default=256.0,
                        dest="cache_max_mb", metavar="MB",
                        help="LRU size bound of the store (default: 256)")
+        p.add_argument("--no-region-memo", dest="region_memo",
+                       action="store_false", default=True,
+                       help="disable the region-level schedule memo "
+                            "(results are bit-identical either way)")
 
     p = sub.add_parser("compile", help="minic -> textual IR")
     p.add_argument("file")

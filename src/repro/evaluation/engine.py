@@ -185,12 +185,24 @@ def _schedule_function_partition(
     machine: MachineModel,
     timer: StageTimer,
     key_caches: Optional[Dict[Tuple[int, str], Dict]] = None,
+    memo=None,
 ) -> _FunctionPartial:
-    """Schedule one function's formed partition for one cell."""
+    """Schedule one function's formed partition for one cell.
+
+    With a :class:`repro.schedule.memo.RegionMemo` supplied, regions go
+    through it (hits come back as summaries); the accumulation below
+    reads only the attributes schedules and summaries share.
+    """
     options = cell.options()
     schedules = []
     for region in partition:
         liveness = liveness_of(region.root.cfg)
+        if memo is not None:
+            schedules.append(
+                memo.schedule(region, machine, options, liveness,
+                              timer=timer)
+            )
+            continue
         key_cache = None
         if key_caches is not None and not cell.schedule_copies:
             key_cache = key_caches.setdefault((id(region), cell.machine), {})
@@ -205,8 +217,8 @@ def _schedule_function_partition(
         original_ops=original_ops,
         final_ops=final_ops,
         schedule_lengths=tuple(s.length for s in schedules),
-        copies=sum(len(s.copies) for s in schedules),
-        merged=sum(len(s.merged) for s in schedules),
+        copies=sum(s.copy_count for s in schedules),
+        merged=sum(s.merged_count for s in schedules),
         speculated=sum(s.speculated_count for s in schedules),
     )
 
@@ -236,6 +248,58 @@ def _merge_partials(cell: GridCell,
         total_merged=merged,
         total_speculated=speculated,
     )
+
+
+# ----------------------------------------------------------------------
+# Region memo plumbing
+
+
+def _open_region_store(spec):
+    """An artifact store from an instance, a directory, or (dir, max_mb)."""
+    if spec is None:
+        return None
+    if hasattr(spec, "get_payload"):
+        return spec
+    from repro.serve.store import ArtifactStore
+
+    if isinstance(spec, str):
+        return ArtifactStore(spec)
+    directory, max_mb = spec
+    return ArtifactStore(directory, max_mb=max_mb)
+
+
+def _resolve_memo(region_memo):
+    """Turn ``evaluate_grid``'s ``region_memo`` argument into a memo.
+
+    ``False`` → None (memo off); ``None``/``True`` → the process-global
+    :func:`repro.schedule.memo.global_memo` (``None`` additionally
+    honours ``REPRO_REGION_MEMO=0``); anything else is used as-is.
+    """
+    if region_memo is False:
+        return None
+    if region_memo is None or region_memo is True:
+        if region_memo is None and \
+                os.environ.get("REPRO_REGION_MEMO") == "0":
+            return None
+        from repro.schedule.memo import global_memo
+
+        return global_memo()
+    return region_memo
+
+
+#: Per-worker-process region store handles, keyed by directory (opening
+#: a store re-reads the index; once per process is enough).
+_worker_stores: Dict[str, object] = {}
+
+
+def _worker_region_store(directory: str, max_mb: float):
+    store = _worker_stores.get(directory)
+    if store is None:
+        from repro.serve.store import ArtifactStore
+
+        store = ArtifactStore(directory, max_mb=max_mb)
+        _worker_stores[directory] = store
+    return store
 
 
 def evaluate_cell(
@@ -289,6 +353,7 @@ def _evaluate_grid_serial(
     texts: Optional[Dict[str, str]] = None,
     metrics=NULL_METRICS,
     tracer=NULL_TRACER,
+    memo=None,
 ) -> List[CellResult]:
     results: List[Optional[CellResult]] = [None] * len(cells)
     groups: Dict[Tuple[str, str], List[int]] = {}
@@ -320,6 +385,10 @@ def _evaluate_grid_serial(
                 # keyed per (region, machine) — identically-prepared
                 # problems have aligned op indices.
                 key_caches: Dict[Tuple[int, str], Dict] = {}
+                if memo is not None:
+                    # Tier-1 sharing is id-keyed; scope it to this
+                    # group's freshly formed regions.
+                    memo.begin_group()
                 for index in indices:
                     cell = cells[index]
                     machine = machine_by_name(cell.machine)
@@ -330,6 +399,7 @@ def _evaluate_grid_serial(
                             _schedule_function_partition(
                                 partition, original_ops, final_ops, cell,
                                 machine, timer, key_caches=key_caches,
+                                memo=memo,
                             )
                             for partition, original_ops, final_ops in formed
                         ]
@@ -373,11 +443,15 @@ def _resolve_program(bench: str,
 #: restricted to a half-open slice of the program's functions.  Grouping
 #: keeps the serial path's work sharing inside the worker: the slice is
 #: cloned and formed once, then scheduled for each (machine, heuristic)
-#: cell of the group.  The final element is an optional textual IR dump:
+#: cell of the group.  The fifth element is an optional textual IR dump:
 #: programs that are not built-in benchmarks cross the process boundary
-#: as text (the printer/parser round-trip is structure-identical).
+#: as text (the printer/parser round-trip is structure-identical).  The
+#: last element is the region-memo directive: None = memo off, else
+#: ``(store_directory_or_None, store_max_mb)`` — the worker uses its own
+#: process-global memo and opens its own store handle (object writes are
+#: atomic, so concurrent workers race safely).
 _Task = Tuple[str, str, Tuple[Tuple[int, GridCell], ...], int, int,
-              Optional[str]]
+              Optional[str], Optional[Tuple[Optional[str], float]]]
 
 
 def _run_task(task: _Task):
@@ -388,7 +462,7 @@ def _run_task(task: _Task):
     benchmark, so rebuilding is paid once per benchmark per worker, not
     per task.
     """
-    bench, scheme_spec, indexed_cells, lo, hi, text = task
+    bench, scheme_spec, indexed_cells, lo, hi, text, memo_spec = task
     if text is not None:
         program = _program_from_text(bench, text)
     else:
@@ -398,6 +472,17 @@ def _run_task(task: _Task):
     scheme = build_scheme(scheme_spec)
     timer = StageTimer()
     metrics = MetricsRegistry()
+    memo = None
+    before = None
+    if memo_spec is not None:
+        from repro.schedule.memo import global_memo
+
+        memo = global_memo()
+        directory, max_mb = memo_spec
+        if directory is not None:
+            memo.attach_store(_worker_region_store(directory, max_mb))
+        memo.begin_group()
+        before = memo.stats()
     with metrics_scope(metrics):
         formed = []  # (partition, original_ops, final_ops) per function
         for function in list(program.functions())[lo:hi]:
@@ -415,16 +500,30 @@ def _run_task(task: _Task):
             partials = [
                 _schedule_function_partition(
                     partition, original_ops, final_ops, cell, machine,
-                    timer, key_caches=key_caches,
+                    timer, key_caches=key_caches, memo=memo,
                 )
                 for partition, original_ops, final_ops in formed
             ]
             out.append((index, partials))
-    return out, lo, (timer.totals, timer.counts), metrics.snapshot()
+    memo_stats = None
+    if memo is not None:
+        if memo.store is not None:
+            memo.store.sync()
+        after = memo.stats()
+        memo_stats = {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+            "store_hits": after["store_hits"] - before["store_hits"],
+            "bytes": after["bytes"],
+        }
+    return (out, lo, (timer.totals, timer.counts), metrics.snapshot(),
+            memo_stats)
 
 
 def _split_cells(cells: Sequence[GridCell], jobs: int,
-                 texts: Optional[Dict[str, str]] = None) -> List[_Task]:
+                 texts: Optional[Dict[str, str]] = None,
+                 memo_spec: Optional[Tuple[Optional[str], float]] = None,
+                 ) -> List[_Task]:
     """Cut the grid into group×slice tasks.
 
     Groups with few functions stay whole; larger programs split into up
@@ -448,13 +547,13 @@ def _split_cells(cells: Sequence[GridCell], jobs: int,
             function_counts[bench] = count
         if count <= SPLIT_THRESHOLD:
             tasks.append((bench, scheme_spec, tuple(indexed), 0, count,
-                          text))
+                          text, memo_spec))
             continue
         chunk = max(SPLIT_THRESHOLD, -(-count // jobs))
         for lo in range(0, count, chunk):
             tasks.append(
                 (bench, scheme_spec, tuple(indexed), lo,
-                 min(lo + chunk, count), text)
+                 min(lo + chunk, count), text, memo_spec)
             )
     return tasks
 
@@ -466,21 +565,35 @@ def _evaluate_grid_parallel(
     texts: Optional[Dict[str, str]] = None,
     metrics=NULL_METRICS,
     tracer=NULL_TRACER,
+    memo=None,
+    region_stats: Optional[Dict[str, int]] = None,
 ) -> List[CellResult]:
-    tasks = _split_cells(cells, jobs, texts)
+    memo_spec: Optional[Tuple[Optional[str], float]] = None
+    if memo is not None:
+        if memo.store is not None:
+            memo_spec = (memo.store.directory,
+                         memo.store.max_bytes / (1024 * 1024))
+        else:
+            memo_spec = (None, 0.0)
+    tasks = _split_cells(cells, jobs, texts, memo_spec)
     # Per-cell partial lists keyed by slice start, merged in function
     # order below so the float accumulation matches the serial path.
     by_cell: Dict[int, Dict[int, List[_FunctionPartial]]] = {}
     with tracer.span("pool", jobs=jobs, tasks=len(tasks)):
         with multiprocessing.Pool(processes=jobs) as pool:
-            for out, lo, (totals, counts), snapshot in pool.imap_unordered(
-                _run_task, tasks
-            ):
+            for out, lo, (totals, counts), snapshot, memo_stats in \
+                    pool.imap_unordered(_run_task, tasks):
                 for index, partials in out:
                     by_cell.setdefault(index, {})[lo] = partials
                 for name, seconds in totals.items():
                     timer.add(name, seconds, counts.get(name, 0))
                 metrics.merge_snapshot(snapshot)
+                if memo_stats is not None and region_stats is not None:
+                    region_stats["hits"] += memo_stats["hits"]
+                    region_stats["misses"] += memo_stats["misses"]
+                    region_stats["store_hits"] += memo_stats["store_hits"]
+                    region_stats["bytes"] = max(region_stats["bytes"],
+                                                memo_stats["bytes"])
                 tracer.event("task_done", slice_start=lo,
                              cells=len(out))
     # The per-cell counter lives in the parent: a group split into
@@ -508,6 +621,8 @@ def evaluate_grid(
     program_texts: Optional[Dict[str, str]] = None,
     metrics=NULL_METRICS,
     tracer=NULL_TRACER,
+    region_memo=None,
+    region_store=None,
 ) -> List[CellResult]:
     """Evaluate every grid cell; results come back in input order.
 
@@ -534,6 +649,17 @@ def evaluate_grid(
         tracer: A :class:`repro.obs.tracer.Tracer` recording group/cell
             spans (serial) or pool/task events (parallel; worker-side
             spans do not cross the process boundary).
+        region_memo: The region-level result cache
+            (:class:`repro.schedule.memo.RegionMemo`).  ``None`` (the
+            default) uses the process-global memo unless
+            ``REPRO_REGION_MEMO=0`` is set; ``False`` disables
+            memoization (the pre-memo shared-key path); an instance is
+            used as given.  Memoized results are bit-identical to the
+            direct pipeline, including deterministic metrics.
+        region_store: Optional persistent backing for the region memo —
+            an :class:`~repro.serve.store.ArtifactStore`, a directory,
+            or ``(directory, max_mb)`` — attached for the duration of
+            this call (workers open their own handles).
 
     Every path returns results bit-identical to calling
     :func:`evaluate_cell` per cell.
@@ -541,29 +667,56 @@ def evaluate_grid(
     cells = list(cells)
     if jobs == 0:
         jobs = os.cpu_count() or 1
-    with tracer.span("evaluate_grid", cells=len(cells), jobs=jobs):
-        if jobs <= 1 or not cells:
-            return _evaluate_grid_serial(cells, programs, timer,
-                                         program_texts, metrics, tracer)
+    memo = _resolve_memo(region_memo)
+    previous_store = memo.store if memo is not None else None
+    if memo is not None and region_store is not None:
+        memo.attach_store(_open_region_store(region_store))
+    stats = {"hits": 0, "misses": 0, "store_hits": 0, "bytes": 0}
+    before = memo.stats() if memo is not None else None
+    try:
+        with tracer.span("evaluate_grid", cells=len(cells), jobs=jobs):
+            if jobs <= 1 or not cells:
+                return _evaluate_grid_serial(cells, programs, timer,
+                                             program_texts, metrics, tracer,
+                                             memo=memo)
 
-        custom = set(programs) if programs is not None else set()
-        pooled = [c for c in cells if c.benchmark not in custom]
-        local = [c for c in cells if c.benchmark in custom]
-        merged: Dict[int, CellResult] = {}
-        if pooled:
-            pooled_indices = [i for i, c in enumerate(cells)
-                              if c.benchmark not in custom]
-            for position, result in enumerate(
-                _evaluate_grid_parallel(pooled, jobs, timer, program_texts,
-                                        metrics, tracer)
-            ):
-                merged[pooled_indices[position]] = result
-        if local:
-            local_indices = [i for i, c in enumerate(cells)
-                             if c.benchmark in custom]
-            for position, result in enumerate(
-                _evaluate_grid_serial(local, programs, timer,
-                                      program_texts, metrics, tracer)
-            ):
-                merged[local_indices[position]] = result
-        return [merged[i] for i in range(len(cells))]
+            custom = set(programs) if programs is not None else set()
+            pooled = [c for c in cells if c.benchmark not in custom]
+            local = [c for c in cells if c.benchmark in custom]
+            merged: Dict[int, CellResult] = {}
+            if pooled:
+                pooled_indices = [i for i, c in enumerate(cells)
+                                  if c.benchmark not in custom]
+                for position, result in enumerate(
+                    _evaluate_grid_parallel(pooled, jobs, timer,
+                                            program_texts, metrics, tracer,
+                                            memo=memo, region_stats=stats)
+                ):
+                    merged[pooled_indices[position]] = result
+            if local:
+                local_indices = [i for i, c in enumerate(cells)
+                                 if c.benchmark in custom]
+                for position, result in enumerate(
+                    _evaluate_grid_serial(local, programs, timer,
+                                          program_texts, metrics, tracer,
+                                          memo=memo)
+                ):
+                    merged[local_indices[position]] = result
+            return [merged[i] for i in range(len(cells))]
+    finally:
+        if memo is not None:
+            after = memo.stats()
+            stats["hits"] += after["hits"] - before["hits"]
+            stats["misses"] += after["misses"] - before["misses"]
+            stats["store_hits"] += after["store_hits"] - before["store_hits"]
+            stats["bytes"] = max(stats["bytes"], after["bytes"])
+            if memo.store is not None:
+                memo.store.sync()
+            memo.attach_store(previous_store)
+            if metrics is not NULL_METRICS:
+                metrics.gauge("cache.region.hits", stats["hits"])
+                metrics.gauge("cache.region.misses", stats["misses"])
+                metrics.gauge("cache.region.bytes", stats["bytes"])
+                if stats["store_hits"]:
+                    metrics.gauge("cache.region.store_hits",
+                                  stats["store_hits"])

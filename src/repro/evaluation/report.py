@@ -49,7 +49,7 @@ class ReportBuilder:
     def __init__(self, benchmarks: Optional[List[str]] = None,
                  jobs: int = 1, timer=NULL_TIMER, metrics=NULL_METRICS,
                  tracer=NULL_TRACER, cache_dir: Optional[str] = None,
-                 cache_max_mb: float = 256.0):
+                 cache_max_mb: float = 256.0, region_memo=None):
         self.benchmarks = benchmarks or list(BENCHMARK_NAMES)
         self.jobs = jobs
         self.timer = timer
@@ -57,6 +57,7 @@ class ReportBuilder:
         self.tracer = tracer
         self.cache_dir = cache_dir
         self.cache_max_mb = cache_max_mb
+        self.region_memo = region_memo
         self.lines: List[str] = [
             "# Treegion scheduling — experiment report",
             "",
@@ -73,10 +74,11 @@ class ReportBuilder:
                 grid, cache_dir=self.cache_dir,
                 cache_max_mb=self.cache_max_mb, jobs=self.jobs,
                 timer=self.timer, metrics=self.metrics,
-                tracer=self.tracer,
+                tracer=self.tracer, region_memo=self.region_memo,
             )
         return evaluate_grid(grid, jobs=self.jobs, timer=self.timer,
-                             metrics=self.metrics, tracer=self.tracer)
+                             metrics=self.metrics, tracer=self.tracer,
+                             region_memo=self.region_memo)
 
     def _baseline(self, name: str) -> float:
         if not self._baselines:
@@ -251,21 +253,24 @@ class ReportBuilder:
 def generate_report(benchmarks: Optional[List[str]] = None,
                     jobs: int = 1, timer=NULL_TIMER, metrics=NULL_METRICS,
                     tracer=NULL_TRACER, cache_dir: Optional[str] = None,
-                    cache_max_mb: float = 256.0) -> str:
+                    cache_max_mb: float = 256.0, region_memo=None) -> str:
     """Run every study and return the markdown report.
 
     ``jobs`` parallelizes the grid-shaped studies (see
     :func:`repro.evaluation.engine.evaluate_grid`).  Passing a
     ``timer``/``metrics`` pair appends an Observability section with
-    per-stage timings and pipeline counters for the grid studies.
-    ``cache_dir`` routes the grid studies through the persistent
-    artifact store (:mod:`repro.serve.store`), so repeated reports
-    reuse each other's schedule results.
+    per-stage timings and pipeline counters for the grid studies
+    (region-memo hit/miss/byte gauges included).  ``cache_dir`` routes
+    the grid studies through the persistent artifact store
+    (:mod:`repro.serve.store`), so repeated reports reuse each other's
+    schedule results.  ``region_memo=False`` disables the region-level
+    result cache (see :func:`repro.evaluation.engine.evaluate_grid`).
     """
     builder = ReportBuilder(benchmarks, jobs=jobs, timer=timer,
                             metrics=metrics, tracer=tracer,
                             cache_dir=cache_dir,
-                            cache_max_mb=cache_max_mb)
+                            cache_max_mb=cache_max_mb,
+                            region_memo=region_memo)
     with tracer.span("report.region_statistics"):
         builder.add_region_statistics()
     with tracer.span("report.heuristic_speedups"):

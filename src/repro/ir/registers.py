@@ -25,6 +25,20 @@ class Register:
     rclass: RegClass
     index: int
 
+    def __post_init__(self):
+        # Registers key the DDG's producer maps and the renamer's live
+        # sets millions of times per evaluation grid; the generated hash
+        # re-hashes the enum member on every probe, so precompute once.
+        object.__setattr__(self, "_hash", hash((self.rclass, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through __init__ so an unpickled register recomputes
+        # ``_hash`` under the receiving interpreter's hash seed.
+        return (Register, (self.rclass, self.index))
+
     def __str__(self) -> str:
         return f"{self.rclass.prefix}{self.index}"
 

@@ -28,6 +28,21 @@ down the tree therefore builds all edges, carrying per-path state:
 Op indices are assigned in tree preorder, so every edge points from a lower
 to a higher index and the graph is a DAG by construction; heights are
 computed in one reverse sweep.
+
+**Storage layout.**  The grid hot path builds this graph 14k+ times per
+run, so edges are kept *flat*: construction appends to three parallel int
+lists (``src``/``dst``/``latency`` per placement edge, in insertion
+order), deduplicated through a set of packed ints.  :meth:`DDG.finalize`
+converts the flat stream into CSR form — ``pred_ptr``/``pred_src``/
+``pred_lat`` index predecessor edges of op *i* as the half-open slice
+``pred_ptr[i]:pred_ptr[i+1]``, and likewise ``succ_ptr``/``succ_dst``/
+``succ_lat`` and the control-edge arrays — which is what
+:func:`~repro.schedule.list_scheduler.list_schedule` and
+:meth:`DDG.compute_heights` iterate.  The legacy per-node adjacency lists
+(``preds``/``succs``/``control_succs``/``control_preds``) survive as lazy
+views for lint, tests, and diagnostics; they materialize on first access
+and are invalidated by further ``add_edge`` calls, so the scheduling hot
+path never allocates a single per-edge tuple.
 """
 
 from __future__ import annotations
@@ -44,6 +59,15 @@ from repro.regions.region import RegionExit
 from repro.schedule.prep import ScheduleProblem
 from repro.schedule.renaming import ExitCopy
 from repro.schedule.schedule import SchedOp
+
+#: Packed-edge encoding: ``(src << SHIFT | dst) << LAT_BITS | latency``.
+#: Valid while indices fit in SHIFT bits and latency in LAT_BITS bits;
+#: out-of-range edges (never seen in practice) fall back to tuples in the
+#: same dedup set.
+_IDX_SHIFT = 21
+_IDX_LIMIT = 1 << _IDX_SHIFT
+_LAT_BITS = 10
+_LAT_LIMIT = 1 << _LAT_BITS
 
 
 class DDG:
@@ -67,10 +91,33 @@ class DDG:
     def __init__(self, problem: ScheduleProblem):
         self.problem = problem
         n = len(problem.sched_ops)
-        self.preds: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-        self.succs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-        self.control_succs: List[List[int]] = [[] for _ in range(n)]
-        self.control_preds: List[List[int]] = [[] for _ in range(n)]
+        self._n = n
+        # Flat placement-edge stream in insertion order.
+        self._edge_src: List[int] = []
+        self._edge_dst: List[int] = []
+        self._edge_lat: List[int] = []
+        # Flat height-only control-edge stream.
+        self._cedge_src: List[int] = []
+        self._cedge_dst: List[int] = []
+        self._edge_set = set()
+        self._dirty = True
+        # CSR arrays (populated by finalize()).
+        self.pred_ptr: List[int] = []
+        self.pred_src: List[int] = []
+        self.pred_lat: List[int] = []
+        self.succ_ptr: List[int] = []
+        self.succ_dst: List[int] = []
+        self.succ_lat: List[int] = []
+        self.cpred_ptr: List[int] = []
+        self.cpred_src: List[int] = []
+        self.csucc_ptr: List[int] = []
+        self.csucc_dst: List[int] = []
+        self.in_degree: List[int] = []
+        # Lazy legacy adjacency views.
+        self._preds_view: Optional[List[List[Tuple[int, int]]]] = None
+        self._succs_view: Optional[List[List[Tuple[int, int]]]] = None
+        self._csuccs_view: Optional[List[List[int]]] = None
+        self._cpreds_view: Optional[List[List[int]]] = None
         #: producers[i][reg] = index of the SchedOp whose def of ``reg``
         #: op ``i`` reads (register flow only); used by dominator
         #: parallelism to prove two duplicates read identical values.
@@ -81,63 +128,221 @@ class DDG:
         #: they observe different memory states.
         self.mem_producers: List[Optional[int]] = [None] * n
         self.heights: List[int] = [0] * n
-        self._edge_set = set()
 
     # ------------------------------------------------------------------
+    # Construction (flat appends, packed-int dedup)
 
     def add_edge(self, src: int, dst: int, latency: int) -> None:
         if src == dst:
             return
-        key = (src, dst, latency)
-        if key in self._edge_set:
+        if src < _IDX_LIMIT and dst < _IDX_LIMIT and latency < _LAT_LIMIT:
+            key = ((src << _IDX_SHIFT) | dst) << _LAT_BITS | latency
+        else:
+            key = (src, dst, latency)
+        edge_set = self._edge_set
+        if key in edge_set:
             return
-        self._edge_set.add(key)
-        self.succs[src].append((dst, latency))
-        self.preds[dst].append((src, latency))
+        edge_set.add(key)
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        self._edge_lat.append(latency)
+        self._dirty = True
 
     def add_control_edge(self, src: int, dst: int) -> None:
         """A breakable (height-only) control dependence at latency 1."""
         if src != dst:
-            self.control_succs[src].append(dst)
-            self.control_preds[dst].append(src)
+            self._cedge_src.append(src)
+            self._cedge_dst.append(dst)
+            self._dirty = True
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_src)
+
+    @property
+    def num_control_edges(self) -> int:
+        return len(self._cedge_src)
+
+    # ------------------------------------------------------------------
+    # CSR finalization
+
+    def finalize(self) -> None:
+        """Build the CSR arrays from the flat edge stream (idempotent).
+
+        Per-node edge order in CSR equals global insertion order
+        restricted to the node — bit-identical to what the old per-node
+        append lists held, so view consumers and the scheduler see edges
+        in the same order as before the flat rewrite.
+        """
+        n = len(self.problem.sched_ops)
+        if not self._dirty and n == self._n:
+            return
+        if len(self.heights) < n:
+            # Ops were appended after construction (copy insertion).
+            self.heights.extend([0] * (n - len(self.heights)))
+        self._n = n
+
+        src_list, dst_list, lat_list = \
+            self._edge_src, self._edge_dst, self._edge_lat
+        pred_ptr = [0] * (n + 1)
+        succ_ptr = [0] * (n + 1)
+        for dst in dst_list:
+            pred_ptr[dst + 1] += 1
+        for src in src_list:
+            succ_ptr[src + 1] += 1
+        for i in range(n):
+            pred_ptr[i + 1] += pred_ptr[i]
+            succ_ptr[i + 1] += succ_ptr[i]
+        m = len(src_list)
+        pred_src = [0] * m
+        pred_lat = [0] * m
+        succ_dst = [0] * m
+        succ_lat = [0] * m
+        pred_fill = pred_ptr[:n]
+        succ_fill = succ_ptr[:n]
+        for e in range(m):
+            src = src_list[e]
+            dst = dst_list[e]
+            lat = lat_list[e]
+            slot = pred_fill[dst]
+            pred_src[slot] = src
+            pred_lat[slot] = lat
+            pred_fill[dst] = slot + 1
+            slot = succ_fill[src]
+            succ_dst[slot] = dst
+            succ_lat[slot] = lat
+            succ_fill[src] = slot + 1
+        self.pred_ptr, self.pred_src, self.pred_lat = \
+            pred_ptr, pred_src, pred_lat
+        self.succ_ptr, self.succ_dst, self.succ_lat = \
+            succ_ptr, succ_dst, succ_lat
+        self.in_degree = [pred_ptr[i + 1] - pred_ptr[i] for i in range(n)]
+
+        csrc, cdst = self._cedge_src, self._cedge_dst
+        cpred_ptr = [0] * (n + 1)
+        csucc_ptr = [0] * (n + 1)
+        for dst in cdst:
+            cpred_ptr[dst + 1] += 1
+        for src in csrc:
+            csucc_ptr[src + 1] += 1
+        for i in range(n):
+            cpred_ptr[i + 1] += cpred_ptr[i]
+            csucc_ptr[i + 1] += csucc_ptr[i]
+        cm = len(csrc)
+        cpred_src = [0] * cm
+        csucc_dst = [0] * cm
+        cpred_fill = cpred_ptr[:n]
+        csucc_fill = csucc_ptr[:n]
+        for e in range(cm):
+            src = csrc[e]
+            dst = cdst[e]
+            slot = cpred_fill[dst]
+            cpred_src[slot] = src
+            cpred_fill[dst] = slot + 1
+            slot = csucc_fill[src]
+            csucc_dst[slot] = dst
+            csucc_fill[src] = slot + 1
+        self.cpred_ptr, self.cpred_src = cpred_ptr, cpred_src
+        self.csucc_ptr, self.csucc_dst = csucc_ptr, csucc_dst
+
+        self._preds_view = None
+        self._succs_view = None
+        self._csuccs_view = None
+        self._cpreds_view = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Legacy adjacency views (lint, tests, diagnostics)
+
+    @property
+    def preds(self) -> List[List[Tuple[int, int]]]:
+        self.finalize()
+        if self._preds_view is None:
+            view: List[List[Tuple[int, int]]] = [[] for _ in range(self._n)]
+            for src, dst, lat in zip(self._edge_src, self._edge_dst,
+                                     self._edge_lat):
+                view[dst].append((src, lat))
+            self._preds_view = view
+        return self._preds_view
+
+    @property
+    def succs(self) -> List[List[Tuple[int, int]]]:
+        self.finalize()
+        if self._succs_view is None:
+            view: List[List[Tuple[int, int]]] = [[] for _ in range(self._n)]
+            for src, dst, lat in zip(self._edge_src, self._edge_dst,
+                                     self._edge_lat):
+                view[src].append((dst, lat))
+            self._succs_view = view
+        return self._succs_view
+
+    @property
+    def control_succs(self) -> List[List[int]]:
+        self.finalize()
+        if self._csuccs_view is None:
+            view: List[List[int]] = [[] for _ in range(self._n)]
+            for src, dst in zip(self._cedge_src, self._cedge_dst):
+                view[src].append(dst)
+            self._csuccs_view = view
+        return self._csuccs_view
+
+    @property
+    def control_preds(self) -> List[List[int]]:
+        self.finalize()
+        if self._cpreds_view is None:
+            view: List[List[int]] = [[] for _ in range(self._n)]
+            for src, dst in zip(self._cedge_src, self._cedge_dst):
+                view[dst].append(src)
+            self._cpreds_view = view
+        return self._cpreds_view
+
+    # ------------------------------------------------------------------
 
     def compute_heights(self, machine: MachineModel) -> None:
         """Longest path to any sink over placement + control edges.
 
-        Computed in reverse topological (Kahn) order so late insertions —
-        the scheduled-copies ablation adds COPY ops that *precede* the
-        exit branches created before them — are handled regardless of
-        index order.
+        Computed in reverse topological (Kahn) order over the CSR arrays
+        so late insertions — the scheduled-copies ablation adds COPY ops
+        that *precede* the exit branches created before them — are
+        handled regardless of index order.
         """
-        n = len(self.problem.sched_ops)
-        if n != len(self.heights):
-            # Ops were appended after construction (copy insertion).
-            grow = n - len(self.heights)
-            self.heights.extend([0] * grow)
+        self.finalize()
+        n = self._n
         ops = self.problem.sched_ops
+        heights = self.heights
+        latency = machine.latency
+        pred_ptr, pred_src = self.pred_ptr, self.pred_src
+        succ_ptr, succ_dst, succ_lat = \
+            self.succ_ptr, self.succ_dst, self.succ_lat
+        cpred_ptr, cpred_src = self.cpred_ptr, self.cpred_src
+        csucc_ptr, csucc_dst = self.csucc_ptr, self.csucc_dst
+
         unresolved = [
-            len(self.succs[i]) + len(self.control_succs[i]) for i in range(n)
+            succ_ptr[i + 1] - succ_ptr[i] + csucc_ptr[i + 1] - csucc_ptr[i]
+            for i in range(n)
         ]
         ready = [i for i in range(n) if unresolved[i] == 0]
         resolved = 0
         while ready:
             i = ready.pop()
             resolved += 1
-            best = machine.latency(ops[i].op)
-            for j, latency in self.succs[i]:
-                candidate = latency + self.heights[j]
+            best = latency(ops[i].op)
+            for e in range(succ_ptr[i], succ_ptr[i + 1]):
+                candidate = succ_lat[e] + heights[succ_dst[e]]
                 if candidate > best:
                     best = candidate
-            for j in self.control_succs[i]:
-                candidate = 1 + self.heights[j]
+            for e in range(csucc_ptr[i], csucc_ptr[i + 1]):
+                candidate = 1 + heights[csucc_dst[e]]
                 if candidate > best:
                     best = candidate
-            self.heights[i] = best
-            for j, _latency in self.preds[i]:
+            heights[i] = best
+            for e in range(pred_ptr[i], pred_ptr[i + 1]):
+                j = pred_src[e]
                 unresolved[j] -= 1
                 if unresolved[j] == 0:
                     ready.append(j)
-            for j in self.control_preds[i]:
+            for e in range(cpred_ptr[i], cpred_ptr[i + 1]):
+                j = cpred_src[e]
                 unresolved[j] -= 1
                 if unresolved[j] == 0:
                     ready.append(j)
@@ -145,7 +350,8 @@ class DDG:
             raise AssertionError("DDG has a cycle; heights undefined")
 
     def pred_count(self, i: int) -> int:
-        return len(self.preds[i])
+        self.finalize()
+        return self.in_degree[i]
 
 
 class _PathState:
@@ -261,9 +467,8 @@ def build_ddg(
     metrics = current_metrics()
     if metrics is not NULL_METRICS:
         metrics.inc("ddg.nodes", len(problem.sched_ops))
-        metrics.inc("ddg.edges", sum(len(p) for p in ddg.preds))
-        metrics.inc("ddg.control_edges",
-                    sum(len(s) for s in ddg.control_succs))
+        metrics.inc("ddg.edges", ddg.num_edges)
+        metrics.inc("ddg.control_edges", ddg.num_control_edges)
     return ddg
 
 
@@ -306,7 +511,7 @@ def _preorder(region) -> List[BasicBlock]:
 
 def _add_op_edges(ddg: DDG, machine: MachineModel, sop: SchedOp,
                   state: _PathState,
-                  live_cache: Optional[Dict[int, FrozenSet[Register]]]) -> None:
+                  live_cache: Optional[Dict[int, Tuple[Register, ...]]]) -> None:
     i = sop.index
     op = sop.op
     ops = ddg.problem.sched_ops

@@ -18,6 +18,15 @@ increase either — so the heap nearly always pops ops in exact priority
 order; the heap exists to stay correct when floating-point profile weights
 break monotonicity by an ulp.
 
+The inner loop runs on the DDG's CSR arrays (see
+:meth:`repro.schedule.ddg.DDG.finalize`): predecessor edges of the popped
+op are the slice ``pred_ptr[i]:pred_ptr[i+1]`` of two parallel int lists,
+placement cycles live in a local ``cycle_of`` int array (merged ops record
+their survivor's cycle, so no ``effective_cycle`` chain is ever chased),
+and the per-cycle resource table is three parallel int lists indexed by
+``cycle - 1``.  No per-edge or per-op objects are touched until an op is
+actually placed.
+
 Dominator parallelism (Section 4) is folded in exactly where the paper puts
 it — at schedule time: "if a tail duplicated Op A' is speculated into a
 block where one of its duplicates A'' is already scheduled, A' can be
@@ -32,6 +41,7 @@ slot; its consumers are rewired to read the survivor's destinations.
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional
 
 from repro.util.errors import SchedulingError
@@ -41,50 +51,6 @@ from repro.schedule.ddg import DDG
 from repro.schedule.prep import ScheduleProblem
 from repro.schedule.renaming import ExitCopy
 from repro.schedule.schedule import ExitRecord, RegionSchedule, SchedOp
-
-
-class _ResourceTable:
-    """Per-cycle slot occupancy (issue width plus optional class caps)."""
-
-    def __init__(self, machine: MachineModel):
-        self.machine = machine
-        self.used: List[int] = []
-        self.memory: List[int] = []
-        self.branches: List[int] = []
-
-    def _grow(self, cycle: int) -> None:
-        while len(self.used) < cycle:
-            self.used.append(0)
-            self.memory.append(0)
-            self.branches.append(0)
-
-    def fits(self, sop: SchedOp, cycle: int) -> bool:
-        self._grow(cycle)
-        i = cycle - 1
-        if self.used[i] >= self.machine.issue_width:
-            return False
-        if (
-            self.machine.max_memory_per_cycle is not None
-            and sop.op.is_memory
-            and self.memory[i] >= self.machine.max_memory_per_cycle
-        ):
-            return False
-        if (
-            self.machine.max_branches_per_cycle is not None
-            and sop.op.is_branch
-            and self.branches[i] >= self.machine.max_branches_per_cycle
-        ):
-            return False
-        return True
-
-    def take(self, sop: SchedOp, cycle: int) -> None:
-        self._grow(cycle)
-        i = cycle - 1
-        self.used[i] += 1
-        if sop.op.is_memory:
-            self.memory[i] += 1
-        if sop.op.is_branch:
-            self.branches[i] += 1
 
 
 def list_schedule(
@@ -97,56 +63,94 @@ def list_schedule(
     max_cycles: int = 1_000_000,
 ) -> RegionSchedule:
     """Place every op of ``order`` (the heuristic-sorted DDG node list)."""
-    import heapq
-
     schedule = RegionSchedule(problem.region)
     copies = copies if copies is not None else []
-    resources = _ResourceTable(machine)
     merge_table: Dict[int, List[SchedOp]] = {}
 
-    n = len(problem.sched_ops)
+    sched_ops = problem.sched_ops
+    n = len(sched_ops)
+
+    ddg.finalize()
+    pred_ptr, pred_src, pred_lat = ddg.pred_ptr, ddg.pred_src, ddg.pred_lat
+    succ_ptr, succ_dst = ddg.succ_ptr, ddg.succ_dst
+
     ranks = [0] * n
     for position, sop in enumerate(order):
         ranks[sop.index] = position
-    waiting = [len(ddg.preds[i]) for i in range(n)]
+    waiting = list(ddg.in_degree)
     ready = [(ranks[i], i) for i in range(n) if waiting[i] == 0]
-    heapq.heapify(ready)
+    heapify(ready)
+
+    #: cycle_of[i] — the effective issue cycle of op i once placed or
+    #: merged (0 = not yet placed).  Merge survivors are always already
+    #: placed, so a merged op's entry is final the moment it is written.
+    cycle_of = [0] * n
+    is_mem = [sop.op.is_memory for sop in sched_ops]
+    is_br = [sop.op.is_branch for sop in sched_ops]
+
+    issue_width = machine.issue_width
+    max_mem = machine.max_memory_per_cycle
+    max_br = machine.max_branches_per_cycle
+    # Per-cycle occupancy, indexed by cycle - 1.
+    used: List[int] = []
+    memory: List[int] = []
+    branches: List[int] = []
 
     placed = 0
     while ready:
-        _rank, index = heapq.heappop(ready)
-        sop = problem.sched_ops[index]
+        _rank, index = heappop(ready)
+        sop = sched_ops[index]
         earliest = 1
-        for pred, latency in ddg.preds[index]:
-            cycle = problem.sched_ops[pred].effective_cycle
-            assert cycle is not None  # guaranteed by the readiness heap
-            if cycle + latency > earliest:
-                earliest = cycle + latency
+        for e in range(pred_ptr[index], pred_ptr[index + 1]):
+            candidate = cycle_of[pred_src[e]] + pred_lat[e]
+            if candidate > earliest:
+                earliest = candidate
 
         survivor = None
         if dominator_parallelism:
             survivor = _find_merge_target(problem, ddg, merge_table, sop)
         if survivor is not None:
             _merge(problem, ddg, schedule, copies, sop, survivor)
+            cycle_of[index] = cycle_of[survivor.index]
         else:
             cycle = earliest
-            while not resources.fits(sop, cycle):
+            mem = is_mem[index]
+            br = is_br[index]
+            while True:
+                while len(used) < cycle:
+                    used.append(0)
+                    memory.append(0)
+                    branches.append(0)
+                slot = cycle - 1
+                if used[slot] < issue_width and (
+                    max_mem is None or not mem or memory[slot] < max_mem
+                ) and (
+                    max_br is None or not br or branches[slot] < max_br
+                ):
+                    break
                 cycle += 1
                 if cycle > max_cycles:
                     raise SchedulingError(
                         f"schedule exceeded {max_cycles} cycles placing {sop!r}"
                     )
-            resources.take(sop, cycle)
+            used[slot] += 1
+            if mem:
+                memory[slot] += 1
+            if br:
+                branches[slot] += 1
             schedule.place(sop, cycle)
+            cycle_of[index] = cycle
             if (sop.source is not None and sop.op.guard is None
                     and sop.op.can_speculate):
                 merge_table.setdefault(sop.source.origin, []).append(sop)
 
         placed += 1
-        for succ, _latency in ddg.succs[index]:
-            waiting[succ] -= 1
-            if waiting[succ] == 0:
-                heapq.heappush(ready, (ranks[succ], succ))
+        for e in range(succ_ptr[index], succ_ptr[index + 1]):
+            succ = succ_dst[e]
+            remaining = waiting[succ] - 1
+            waiting[succ] = remaining
+            if remaining == 0:
+                heappush(ready, (ranks[succ], succ))
 
     if placed != n:
         raise SchedulingError(
@@ -213,8 +217,10 @@ def _merge(
     schedule.merged.append(sop)
     replacements = dict(zip(sop.op.dests, survivor.op.dests))
     # Rewrite every (necessarily unplaced) consumer reading sop's dests.
-    for succ, _latency in ddg.succs[sop.index]:
-        consumer = problem.sched_ops[succ].op
+    index = sop.index
+    succ_ptr, succ_dst = ddg.succ_ptr, ddg.succ_dst
+    for e in range(succ_ptr[index], succ_ptr[index + 1]):
+        consumer = problem.sched_ops[succ_dst[e]].op
         for old, new in replacements.items():
             if old != new:
                 consumer.replace_uses(old, new)

@@ -206,6 +206,16 @@ class RegionSchedule:
         ``sum(exit weight * exit retire cycle)`` — the paper's estimate."""
         return sum(record.weighted_cycles for record in self.exits)
 
+    @property
+    def copy_count(self) -> int:
+        """Renaming repair copies recorded for this region's exits."""
+        return len(self.copies)
+
+    @property
+    def merged_count(self) -> int:
+        """Ops eliminated by dominator parallelism."""
+        return len(self.merged)
+
     # ------------------------------------------------------------------
 
     def format(self) -> str:

@@ -36,6 +36,7 @@ registry.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -296,8 +297,16 @@ class CompileService:
         )
         # The engine group-task over the whole function range; passing
         # None as the slice end means "all functions" without knowing
-        # the count parent-side.
-        task = (bench, scheme, indexed, 0, None, text)
+        # the count parent-side.  Workers keep a region memo, backed by
+        # a store sub-directory when the service is store-backed.
+        memo_spec = None
+        if os.environ.get("REPRO_REGION_MEMO") != "0":
+            if self.store is not None:
+                memo_spec = (os.path.join(self.store.directory, "regions"),
+                             self.store.max_bytes / (1024 * 1024))
+            else:
+                memo_spec = (None, 0.0)
+        task = (bench, scheme, indexed, 0, None, text, memo_spec)
         attempts = self.retries + 1
         error: Optional[BaseException] = None
         for attempt in range(attempts):
@@ -309,7 +318,7 @@ class CompileService:
             self.metrics.inc("serve.dispatches")
             try:
                 future = self._ensure_executor().submit(self._worker, task)
-                out, _, _, snapshot = future.result(
+                out, _, _, snapshot, _memo_stats = future.result(
                     timeout=self.job_timeout
                 )
             except _FutureTimeout as exc:

@@ -54,8 +54,11 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.evaluation.engine import CellResult, GridCell, machine_by_name
 from repro.evaluation.schemes import SchemeSpec
-from repro.machine.model import MachineModel
 from repro.obs.metrics import current_metrics
+# Canonical definition lives with the region fingerprints; re-exported
+# here so cell keys and region keys agree on what "the same machine"
+# means.
+from repro.schedule.fingerprint import machine_fingerprint  # noqa: F401
 
 #: Revision of the on-disk payload shape.  Bump when the JSON layout of
 #: an entry changes; old entries then key differently and age out.
@@ -72,22 +75,6 @@ def store_schema() -> str:
     return f"repro-{__version__}/store-{STORE_FORMAT}"
 
 
-def machine_fingerprint(machine: MachineModel) -> str:
-    """A stable textual fingerprint of everything that shapes schedules."""
-    from repro.ir.types import Opcode
-
-    latencies = ",".join(
-        f"{opcode.value}={machine.latency_of(opcode)}"
-        for opcode in sorted(Opcode, key=lambda o: o.value)
-    )
-    return (
-        f"{machine.name}:w{machine.issue_width}:lat[{latencies}]"
-        f":dl{machine.default_latency}:btr{int(machine.use_btr)}"
-        f":mem{machine.max_memory_per_cycle}"
-        f":br{machine.max_branches_per_cycle}"
-    )
-
-
 def cell_key(program_text: str, cell: GridCell) -> str:
     """SHA-256 key of one (program, scheme, machine, heuristic) cell."""
     digest = hashlib.sha256()
@@ -99,6 +86,36 @@ def cell_key(program_text: str, cell: GridCell) -> str:
         cell.heuristic,
         f"dp={int(cell.dominator_parallelism)}",
         f"sc={int(cell.schedule_copies)}",
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def region_key(
+    region_fp: str,
+    machine_fp: str,
+    heuristic: str,
+    dominator_parallelism: bool,
+    schedule_copies: bool,
+) -> str:
+    """SHA-256 key of one memoized region scheduling result.
+
+    The region-granular analogue of :func:`cell_key`: the program text is
+    replaced by :func:`repro.schedule.fingerprint.region_fingerprint` and
+    the scheme disappears entirely (whatever former produced the region,
+    equal content schedules identically).  A ``region`` tag keeps the two
+    keyspaces disjoint even under hash-input coincidence.
+    """
+    digest = hashlib.sha256()
+    for part in (
+        store_schema(),
+        "region",
+        region_fp,
+        machine_fp,
+        heuristic,
+        f"dp={int(dominator_parallelism)}",
+        f"sc={int(schedule_copies)}",
     ):
         digest.update(part.encode("utf-8"))
         digest.update(b"\x00")
@@ -255,33 +272,64 @@ class ArtifactStore:
 
     # -- the cache interface --------------------------------------------
 
-    def get(self, key: str) -> Optional[CellResult]:
-        """The stored result under ``key``, or None (miss)."""
+    def _read_validated(self, key: str) -> Tuple[Dict[str, object], str]:
+        """Load + validate the payload under ``key``; raises on trouble."""
         path = self._object_path(key)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            if payload.get("key") != key or \
-                    payload.get("schema") != store_schema():
-                raise ValueError("payload/key mismatch")
-            result = result_from_payload(payload)
-        except OSError:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("key") != key or \
+                payload.get("schema") != store_schema():
+            raise ValueError("payload/key mismatch")
+        return payload, path
+
+    def _count_miss(self, key: str, corrupt: bool) -> None:
+        if corrupt:
+            self._drop(key, "corrupt")
+        else:
             # No file: a plain miss (drop any stale index entry).
             self._index.pop(key, None)
-            self.misses += 1
-            current_metrics().inc("serve.store.misses")
-            return None
-        except (ValueError, KeyError, TypeError):
-            self._drop(key, "corrupt")
-            self.misses += 1
-            current_metrics().inc("serve.store.misses")
-            return None
+        self.misses += 1
+        current_metrics().inc("serve.store.misses")
+
+    def _count_hit(self, key: str, path: str) -> None:
         self._clock += 1
         size = self._index.get(key, (0, 0))[0] or self._entry_size(path)
         self._index[key] = (size, self._clock)
         self.hits += 1
         current_metrics().inc("serve.store.hits")
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """The stored result under ``key``, or None (miss)."""
+        try:
+            payload, path = self._read_validated(key)
+            result = result_from_payload(payload)
+        except OSError:
+            self._count_miss(key, corrupt=False)
+            return None
+        except (ValueError, KeyError, TypeError):
+            self._count_miss(key, corrupt=True)
+            return None
+        self._count_hit(key, path)
         return result
+
+    def get_payload(self, key: str) -> Optional[Dict[str, object]]:
+        """The raw JSON payload under ``key``, or None (miss).
+
+        The schema and restated key are validated like :meth:`get`;
+        interpreting the rest of the payload is the caller's business
+        (the region memo stores :class:`RegionSummary`-shaped entries
+        through this, cell results keep using :meth:`get`/:meth:`put`).
+        """
+        try:
+            payload, path = self._read_validated(key)
+        except OSError:
+            self._count_miss(key, corrupt=False)
+            return None
+        except (ValueError, KeyError, TypeError):
+            self._count_miss(key, corrupt=True)
+            return None
+        self._count_hit(key, path)
+        return payload
 
     @staticmethod
     def _entry_size(path: str) -> int:
@@ -292,15 +340,31 @@ class ArtifactStore:
 
     def put(self, key: str, result: CellResult) -> None:
         """Store ``result`` under ``key`` (atomic; last writer wins)."""
+        self.put_payload(key, result_to_payload(key, result))
+
+    def put_payload(self, key: str, payload: Dict[str, object],
+                    defer_index: bool = False) -> None:
+        """Store a JSON payload under ``key`` (atomic; last writer wins).
+
+        The schema string and the key are stamped into the payload so
+        reads can validate them.  ``defer_index=True`` skips the
+        per-entry eviction sweep and index write — per-region puts are
+        far too hot for one disk write each — leaving both to the next
+        :meth:`sync` (or any undeferred put).
+        """
         path = self._object_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        text = json.dumps(result_to_payload(key, result), sort_keys=True)
+        stamped = dict(payload)
+        stamped["schema"] = store_schema()
+        stamped["key"] = key
+        text = json.dumps(stamped, sort_keys=True)
         self._atomic_write(path, text)
         self._clock += 1
         self._index[key] = (len(text), self._clock)
         current_metrics().inc("serve.store.puts")
-        self._evict_to_fit()
-        self._save_index()
+        if not defer_index:
+            self._evict_to_fit()
+            self._save_index()
 
     def _evict_to_fit(self) -> None:
         while len(self._index) > 1 and \
@@ -311,7 +375,9 @@ class ArtifactStore:
     # -- maintenance ----------------------------------------------------
 
     def sync(self) -> None:
-        """Persist the in-memory recency clocks (``get`` defers this)."""
+        """Persist the in-memory index (recency clocks and any entries
+        written with ``defer_index=True``), evicting to fit first."""
+        self._evict_to_fit()
         self._save_index()
 
     def close(self) -> None:

@@ -30,6 +30,7 @@ from repro.validate.oracle import (
     Mismatch,
     OracleReport,
     check_generated,
+    check_region_memo_identity,
     check_store_identity,
     default_grid,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "Mismatch",
     "OracleReport",
     "check_generated",
+    "check_region_memo_identity",
     "check_store_identity",
     "default_grid",
     "DEFAULT_SCHEMES",

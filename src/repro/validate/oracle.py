@@ -487,6 +487,117 @@ def check_store_identity(
 
 
 # ----------------------------------------------------------------------
+# Region-memo identity
+
+
+def check_region_memo_identity(
+    program: Program,
+    name: str,
+    grid: Sequence[Cell],
+) -> List[Mismatch]:
+    """Memoized region scheduling must be bit-identical to the direct path.
+
+    Four routes over the same grid must agree exactly — results *and*
+    deterministic pipeline counters:
+
+    1. the direct pipeline (``region_memo=False``, the reference);
+    2. a cold :class:`~repro.schedule.memo.RegionMemo` (tier-1 sharing,
+       every tier-2 probe a miss);
+    3. the same memo warm (every region served from tier 2, exercising
+       the hit path's weighted-time recomputation and counter replay);
+    4. a *fresh* memo revived from the on-disk region store the cold
+       pass populated (the cross-process route: fingerprints, the JSON
+       payload round trip, and :func:`repro.serve.store.region_key`
+       must all be stable).
+    """
+    import tempfile
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.schedule.memo import RegionMemo
+
+    cells = [
+        GridCell(benchmark=name, scheme=cell.scheme, machine=cell.machine,
+                 heuristic=cell.heuristic)
+        for cell in grid
+    ]
+    texts = {name: format_program(program)}
+    mismatches: List[Mismatch] = []
+    try:
+        counters = {}
+        passes = {}
+
+        def run(label, **kwargs):
+            registry = MetricsRegistry()
+            rows = evaluate_grid(cells, jobs=1, program_texts=texts,
+                                 metrics=registry, **kwargs)
+            snapshot = registry.deterministic_snapshot()
+            # The artifact store counts its own I/O (serve.store.*);
+            # those are cache-layer observability, inherently
+            # route-dependent.  The identity contract covers the
+            # *pipeline* counters.
+            snapshot["counters"] = {
+                key: value for key, value in snapshot["counters"].items()
+                if not key.startswith("serve.store.")
+            }
+            counters[label] = snapshot
+            passes[label] = rows
+
+        run("direct", region_memo=False)
+        memo = RegionMemo()
+        run("cold", region_memo=memo)
+        cold_misses = memo.stats()["misses"]
+        run("warm", region_memo=memo)
+        warm_misses = memo.stats()["misses"] - cold_misses
+        with tempfile.TemporaryDirectory(prefix="repro-region-") as tmp:
+            seeding = RegionMemo()
+            evaluate_grid(cells, jobs=1, program_texts=texts,
+                          region_memo=seeding, region_store=tmp)
+            revived = RegionMemo()
+            run("disk", region_memo=revived, region_store=tmp)
+            revived_stats = revived.stats()
+    except Exception as error:
+        return [Mismatch(
+            check="region-memo",
+            expected="memoized evaluation runs the grid",
+            actual=type(error).__name__,
+            detail=_crash_detail(error),
+        )]
+    if warm_misses > 0:
+        mismatches.append(Mismatch(
+            check="region-memo",
+            expected="warm pass serves every region from tier 2",
+            actual=f"{warm_misses} miss(es)",
+            detail="region fingerprints unstable across identical passes",
+        ))
+    if revived_stats["misses"] > 0:
+        mismatches.append(Mismatch(
+            check="region-memo",
+            expected="revived memo serves every region from disk",
+            actual=f"{revived_stats['misses']} miss(es)",
+            detail="region fingerprints or store keys unstable across "
+                   "memo instances",
+        ))
+    for label in ("cold", "warm", "disk"):
+        for cell, row_ref, row in zip(grid, passes["direct"], passes[label]):
+            if row != row_ref:
+                mismatches.append(Mismatch(
+                    check="region-memo", cell=cell,
+                    expected=f"direct time {row_ref.time!r}",
+                    actual=f"{label}-memo time {row.time!r}",
+                    detail=f"{label} memoized pass diverged from the "
+                           "direct pipeline",
+                ))
+        if counters[label] != counters["direct"]:
+            mismatches.append(Mismatch(
+                check="region-memo",
+                expected="deterministic counters match the direct pipeline",
+                actual=f"{label} pass counters differ",
+                detail="metric replay on memo hits is lossy",
+            ))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
 # Whole-program entry points
 
 
@@ -529,6 +640,7 @@ def check_generated(
     grid: Optional[Sequence[Cell]] = None,
     engine_jobs: int = 0,
     store_check: bool = False,
+    region_memo_check: bool = False,
 ) -> OracleReport:
     """The full oracle for one generated program.
 
@@ -538,7 +650,10 @@ def check_generated(
     parallel path.  ``store_check=True`` additionally routes the grid
     through a throwaway on-disk artifact store, cold then warm, and
     requires both passes bit-identical to direct evaluation (sampled by
-    the runner alongside the engine check).
+    the runner alongside the engine check).  ``region_memo_check=True``
+    runs :func:`check_region_memo_identity` — direct vs cold/warm/disk
+    region-memoized evaluation, results and counters bit-identical
+    (same sampling cadence).
     """
     if grid is None:
         grid = default_grid()
@@ -552,6 +667,10 @@ def check_generated(
         ))
     if store_check:
         report.mismatches.extend(check_store_identity(
+            generated.program, generated.name, grid,
+        ))
+    if region_memo_check:
+        report.mismatches.extend(check_region_memo_identity(
             generated.program, generated.name, grid,
         ))
     return report

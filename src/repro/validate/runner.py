@@ -109,12 +109,13 @@ def _run_seed(
     max_trials: int,
 ) -> SeedOutcome:
     generated = generate(seed)
-    # The store-identity check rides the same sampling cadence as the
-    # engine check: both certify an alternate evaluation route, and the
-    # store check is pure disk I/O (no nested pool), so it is safe on
-    # parallel campaigns too.
+    # The store- and region-memo-identity checks ride the same sampling
+    # cadence as the engine check: all certify an alternate evaluation
+    # route without a nested pool, so they are safe on parallel
+    # campaigns too.
     report = check_generated(generated, grid=grid, engine_jobs=engine_jobs,
-                             store_check=engine_jobs > 0)
+                             store_check=engine_jobs > 0,
+                             region_memo_check=engine_jobs > 0)
     failure = None
     if report.mismatches and shrink:
         failure = minimize_failure(

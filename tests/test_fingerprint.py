@@ -1,0 +1,206 @@
+"""Region/machine content fingerprints (``repro.schedule.fingerprint``).
+
+The region memo is only sound if the fingerprint is *canonical* —
+invariant under everything the scheduler cannot observe (register
+numbering, block ids, op uids) and sensitive to everything it can
+(opcodes, immediates, weights, exit structure, live-out sets).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import form_treegions
+from repro.ir import CompareCond, Function, IRBuilder, Opcode, RegClass, Register
+from repro.ir.analysis_cache import liveness_of
+from repro.ir.clone import clone_function
+from repro.machine import VLIW_4U, VLIW_8U, MachineModel
+from repro.schedule.fingerprint import (
+    latency_fingerprint,
+    machine_fingerprint,
+    region_fingerprint,
+)
+from repro.workloads.paper_example import build_paper_example
+
+
+def _diamond(offset=0, imm=2, use_sub=False, then_weight=None,
+             swap_targets=False):
+    """The if/else diamond with canonicalization knobs.
+
+    ``offset`` burns that many register indices before building, so the
+    op stream is an alpha-renamed twin; the other knobs change content
+    the scheduler *can* observe.
+    """
+    fn = Function("diamond", [Register(RegClass.GPR, 0)])
+    fn.regs.reserve(Register(RegClass.GPR, 0))
+    for _ in range(offset):
+        fn.regs.fresh_gpr()
+    b = IRBuilder(fn)
+    entry = b.block("entry")
+    then_bb = b.block("then")
+    else_bb = b.block("else")
+    join = b.block("join")
+
+    b.at(entry)
+    t = b.mov(0)
+    if use_sub:
+        e = b.sub(fn.params[0], 0)
+    else:
+        e = b.add(fn.params[0], 0)
+    p = b.cmpp(CompareCond.GT, fn.params[0], 0)
+    if swap_targets:
+        b.br_true(p, else_bb, then_bb)
+    else:
+        b.br_true(p, then_bb, else_bb)
+
+    b.at(then_bb)
+    b.mov(1, dest=t)
+    b.jump(join)
+
+    b.at(else_bb)
+    b.mov(imm, dest=e)
+    b.fallthrough(join)
+
+    b.at(join)
+    b.add(t, e)
+    b.ret(0)
+    if then_weight is not None:
+        then_bb.weight = then_weight
+    return fn
+
+
+def _root_fingerprint(fn):
+    partition = form_treegions(fn.cfg)
+    region = partition.region_of(fn.cfg.entry)
+    return region_fingerprint(region, liveness_of(fn.cfg))
+
+
+class TestCanonicalization:
+    def test_deterministic(self):
+        assert _root_fingerprint(_diamond()) == _root_fingerprint(_diamond())
+
+    def test_alpha_renamed_twin_equal(self):
+        # Same structure, register indices shifted by 7: the scheduler
+        # cannot tell them apart, so neither may the fingerprint.
+        assert (_root_fingerprint(_diamond())
+                == _root_fingerprint(_diamond(offset=7)))
+
+    def test_clone_equal(self):
+        fn = build_paper_example().entry_function
+        twin = clone_function(fn)
+        ours = [region_fingerprint(r, liveness_of(fn.cfg))
+                for r in form_treegions(fn.cfg)]
+        theirs = [region_fingerprint(r, liveness_of(twin.cfg))
+                  for r in form_treegions(twin.cfg)]
+        assert ours == theirs
+
+    def test_opcode_mutation_differs(self):
+        assert (_root_fingerprint(_diamond())
+                != _root_fingerprint(_diamond(use_sub=True)))
+
+    def test_immediate_mutation_differs(self):
+        assert (_root_fingerprint(_diamond())
+                != _root_fingerprint(_diamond(imm=3)))
+
+    def test_weight_mutation_differs(self):
+        assert (_root_fingerprint(_diamond())
+                != _root_fingerprint(_diamond(then_weight=40.0)))
+
+    def test_exit_structure_differs(self):
+        # Swapping the branch's taken/fallthrough targets rewires which
+        # edge reaches which block — observable through exit order.
+        assert (_root_fingerprint(_diamond())
+                != _root_fingerprint(_diamond(swap_targets=True)))
+
+    def test_distinct_regions_distinct_fingerprints(self):
+        fn = build_paper_example().entry_function
+        liveness = liveness_of(fn.cfg)
+        fingerprints = [region_fingerprint(r, liveness)
+                        for r in form_treegions(fn.cfg)]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_liveness_none_keys_differently(self):
+        fn = _diamond()
+        partition = form_treegions(fn.cfg)
+        region = partition.region_of(fn.cfg.entry)
+        with_liveness = region_fingerprint(region, liveness_of(fn.cfg))
+        # Fresh region objects: the digest is cached on the region.
+        partition = form_treegions(fn.cfg)
+        region = partition.region_of(fn.cfg.entry)
+        without = region_fingerprint(region, None)
+        assert with_liveness != without
+
+
+class TestCrossProcessStability:
+    def test_subprocess_agrees(self):
+        """Fingerprints must be stable across interpreters — they key
+        the on-disk region store.  The child runs under a different
+        PYTHONHASHSEED to prove hash-seed independence."""
+        fn = build_paper_example().entry_function
+        liveness = liveness_of(fn.cfg)
+        local = [region_fingerprint(r, liveness)
+                 for r in form_treegions(fn.cfg)]
+        code = (
+            "from repro.core import form_treegions\n"
+            "from repro.ir.analysis_cache import liveness_of\n"
+            "from repro.schedule.fingerprint import region_fingerprint\n"
+            "from repro.workloads.paper_example import build_paper_example\n"
+            "fn = build_paper_example().entry_function\n"
+            "liveness = liveness_of(fn.cfg)\n"
+            "for region in form_treegions(fn.cfg):\n"
+            "    print(region_fingerprint(region, liveness))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "271828"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in sys.path if p] + [env.get("PYTHONPATH", "")]
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env, check=True,
+        )
+        assert out.stdout.split() == local
+
+
+class TestMachineFingerprints:
+    def test_distinguishes_issue_width(self):
+        assert machine_fingerprint(VLIW_4U) != machine_fingerprint(VLIW_8U)
+
+    def test_latency_fingerprint_shared_across_widths(self):
+        # 4U and 8U differ only in issue width, which the DDG builder
+        # never reads — they must share one latency fingerprint.
+        assert latency_fingerprint(VLIW_4U) == latency_fingerprint(VLIW_8U)
+
+    def test_latency_fingerprint_sees_latency_table(self):
+        slow_loads = MachineModel(name="4U", issue_width=4,
+                                  latencies={Opcode.LD: 5})
+        assert latency_fingerprint(slow_loads) != latency_fingerprint(VLIW_4U)
+
+    def test_latency_fingerprint_sees_btr(self):
+        no_btr = MachineModel(name="4U", issue_width=4, use_btr=False)
+        assert latency_fingerprint(no_btr) != latency_fingerprint(VLIW_4U)
+
+
+class TestRegisterHash:
+    """The precomputed ``Register.__hash__`` must stay consistent with
+    equality — registers key the DDG's producer maps."""
+
+    def test_hash_matches_field_tuple(self):
+        register = Register(RegClass.GPR, 3)
+        assert hash(register) == hash((register.rclass, register.index))
+
+    def test_equal_registers_hash_equal(self):
+        assert (hash(Register(RegClass.PRED, 1))
+                == hash(Register(RegClass.PRED, 1)))
+        assert Register(RegClass.PRED, 1) == Register(RegClass.PRED, 1)
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        register = Register(RegClass.BTR, 2)
+        revived = pickle.loads(pickle.dumps(register))
+        assert revived == register
+        assert hash(revived) == hash(register)
+        assert {register: "x"}[revived] == "x"
