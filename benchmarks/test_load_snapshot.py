@@ -1,0 +1,204 @@
+"""Fleet load benchmark: a many-client soak through the TCP front-end.
+
+Drives the paper's evaluation grid through a sharded
+:class:`repro.serve.CompileFleet` behind the asyncio front-end in four
+phases —
+
+* **direct**: the reference :func:`evaluate_grid` pass;
+* **cold soak with chaos**: a small client pool computes every cell
+  once through TCP (populating the shard stores and the hot tier);
+  one third of the way in, shard 0 is killed mid-batch — the
+  supervisor restarts it and retries its in-flight keys, and the soak
+  must drop nothing.  The kill lands here, while requests are
+  genuinely in flight on shards, because once the hot tier is warm a
+  shard kill is invisible;
+* **warm soak**: the headline phase — ``REPRO_LOAD_BENCH_CLIENTS``
+  concurrent connections (default 1000), start staggered across a ramp
+  window, pushing ``REPRO_LOAD_BENCH_REQUESTS`` warm requests.
+
+— and asserts the fleet contract end to end: every payload that came
+over the wire is byte-identical to the direct pipeline's result, the
+chaos phase drops zero requests, and the warm-hit p99 stays within 2x
+of the local-store warm figure recorded in ``BENCH_serve.json``
+(0.044s), i.e. a fleet client pays at most 2x the in-process store
+pass for a warm answer even with a thousand peers connected.
+
+Results land in ``BENCH_load.json`` at the repo root.  CI smoke runs
+shrink the scale via environment knobs::
+
+    REPRO_LOAD_BENCH_BENCHMARKS=compress \
+    REPRO_LOAD_BENCH_CLIENTS=50 \
+    PYTHONPATH=src python -m pytest benchmarks/test_load_snapshot.py -s
+
+Regenerate the committed snapshot by running with no knobs set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.evaluation.engine import default_grid, evaluate_grid
+from repro.obs import MetricsRegistry
+from repro.serve import CompileFleet, result_to_payload
+from repro.serve.frontend import FrontendServer
+from repro.serve.soak import run_soak
+
+from benchmarks.conftest import emit_table
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_load.json"
+SERVE_BENCH_FILE = REPO_ROOT / "BENCH_serve.json"
+
+#: Fallback local-store warm figure when BENCH_serve.json is absent.
+DEFAULT_WARM_FIGURE = 0.044
+
+#: The acceptance bar: a warm fleet hit may cost at most this multiple
+#: of the in-process warm-store pass.
+WARM_P99_FACTOR = 2.0
+
+
+def _env_int(name, default):
+    value = os.environ.get(name)
+    return default if not value else int(value)
+
+
+def _grid():
+    subset = os.environ.get("REPRO_LOAD_BENCH_BENCHMARKS")
+    if subset:
+        return default_grid(benchmarks=[
+            name.strip() for name in subset.split(",") if name.strip()
+        ])
+    return default_grid()
+
+
+def _warm_p99_bound():
+    override = os.environ.get("REPRO_LOAD_BENCH_MAX_WARM_P99")
+    if override:
+        return float(override)
+    figure = DEFAULT_WARM_FIGURE
+    if SERVE_BENCH_FILE.exists():
+        recorded = json.loads(SERVE_BENCH_FILE.read_text()).get(
+            "service_warm_seconds")
+        if recorded:
+            figure = float(recorded)
+    return WARM_P99_FACTOR * figure
+
+
+def _check_payloads(report, direct, cells):
+    """Every wire payload byte-identical to the direct pipeline."""
+    for index, payload in report.payloads.items():
+        expected = result_to_payload(
+            payload["key"], direct[index % len(cells)])
+        assert payload == expected, f"request {index} diverged"
+
+
+def test_load_snapshot(tmp_path):
+    cells = _grid()
+    clients = _env_int("REPRO_LOAD_BENCH_CLIENTS", 1000)
+    requests = _env_int("REPRO_LOAD_BENCH_REQUESTS", 2 * clients)
+    shards = max(2, _env_int("REPRO_LOAD_BENCH_SHARDS", 2))
+    # Stagger connection setup so the soak measures the fleet, not the
+    # accept queue of one CPU swallowing a thousand simultaneous dials.
+    ramp = clients / 100.0
+    warm_p99_bound = _warm_p99_bound()
+
+    t0 = time.perf_counter()
+    direct = evaluate_grid(cells, jobs=1)
+    t_direct = time.perf_counter() - t0
+
+    registry = MetricsRegistry()
+    fleet = CompileFleet(shards=shards, jobs=1,
+                         cache_dir=str(tmp_path / "cache"),
+                         metrics=registry)
+    server = FrontendServer(fleet, "tcp://127.0.0.1:0", metrics=registry)
+    endpoint = server.start()
+    try:
+        # Cold soak with a shard kill mid-batch.  The supervisor must
+        # restart the shard and retry its keys; nothing may drop.
+        killed = []
+
+        def chaos(index):
+            if index == len(cells) // 3 and not killed:
+                killed.append(index)
+                fleet.kill_shard(0, timeout=1.0)
+
+        t0 = time.perf_counter()
+        cold = run_soak(endpoint, cells, clients=8,
+                        on_request=chaos, metrics=registry)
+        t_cold = time.perf_counter() - t0
+        assert killed, "the chaos hook never fired"
+        assert cold.dropped == 0 and not cold.errors, (
+            f"shard kill dropped {cold.dropped} request(s): "
+            f"{cold.errors[:3]}"
+        )
+        _check_payloads(cold, direct, cells)
+
+        t0 = time.perf_counter()
+        warm = run_soak(endpoint, cells, clients=clients,
+                        requests=requests, ramp_seconds=ramp,
+                        metrics=registry)
+        t_warm = time.perf_counter() - t0
+        assert warm.dropped == 0 and not warm.errors
+        _check_payloads(warm, direct, cells)
+        # Every request in the warm phase was served from a cache tier.
+        assert set(warm.as_dict()["sources"]) <= {"hot", "store"}
+
+        warm_p99 = warm.as_dict()["warm_latency"]["p99"]
+        assert warm_p99 <= warm_p99_bound, (
+            f"warm-hit p99 {warm_p99:.4f}s exceeds the "
+            f"{warm_p99_bound:.4f}s bound "
+            f"({WARM_P99_FACTOR}x the local-store warm figure)"
+        )
+        health = fleet.health()
+    finally:
+        server.stop()
+        fleet.close(drain=False)
+
+    counters = registry.snapshot()["counters"]
+    assert counters.get("fleet.shard_kills") == 1
+    assert health["shards"]["0"]["generation"] >= 1
+
+    warm_summary = warm.as_dict()
+    snapshot = {
+        "grid_cells": len(cells),
+        "shards": shards,
+        "clients": clients,
+        "requests": requests,
+        "transport": "tcp",
+        "direct_seconds": round(t_direct, 3),
+        "cold_soak_seconds": round(t_cold, 3),
+        "warm_soak_seconds": round(t_warm, 3),
+        "ramp_seconds": round(ramp, 3),
+        "sustained_qps": warm_summary["qps"],
+        "latency": warm_summary["latency"],
+        "warm_latency": warm_summary["warm_latency"],
+        "warm_p99_bound_seconds": round(warm_p99_bound, 4),
+        "sources": warm_summary["sources"],
+        "identical_to_direct": True,
+        "chaos": {
+            "phase": "cold_soak",
+            "dropped_on_shard_kill": cold.dropped,
+            "shard_kills": counters.get("fleet.shard_kills", 0),
+            "shard_restarts": counters.get("fleet.shard_restarts", 0),
+            "shard_retries": counters.get("fleet.shard_retries", 0),
+        },
+    }
+    BENCH_FILE.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    emit_table("load_snapshot", [
+        f"{'grid cells':32s} {len(cells):>12d}",
+        f"{'shards':32s} {shards:>12d}",
+        f"{'clients':32s} {clients:>12d}",
+        f"{'warm requests':32s} {requests:>12d}",
+        f"{'direct':32s} {t_direct:>11.2f}s",
+        f"{'cold soak':32s} {t_cold:>11.2f}s",
+        f"{'warm soak':32s} {t_warm:>11.2f}s",
+        f"{'sustained qps':32s} {warm_summary['qps']:>12.1f}",
+        f"{'warm p50':32s} {warm_summary['warm_latency']['p50']:>11.4f}s",
+        f"{'warm p99':32s} {warm_summary['warm_latency']['p99']:>11.4f}s",
+        f"{'warm p99 bound':32s} {warm_p99_bound:>11.4f}s",
+        f"{'dropped on shard kill':32s} {cold.dropped:>12d}",
+    ])

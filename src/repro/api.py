@@ -212,6 +212,63 @@ def cached_evaluate(
             store.close()
 
 
+def connect(endpoint, **kwargs):
+    """Dial a compile front-end; returns a connected
+    :class:`~repro.serve.client.Client` (use as a context manager).
+
+    The endpoint string is the only transport switch —
+    ``unix:///path/to.sock`` for a local socket, ``tcp://host:port``
+    for a fleet across the network, or a bare filesystem path (treated
+    as a unix socket)::
+
+        with repro.api.connect("tcp://127.0.0.1:7421") as client:
+            results = client.evaluate(cells, program)
+            client.warm(grid)           # populate the fleet's caches
+            print(client.stats())
+
+    Keyword arguments (``timeout``, ``retries``, ...) pass through to
+    :class:`~repro.serve.client.Client`.  Retries are idempotent by
+    construction: requests are content-keyed, so a resend after a
+    dropped connection dedups server-side instead of recomputing.
+    """
+    from repro.serve.client import connect as _connect
+
+    return _connect(endpoint, **kwargs)
+
+
+def open_fleet(
+    *,
+    shards: int = 2,
+    cache_dir: Optional[str] = None,
+    cache_max_mb: float = 256,
+    jobs: int = 1,
+    batch_size: int = 16,
+    max_pending: int = 256,
+    job_timeout: Optional[float] = None,
+    retries: int = 2,
+    metrics=NULL_METRICS,
+    tracer=NULL_TRACER,
+    **kwargs,
+):
+    """Open a :class:`~repro.serve.fleet.CompileFleet` in-process.
+
+    The fleet shards work by content key across ``shards`` independent
+    service+store pairs (each under ``cache_dir/shard-NN``), dedups
+    in-flight requests, serves warm hits from an in-memory hot tier,
+    and supervises/restarts failed shards.  Use as a context manager;
+    serve it over a socket with ``repro serve --endpoint ...`` or
+    :class:`~repro.serve.frontend.FrontendServer`.
+    """
+    from repro.serve.fleet import CompileFleet
+
+    return CompileFleet(
+        shards=shards, cache_dir=cache_dir, cache_max_mb=cache_max_mb,
+        jobs=jobs, batch_size=batch_size, max_pending=max_pending,
+        job_timeout=job_timeout, retries=retries, metrics=metrics,
+        tracer=tracer, **kwargs,
+    )
+
+
 def open_service(
     *,
     cache_dir: Optional[str] = None,
@@ -224,19 +281,25 @@ def open_service(
     metrics=NULL_METRICS,
     tracer=NULL_TRACER,
 ):
-    """Open a :class:`~repro.serve.service.CompileService`.
+    """Open a single :class:`~repro.serve.service.CompileService`.
 
-    With ``cache_dir`` the service fronts a persistent
-    :class:`~repro.serve.store.ArtifactStore`; without it the service
-    still batches, dedups, and retries but recomputes across runs.
-    Use as a context manager (``close(drain=True)`` on exit)::
-
-        with repro.api.open_service(cache_dir=".repro-cache") as svc:
-            results = svc.evaluate(cells)
+    .. deprecated::
+        ``open_service`` predates the fleet and remains as a shim for
+        single-shard, in-process use (it reads/writes the *unsharded*
+        store layout at ``cache_dir``).  New code should use
+        :func:`open_fleet` in-process or :func:`connect` against a
+        served endpoint.
     """
+    import warnings
+
     from repro.serve.service import CompileService
     from repro.serve.store import ArtifactStore
 
+    warnings.warn(
+        "repro.api.open_service is deprecated; use repro.api.open_fleet "
+        "(in-process) or repro.api.connect (against a served endpoint)",
+        DeprecationWarning, stacklevel=2,
+    )
     store = None
     if cache_dir is not None:
         store = ArtifactStore(cache_dir, max_mb=cache_max_mb)
@@ -345,6 +408,8 @@ __all__ = [
     "machine",
     "evaluate_grid",
     "cached_evaluate",
+    "connect",
+    "open_fleet",
     "open_service",
     "evaluate_cell",
     "simulate",

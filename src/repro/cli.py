@@ -19,10 +19,14 @@ Commands:
   diagnostic reaches ``--fail-on`` severity;
 * ``warm``     — prime the persistent artifact store for a program (or
   the built-in suite) across a scheme/machine/heuristic grid;
-* ``serve``    — long-lived batched compilation service over a Unix
-  socket (JSON-per-line protocol, backed by the artifact store);
-* ``client``   — one request against a running ``serve`` socket
+* ``serve``    — long-lived compile fleet behind an asyncio front-end
+  on ``--endpoint unix:///path`` or ``tcp://host:port`` (framed,
+  versioned protocol; content-key sharded stores; ``--shards``);
+* ``client``   — one request against a running ``serve`` endpoint
   (compile a program, ``--ping``, ``--stats``, or ``--shutdown``);
+* ``soak``     — many-client load soak against a running endpoint (or
+  a self-hosted fleet with ``--serve``); reports qps and latency
+  percentiles as JSON;
 * ``dot``      — Graphviz rendering of a function's CFG, clustered by
   region and optionally annotated with schedule cycles.
 
@@ -511,78 +515,161 @@ def cmd_warm(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    """Serve compiles over a Unix socket until a client sends shutdown."""
+def _endpoint_from_args(args) -> str:
+    """--endpoint, or the deprecated --socket PATH (→ ``unix://PATH``)."""
+    socket_path = getattr(args, "socket", None)
+    endpoint = getattr(args, "endpoint", None)
+    if endpoint and socket_path:
+        raise CLIError("pass --endpoint or --socket, not both")
+    if socket_path:
+        print("repro: note: --socket PATH is deprecated; use "
+              f"--endpoint unix://{socket_path}", file=sys.stderr)
+        return f"unix://{socket_path}"
+    if not endpoint:
+        raise CLIError("pass --endpoint unix:///path or tcp://host:port")
+    return endpoint
+
+
+def _parse_endpoint_arg(value: str):
     import socket as _socket
 
-    if not hasattr(_socket, "AF_UNIX"):
-        raise CLIError("this platform has no AF_UNIX sockets")
-    from repro.serve.wire import serve_socket
+    from repro.serve.wire import parse_endpoint
 
-    metrics, tracer = _obs_for(args)
-    service = api.open_service(
-        cache_dir=args.cache_dir, cache_max_mb=args.cache_max_mb,
-        jobs=args.jobs, batch_size=args.batch_size,
-        max_pending=args.max_pending, job_timeout=args.job_timeout,
-        retries=args.retries, metrics=metrics, tracer=tracer,
-    )
-    print(f"serving on {args.socket} "
-          f"(cache: {args.cache_dir or 'none'})", file=sys.stderr)
     try:
-        serve_socket(args.socket, service)
+        endpoint = parse_endpoint(value)
+    except ValueError as error:
+        raise CLIError(str(error))
+    if endpoint.scheme == "unix" and not hasattr(_socket, "AF_UNIX"):
+        raise CLIError("this platform has no AF_UNIX sockets; "
+                       "use a tcp:// endpoint")
+    return endpoint
+
+
+def _open_fleet(args, metrics, tracer):
+    return api.open_fleet(
+        shards=args.shards, cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb, jobs=args.jobs,
+        batch_size=args.batch_size, max_pending=args.max_pending,
+        job_timeout=args.job_timeout, retries=args.retries,
+        metrics=metrics, tracer=tracer,
+    )
+
+
+def cmd_serve(args) -> int:
+    """Serve the compile fleet until a client sends shutdown."""
+    from repro.serve.frontend import FrontendServer
+
+    endpoint = _parse_endpoint_arg(_endpoint_from_args(args))
+    metrics, tracer = _obs_for(args)
+    fleet = _open_fleet(args, metrics, tracer)
+    server = FrontendServer(fleet, endpoint, metrics=metrics)
+    try:
+        bound = server.start()
+    except OSError as error:
+        fleet.close(drain=False)
+        raise CLIError(f"cannot listen on {endpoint}: {error}")
+    print(f"serving on {bound} ({args.shards} shard(s), cache: "
+          f"{args.cache_dir or 'none'})", file=sys.stderr)
+    try:
+        server.join()
     except KeyboardInterrupt:
-        pass
+        server.stop()
     finally:
-        service.close(drain=True)
-        print(f"service stats: {service.stats()}", file=sys.stderr)
+        fleet.close(drain=True)
+        print(f"fleet stats: {fleet.stats()}", file=sys.stderr)
         _write_obs(args, metrics, tracer)
     return 0
 
 
 def cmd_client(args) -> int:
-    """One client round trip against a running ``repro serve`` socket."""
+    """One client round trip against a running ``repro serve`` endpoint."""
     import json as _json
-    import socket as _socket
 
-    if not hasattr(_socket, "AF_UNIX"):
-        raise CLIError("this platform has no AF_UNIX sockets")
-    from repro.serve.wire import request
+    from repro.api import GridCell
+    from repro.serve.client import Client, ClientError
 
-    if args.ping:
-        payload = {"op": "ping"}
-    elif args.stats:
-        payload = {"op": "stats"}
-    elif args.shutdown:
-        payload = {"op": "shutdown"}
-    else:
-        if args.file is None:
-            raise CLIError(
-                "pass FILE to compile, or one of --ping/--stats/--shutdown"
-            )
-        program = _load_program(args.file, optimize=args.optimize)
-        if args.args is not None:
-            profile_program(program, inputs=[_parse_args_list(args.args)])
-        _scheme(args.scheme)  # validate specs client-side
-        _machine(args.machine)
-        payload = {
-            "op": "compile",
-            "program_text": format_program(program),
-            "cell": {
-                "benchmark": args.file,
-                "scheme": args.scheme,
-                "machine": args.machine,
-                "heuristic": args.heuristic,
-                "dominator_parallelism": True,
-            },
-        }
+    endpoint = _parse_endpoint_arg(_endpoint_from_args(args))
+    if not (args.ping or args.stats or args.shutdown) and args.file is None:
+        raise CLIError("pass FILE to compile, or one of "
+                       "--ping/--stats/--shutdown")
     try:
-        response = request(args.socket, payload, timeout=args.timeout)
+        with Client(endpoint, timeout=args.timeout) as client:
+            if args.ping:
+                reply = client.ping()
+                output = {"ok": True, "healthy": reply.healthy,
+                          "protocol": reply.protocol_version,
+                          "schema": reply.schema, "shards": reply.shards}
+            elif args.stats:
+                output = {"ok": True, "stats": client.stats()}
+            elif args.shutdown:
+                client.shutdown()
+                output = {"ok": True, "shutdown": True}
+            else:
+                program = _load_program(args.file, optimize=args.optimize)
+                if args.args is not None:
+                    profile_program(program,
+                                    inputs=[_parse_args_list(args.args)])
+                _scheme(args.scheme)  # validate specs client-side
+                _machine(args.machine)
+                cell = GridCell(args.file, args.scheme, args.machine,
+                                args.heuristic, dominator_parallelism=True)
+                reply = client.submit(
+                    cell, program_text=format_program(program))
+                output = {"ok": True, "cached": reply.cached,
+                          "attempts": reply.attempts,
+                          "shard": reply.shard, "source": reply.source,
+                          "result": reply.result}
+    except ClientError as error:
+        raise CLIError(str(error))
     except OSError as error:
-        raise CLIError(f"cannot reach service at {args.socket}: {error}")
-    print(_json.dumps(response, indent=2, sort_keys=True))
-    if not response.get("ok"):
-        raise CLIError(response.get("error", "service reported failure"))
+        raise CLIError(f"cannot reach service at {endpoint}: {error}")
+    print(_json.dumps(output, indent=2, sort_keys=True))
     return 0
+
+
+def cmd_soak(args) -> int:
+    """Many-client soak against a compile front-end; JSON report out."""
+    import json as _json
+
+    from repro.serve.soak import run_soak
+
+    from repro.workloads.specint import BENCHMARK_NAMES
+
+    names = (args.benchmarks.split(",") if args.benchmarks
+             else list(BENCHMARK_NAMES))
+    cells = []
+    for name in names:
+        cells.extend(_warm_grid(args, name))
+    if not cells:
+        raise CLIError("the soak grid is empty; pass --benchmarks/--grid")
+    metrics, tracer = _obs_for(args)
+
+    server = fleet = None
+    if args.serve:
+        from repro.serve.frontend import FrontendServer
+
+        fleet = _open_fleet(args, metrics, tracer)
+        server = FrontendServer(
+            fleet, args.endpoint or "tcp://127.0.0.1:0", metrics=metrics)
+        endpoint = server.start()
+        print(f"soak fleet serving on {endpoint}", file=sys.stderr)
+    else:
+        endpoint = _parse_endpoint_arg(_endpoint_from_args(args))
+    try:
+        report = run_soak(
+            endpoint, cells, clients=args.clients,
+            requests=args.requests, ramp_seconds=args.ramp,
+            metrics=metrics,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+        if fleet is not None:
+            fleet.close(drain=False)
+    summary = report.as_dict()
+    print(_json.dumps(summary, indent=2, sort_keys=True))
+    _write_obs(args, metrics, tracer)
+    return 0 if report.dropped == 0 and not report.errors else 1
 
 
 # ----------------------------------------------------------------------
@@ -768,42 +855,54 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(p)
     p.set_defaults(func=cmd_warm)
 
+    def endpoint_flags(p):
+        p.add_argument("--endpoint", default=None, metavar="URL",
+                       help="unix:///path/to.sock or tcp://host:port")
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="deprecated alias for --endpoint unix://PATH")
+
+    def fleet_flags(p):
+        p.add_argument("--shards", type=int, default=2,
+                       help="service+store shards in the fleet "
+                            "(default: 2)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per shard")
+        p.add_argument("--batch-size", type=int, default=16,
+                       dest="batch_size",
+                       help="max jobs coalesced into one dispatch")
+        p.add_argument("--max-pending", type=int, default=256,
+                       dest="max_pending",
+                       help="per-shard intake queue bound (backpressure)")
+        p.add_argument("--job-timeout", type=float, default=None,
+                       dest="job_timeout", metavar="SECONDS",
+                       help="per-dispatch timeout before a retry")
+        p.add_argument("--retries", type=int, default=2,
+                       help="extra attempts for crashed/timed-out "
+                            "dispatches")
+
     p = sub.add_parser(
         "serve",
-        help="batched compilation service over a Unix socket",
+        help="compile fleet behind an asyncio front-end",
     )
-    p.add_argument("--socket", required=True, metavar="PATH",
-                   help="Unix socket path to listen on")
-    p.add_argument("--jobs", type=int, default=2,
-                   help="worker processes in the service pool")
-    p.add_argument("--batch-size", type=int, default=16,
-                   dest="batch_size",
-                   help="max jobs coalesced into one dispatch")
-    p.add_argument("--max-pending", type=int, default=256,
-                   dest="max_pending",
-                   help="intake queue bound (backpressure)")
-    p.add_argument("--job-timeout", type=float, default=None,
-                   dest="job_timeout", metavar="SECONDS",
-                   help="per-dispatch timeout before a retry")
-    p.add_argument("--retries", type=int, default=2,
-                   help="extra attempts for crashed/timed-out dispatches")
+    endpoint_flags(p)
+    fleet_flags(p)
     cache_flags(p)
     obs_flags(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "client",
-        help="send one request to a running 'repro serve' socket",
+        help="send one request to a running 'repro serve' endpoint",
     )
     p.add_argument("file", nargs="?", default=None,
                    help="program to compile remotely")
-    p.add_argument("--socket", required=True, metavar="PATH")
+    endpoint_flags(p)
     p.add_argument("--ping", action="store_true",
-                   help="health-check the service")
+                   help="health-check the fleet")
     p.add_argument("--stats", action="store_true",
-                   help="fetch service + store statistics")
+                   help="fetch fleet + store statistics")
     p.add_argument("--shutdown", action="store_true",
-                   help="ask the service to shut down")
+                   help="ask the front-end to shut down")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="socket timeout in seconds")
     p.add_argument("--args", nargs="*", default=None,
@@ -812,6 +911,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="apply classic optimizations first")
     common(p)
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser(
+        "soak",
+        help="many-client load soak against a compile front-end",
+    )
+    endpoint_flags(p)
+    p.add_argument("--serve", action="store_true",
+                   help="self-host a fleet for the soak (ephemeral "
+                        "tcp://127.0.0.1:0 unless --endpoint is given)")
+    p.add_argument("--clients", type=int, default=32,
+                   help="concurrent client connections (default: 32)")
+    p.add_argument("--requests", type=int, default=None,
+                   help="total requests (default: one per grid cell; "
+                        "more than that measures warm traffic)")
+    p.add_argument("--ramp", type=float, default=0.0, metavar="SECONDS",
+                   help="stagger client start-up across this window")
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated built-in subset")
+    p.add_argument("--grid", default=None, metavar="SPEC",
+                   help="axes, e.g. 'schemes=bb,treegion;machines=4U'")
+    fleet_flags(p)
+    cache_flags(p)
+    obs_flags(p)
+    p.set_defaults(func=cmd_soak)
 
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")

@@ -74,6 +74,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[int]:
+        """Upper-bound estimate of the ``q``-th percentile (0 < q <= 100).
+
+        Power-of-two buckets bound a value to within 2x: the answer is
+        the largest value the bucket holding that rank can contain,
+        clamped to the observed min/max.  Exact-percentile callers (the
+        load benchmark's latency gate) keep raw samples instead; this
+        is for merged histograms where the samples are gone.
+        """
+        if not self.count:
+            return None
+        rank = max(1, int(-(-self.count * q // 100)))  # ceil(count*q/100)
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= rank:
+                upper = (1 << bucket) - 1 if bucket else 0
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                if self.min is not None:
+                    upper = max(upper, self.min)
+                return int(upper)
+        return self.max
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,

@@ -1,6 +1,6 @@
-"""Persistent artifact store + batched compilation service.
+"""Persistent artifact store, batched compile service, and the fleet.
 
-Two layers (see DESIGN.md §10):
+The layers, bottom up (see DESIGN.md §10–§12):
 
 * :mod:`repro.serve.store` — a content-addressed, disk-backed cache of
   grid-cell schedule results, keyed by SHA-256 of (canonical IR text,
@@ -12,10 +12,20 @@ Two layers (see DESIGN.md §10):
   multiprocessing worker, retries crashed/timed-out dispatches with
   backoff, applies backpressure through a bounded queue, and shuts
   down gracefully.  Results are bit-identical to
-  :func:`repro.api.evaluate_grid`.
-
-:mod:`repro.serve.wire` exposes the service over a JSON-over-Unix-
-socket protocol (``repro serve --socket`` / ``repro client``).
+  :func:`repro.api.evaluate_grid`;
+* :mod:`repro.serve.router` + :mod:`repro.serve.fleet` — a
+  :class:`CompileFleet` of N service+store shards, each exclusively
+  owning a content-key slice, with an in-memory hot tier, in-flight
+  dedup, warm-replica reads, and supervised shard restart;
+* :mod:`repro.serve.wire` — framed, versioned JSON protocol with typed
+  messages and structured error codes over ``unix://`` / ``tcp://``
+  endpoints;
+* :mod:`repro.serve.frontend` / :mod:`repro.serve.client` — the
+  asyncio server multiplexing thousands of connections onto one fleet,
+  and the synchronous :class:`Client` behind
+  :func:`repro.api.connect`;
+* :mod:`repro.serve.soak` — the many-client load harness behind
+  ``repro soak`` and ``benchmarks/test_load_snapshot.py``.
 """
 
 from repro.serve.jobs import (
@@ -25,6 +35,7 @@ from repro.serve.jobs import (
     ServeError,
     ServiceClosedError,
     ServiceSaturatedError,
+    ShardDownError,
 )
 from repro.serve.service import CompileService, resolve_program_text
 from repro.serve.store import (
@@ -35,20 +46,40 @@ from repro.serve.store import (
     result_to_payload,
     store_schema,
 )
+from repro.serve.router import KeyRouter, request_key
+from repro.serve.fleet import CompileFleet
+from repro.serve.wire import Endpoint, ErrorCode, parse_endpoint
+from repro.serve.client import Client, ClientError, connect
+from repro.serve.frontend import FleetFrontend, FrontendServer
+from repro.serve.soak import SoakReport, run_soak
 
 __all__ = [
     "ArtifactStore",
+    "Client",
+    "ClientError",
+    "CompileFleet",
     "CompileService",
+    "Endpoint",
+    "ErrorCode",
+    "FleetFrontend",
+    "FrontendServer",
     "JobFailedError",
     "JobHandle",
     "JobRequest",
+    "KeyRouter",
     "ServeError",
     "ServiceClosedError",
     "ServiceSaturatedError",
+    "ShardDownError",
+    "SoakReport",
     "cell_key",
+    "connect",
     "machine_fingerprint",
+    "parse_endpoint",
+    "request_key",
     "resolve_program_text",
     "result_from_payload",
     "result_to_payload",
+    "run_soak",
     "store_schema",
 ]

@@ -1,0 +1,285 @@
+"""Transport-agnostic client for the compile fleet.
+
+:func:`repro.api.connect` returns a :class:`Client`; the endpoint
+string (``unix:///path`` or ``tcp://host:port``) is the only thing
+that distinguishes a local socket from a TCP fleet.  One client owns
+one connection, performs the versioned handshake on connect, and
+retries transient failures safely: every compile is keyed by content
+(the server dedups in-flight work and serves settled work from its
+caches), so resending a request after a dropped connection or a
+``SATURATED``/``SHARD_DOWN``/``TIMEOUT`` reply can never run the same
+job twice.
+
+The client is deliberately synchronous — one request outstanding per
+connection.  Fleet-scale concurrency comes from many clients (see
+:mod:`repro.serve.soak`), which is also the shape real callers have.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.evaluation.engine import CellResult, GridCell
+from repro.ir.printer import format_program
+from repro.serve.jobs import ServeError
+from repro.serve.wire import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CompileReply,
+    CompileRequest,
+    ErrorCode,
+    ErrorReply,
+    FrameError,
+    Hello,
+    HelloReply,
+    PingReply,
+    PingRequest,
+    Reply,
+    Request,
+    ShutdownReply,
+    ShutdownRequest,
+    StatsReply,
+    StatsRequest,
+    parse_endpoint,
+    recv_frame,
+    reply_from_wire,
+    request_to_wire,
+    send_frame,
+)
+from repro.serve.store import result_from_payload
+
+
+class ClientError(ServeError):
+    """The server answered with a structured error reply."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+#: Error codes worth an idempotent resend (content keying makes the
+#: retry safe: an already-accepted request dedups server-side).
+RETRYABLE_CODES = frozenset({
+    ErrorCode.SATURATED,
+    ErrorCode.SHARD_DOWN,
+    ErrorCode.TIMEOUT,
+})
+
+
+class Client:
+    """One connection to a compile front-end.
+
+    ::
+
+        with connect("tcp://127.0.0.1:7421") as client:
+            results = client.evaluate(cells, program)
+    """
+
+    def __init__(
+        self,
+        endpoint,
+        *,
+        timeout: float = 120.0,
+        connect_timeout: float = 10.0,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        client_name: str = "repro-client",
+        sleep=time.sleep,
+    ) -> None:
+        self.endpoint = parse_endpoint(endpoint)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.max_frame_bytes = max_frame_bytes
+        self.client_name = client_name
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        #: The server's handshake reply (protocol, schema, shard count).
+        self.server_info: Optional[HelloReply] = None
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> "Client":
+        """Dial the endpoint and perform the version handshake."""
+        if self._sock is not None:
+            return self
+        if self.endpoint.scheme == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            sock.connect(self.endpoint.path)
+        else:
+            sock = socket.create_connection(
+                (self.endpoint.host, self.endpoint.port),
+                timeout=self.connect_timeout,
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        try:
+            reply = self._roundtrip(Hello(
+                protocol_version=PROTOCOL_VERSION, client=self.client_name,
+            ))
+        except BaseException:
+            self.close()
+            raise
+        if isinstance(reply, ErrorReply):
+            self.close()
+            raise ClientError(reply.code, reply.message)
+        if not isinstance(reply, HelloReply):
+            self.close()
+            raise ClientError(ErrorCode.INTERNAL,
+                              f"unexpected handshake reply: {reply!r}")
+        self.server_info = reply
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self.server_info = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def __enter__(self) -> "Client":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _roundtrip(self, request: Request) -> Reply:
+        assert self._sock is not None, "client is not connected"
+        send_frame(self._sock, request_to_wire(request))
+        raw = recv_frame(self._sock, self.max_frame_bytes)
+        if raw is None:
+            raise ConnectionError("server closed the connection")
+        return reply_from_wire(raw)
+
+    def _call(self, request: Request) -> Reply:
+        """One request with reconnect-and-resend on transient failure."""
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._sleep(self.retry_backoff * attempt)
+            try:
+                self.connect()
+                reply = self._roundtrip(request)
+            except (ConnectionError, socket.timeout, OSError,
+                    FrameError) as error:
+                self.close()
+                last = error
+                continue
+            if isinstance(reply, ErrorReply):
+                if reply.code in RETRYABLE_CODES:
+                    last = ClientError(reply.code, reply.message)
+                    continue
+                raise ClientError(reply.code, reply.message)
+            return reply
+        assert last is not None
+        raise last
+
+    # -- operations ------------------------------------------------------
+
+    def submit(
+        self,
+        cell: GridCell,
+        *,
+        program_text: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> CompileReply:
+        """Compile one cell; returns the full reply (result + metadata)."""
+        reply = self._call(CompileRequest(
+            cell=cell, program_text=program_text, timeout=timeout,
+        ))
+        if not isinstance(reply, CompileReply):
+            raise ClientError(ErrorCode.INTERNAL,
+                              f"unexpected compile reply: {reply!r}")
+        return reply
+
+    def evaluate(
+        self,
+        cells: Sequence[GridCell],
+        program=None,
+        *,
+        program_text: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[CellResult]:
+        """Compile a batch of cells, preserving order."""
+        if program is not None and program_text is None:
+            program_text = format_program(program)
+        return [
+            result_from_payload(
+                self.submit(cell, program_text=program_text,
+                            timeout=timeout).result)
+            for cell in cells
+        ]
+
+    def warm(
+        self,
+        cells: Sequence[GridCell],
+        program=None,
+        *,
+        program_text: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Drive ``cells`` through the fleet to populate its caches.
+
+        Returns ``{"cells": n, "cached": hits, "computed": misses}``.
+        """
+        if program is not None and program_text is None:
+            program_text = format_program(program)
+        cached = computed = 0
+        for cell in cells:
+            reply = self.submit(cell, program_text=program_text,
+                                timeout=timeout)
+            if reply.cached:
+                cached += 1
+            else:
+                computed += 1
+        return {"cells": cached + computed, "cached": cached,
+                "computed": computed}
+
+    def ping(self) -> PingReply:
+        reply = self._call(PingRequest())
+        if not isinstance(reply, PingReply):
+            raise ClientError(ErrorCode.INTERNAL,
+                              f"unexpected ping reply: {reply!r}")
+        return reply
+
+    def stats(self) -> Dict:
+        reply = self._call(StatsRequest())
+        if not isinstance(reply, StatsReply):
+            raise ClientError(ErrorCode.INTERNAL,
+                              f"unexpected stats reply: {reply!r}")
+        return reply.stats
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (no retry — shutdown is not idempotent
+        against a server that already went away)."""
+        self.connect()
+        reply = self._roundtrip(ShutdownRequest())
+        if isinstance(reply, ErrorReply):
+            raise ClientError(reply.code, reply.message)
+        if not isinstance(reply, ShutdownReply):
+            raise ClientError(ErrorCode.INTERNAL,
+                              f"unexpected shutdown reply: {reply!r}")
+        self.close()
+
+
+def connect(endpoint, **kwargs) -> Client:
+    """Dial a compile front-end and return a connected :class:`Client`.
+
+    Accepts ``unix:///path/to.sock``, ``tcp://host:port``, a bare
+    filesystem path (treated as a unix socket), or an
+    :class:`~repro.serve.wire.Endpoint`.
+    """
+    return Client(endpoint, **kwargs).connect()

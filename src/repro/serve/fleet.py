@@ -1,0 +1,525 @@
+"""The compile fleet: N sharded services behind one submit surface.
+
+:class:`CompileFleet` scales PR 5's single :class:`CompileService` to a
+fleet of worker shards, each exclusively owning one
+:class:`~repro.serve.store.ArtifactStore` shard (``<cache>/shard-00``,
+``shard-01``, ...) and its own process pool.  Requests route by content
+key (:mod:`repro.serve.router`), which makes the whole design correct
+by construction: the key determines the answer, so the owner shard is a
+pure function of the request and identical requests always meet at the
+same shard.
+
+On top of routing the fleet adds the layers a production front end
+needs:
+
+* **hot tier** — a bounded in-memory LRU of finished results; the
+  steady-state warm hit costs one dict lookup, no disk, no shard;
+* **idempotent dedup** — an in-flight map keyed by content key.  A
+  client that retries a request the fleet already accepted (dropped
+  connection, duplicate submission) collapses onto the existing
+  handle; nothing is ever computed or dispatched twice
+  (``fleet.deduped``);
+* **warm-replica reads** — when the owner shard's store misses, the
+  other shards' stores are probed read-only and a hit is adopted into
+  the owner (``fleet.replica_reads``).  This is what makes resizing
+  the fleet cheap: a key whose owner changed is re-read, not
+  recomputed;
+* **supervision** — a supervisor thread health-checks every shard and
+  restarts dead ones (a fresh :class:`CompileService` over the same
+  store — PR 5's executor-recycling machinery handles the pool level,
+  this handles the service level).  A shard dying mid-batch fails only
+  its in-flight keys; those are retried on the restarted shard
+  (``fleet.shard_retries``), every other shard's queue untouched.
+  Only *infrastructure* failures are retried
+  (:class:`JobFailedError` ``retryable``/:class:`ServiceClosedError`);
+  a deterministically failing job fails fast, exactly once;
+* **per-shard backpressure** — a saturated shard raises
+  :class:`ServiceSaturatedError` from ``submit`` without touching the
+  other shards, so one hot key range cannot wedge the fleet.
+
+Results remain bit-identical to :func:`repro.api.evaluate_grid` on
+every path: the shards run the engine's own worker, the stores
+round-trip losslessly, and the hot tier holds the very objects the
+shards resolved.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.evaluation.engine import CellResult, GridCell
+from repro.ir.function import Program
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+from repro.serve.jobs import (
+    JobFailedError,
+    JobHandle,
+    JobRequest,
+    ServiceClosedError,
+    ServiceSaturatedError,
+    ShardDownError,
+)
+from repro.serve.router import KeyRouter, request_key
+from repro.serve.service import CompileService
+from repro.serve.store import ArtifactStore
+
+_STOP = object()
+
+
+class _LockedMetrics:
+    """A registry adapter serializing updates from many shard threads.
+
+    The plain :class:`~repro.obs.metrics.MetricsRegistry` is mutated
+    lock-free on the (single-threaded) pipeline hot path; a fleet has N
+    dispatcher threads, the supervisor, and the front-end loop all
+    counting into one registry, so read-modify-write updates need a
+    lock to stay exact.
+    """
+
+    __slots__ = ("_inner", "_lock")
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._inner.inc(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._inner.gauge(name, value)
+
+    def observe(self, name: str, value) -> None:
+        with self._lock:
+            self._inner.observe(name, value)
+
+    def merge(self, other) -> None:
+        with self._lock:
+            self._inner.merge(other)
+
+    def merge_snapshot(self, data) -> None:
+        with self._lock:
+            self._inner.merge_snapshot(data)
+
+
+@dataclass
+class FleetHandle(JobHandle):
+    """A fleet-level job handle with routing provenance."""
+
+    #: Index of the shard that (last) ran the job; -1 for hot hits.
+    shard: int = -1
+    #: Fleet-level retry rounds spent (shard deaths survived).
+    fleet_attempts: int = 0
+    #: Where the result came from: ``hot`` | ``store`` | ``computed``.
+    source: str = "computed"
+
+
+class _Shard:
+    """One worker shard: a service plus the store it exclusively owns."""
+
+    __slots__ = ("index", "store", "service", "up", "generation")
+
+    def __init__(self, index: int, store: Optional[ArtifactStore],
+                 service: CompileService):
+        self.index = index
+        self.store = store
+        self.service = service
+        self.up = True
+        self.generation = 0
+
+
+class CompileFleet:
+    """Content-key-sharded fleet of :class:`CompileService` workers.
+
+    Args:
+        shards: Worker shard count (each shard = one service + one
+            store shard + one process pool).
+        cache_dir: Root of the sharded persistent store; None disables
+            the disk tier (hot tier and dedup still apply).
+        cache_max_mb: Total store bound, split evenly across shards.
+        jobs: Worker processes *per shard*.
+        batch_size / max_pending / job_timeout / retries: Per-shard
+            :class:`CompileService` knobs (see its docstring).
+        shard_retries: Fleet-level retry budget per request across
+            shard failures (restart + resubmit rounds).
+        hot_cache: Entry bound of the in-memory result tier (0 = off).
+        health_interval: Seconds between supervisor health sweeps.
+        service_kwargs: Extra :class:`CompileService` keyword arguments
+            (tests inject crashing workers and no-op sleeps here).
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        cache_dir: Optional[str] = None,
+        cache_max_mb: float = 256.0,
+        jobs: int = 1,
+        batch_size: int = 16,
+        max_pending: int = 256,
+        job_timeout: Optional[float] = None,
+        retries: int = 2,
+        shard_retries: int = 2,
+        hot_cache: int = 4096,
+        health_interval: float = 0.5,
+        retry_backoff: float = 0.02,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
+        sleep: Callable[[float], None] = time.sleep,
+        service_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.router = KeyRouter(shards)
+        self.metrics = _LockedMetrics(metrics)
+        self.tracer = tracer
+        self.jobs = jobs
+        self.batch_size = batch_size
+        self.max_pending = max_pending
+        self.job_timeout = job_timeout
+        self.retries = retries
+        self.shard_retries = max(0, shard_retries)
+        self.hot_cache = max(0, hot_cache)
+        self.health_interval = health_interval
+        self.retry_backoff = retry_backoff
+        self._sleep = sleep
+        self._service_kwargs = dict(service_kwargs or {})
+        self._hot: "OrderedDict[str, CellResult]" = OrderedDict()
+        self._hot_lock = threading.Lock()
+        self._inflight: Dict[str, FleetHandle] = {}
+        self._lock = threading.Lock()
+        self._restart_lock = threading.Lock()
+        self._closed = False       # no new submissions
+        self._stopping = False     # no more fleet-level retries
+        self._shards: List[_Shard] = []
+        for index in range(shards):
+            store = None
+            if cache_dir is not None:
+                store = ArtifactStore(
+                    os.path.join(cache_dir, f"shard-{index:02d}"),
+                    max_mb=cache_max_mb / shards,
+                )
+            shard = _Shard(index, store, service=None)  # type: ignore
+            shard.service = self._make_service(shard)
+            self._shards.append(shard)
+        self._events: "queue.Queue[object]" = queue.Queue()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-fleet-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+
+    # -- shard lifecycle -------------------------------------------------
+
+    def _make_service(self, shard: _Shard) -> CompileService:
+        return CompileService(
+            store=shard.store, jobs=self.jobs,
+            batch_size=self.batch_size, max_pending=self.max_pending,
+            job_timeout=self.job_timeout, retries=self.retries,
+            metrics=self.metrics, tracer=self.tracer,
+            **self._service_kwargs,
+        )
+
+    def _restart_shard(self, shard: _Shard) -> None:
+        with self._restart_lock:
+            if shard.up and shard.service.alive:
+                return
+            try:
+                shard.service.close(drain=False, timeout=5.0)
+            except Exception:
+                pass
+            shard.service = self._make_service(shard)
+            shard.generation += 1
+            shard.up = True
+        self.metrics.inc("fleet.shard_restarts")
+
+    def kill_shard(self, index: int, timeout: float = 30.0) -> None:
+        """Abruptly take one shard down (fault injection / ops drills).
+
+        Its queued jobs fail with :class:`ServiceClosedError` and are
+        retried by the supervisor on the restarted shard; jobs already
+        dispatched to the pool still complete.  Other shards never
+        notice.
+        """
+        shard = self._shards[index]
+        shard.up = False
+        self.metrics.inc("fleet.shard_kills")
+        shard.service.close(drain=False, timeout=timeout)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness of every shard (the ``ping`` op's payload)."""
+        shards = {}
+        healthy = True
+        for shard in self._shards:
+            alive = shard.up and shard.service.alive
+            healthy = healthy and alive
+            shards[str(shard.index)] = {
+                "up": shard.up,
+                "alive": shard.service.alive,
+                "generation": shard.generation,
+            }
+        return {"healthy": healthy and not self._closed, "shards": shards}
+
+    # -- the hot tier ----------------------------------------------------
+
+    def _hot_get(self, key: str) -> Optional[CellResult]:
+        if not self.hot_cache:
+            return None
+        with self._hot_lock:
+            result = self._hot.get(key)
+            if result is not None:
+                self._hot.move_to_end(key)
+            return result
+
+    def _hot_put(self, key: str, result: CellResult) -> None:
+        if not self.hot_cache:
+            return
+        with self._hot_lock:
+            self._hot[key] = result
+            self._hot.move_to_end(key)
+            while len(self._hot) > self.hot_cache:
+                self._hot.popitem(last=False)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> FleetHandle:
+        """Route one request to its owner shard; returns its handle.
+
+        Identical in-flight requests share one handle (idempotency by
+        content key); hot-tier hits resolve immediately.  Raises
+        :class:`ServiceSaturatedError` when the owner shard's intake is
+        full (the request was NOT accepted — safe to retry) and
+        :class:`ServiceClosedError` after shutdown began.
+        """
+        if self._closed:
+            raise ServiceClosedError("fleet is shut down")
+        self.metrics.inc("fleet.requests")
+        key = request_key(request)
+        hot = self._hot_get(key)
+        if hot is not None:
+            self.metrics.inc("fleet.hot_hits")
+            handle = FleetHandle(key=key, request=request, cached=True,
+                                 source="hot")
+            handle.resolve(hot)
+            return handle
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.metrics.inc("fleet.deduped")
+                return existing
+            handle = FleetHandle(key=key, request=request)
+            self._inflight[key] = handle
+        try:
+            self._dispatch(handle)
+        except Exception:
+            with self._lock:
+                self._inflight.pop(key, None)
+            raise
+        return handle
+
+    def evaluate(
+        self,
+        cells: Sequence[GridCell],
+        program: Optional[Program] = None,
+        program_text: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[CellResult]:
+        """Submit every cell and block for the results, in input order."""
+        if program is not None and program_text is None:
+            from repro.ir.printer import format_program
+
+            program_text = format_program(program)
+        handles = [
+            self.submit(JobRequest(cell=cell, program_text=program_text))
+            for cell in cells
+        ]
+        return [handle.result(timeout) for handle in handles]
+
+    # -- routing ---------------------------------------------------------
+
+    def _replica_read(self, owner: _Shard, key: str) -> None:
+        """Adopt ``key`` into the owner's store from any warm replica."""
+        store = owner.service.store
+        if store is None or key in store:
+            return
+        for other in self._shards:
+            replica = other.service.store
+            if other is owner or replica is None or key not in replica:
+                continue
+            result = replica.get(key)
+            if result is not None:
+                store.put(key, result)
+                self.metrics.inc("fleet.replica_reads")
+                return
+
+    def _dispatch(self, handle: FleetHandle) -> None:
+        """Submit ``handle`` to its owner shard (restarting it first if
+        it is down); chains completion back through the fleet."""
+        shard = self._shards[self.router.shard_for(handle.key)]
+        for _ in range(2):
+            if not shard.up or not shard.service.alive:
+                self._restart_shard(shard)
+            self._replica_read(shard, handle.key)
+            try:
+                inner = shard.service.submit(handle.request)
+            except ServiceClosedError:
+                # Lost a race with the shard going down; restart once.
+                shard.up = False
+                continue
+            handle.shard = shard.index
+            inner.add_done_callback(
+                lambda done, h=handle: self._on_inner_done(h, done)
+            )
+            return
+        raise ShardDownError(
+            f"shard {shard.index} would not accept work after a restart"
+        )
+
+    def _on_inner_done(self, handle: FleetHandle,
+                       inner: JobHandle) -> None:
+        error = inner.error
+        if error is None:
+            handle.cached = inner.cached
+            handle.attempts = inner.attempts
+            handle.source = "store" if inner.cached else "computed"
+            self._finish(handle, inner.result(0))
+            return
+        retryable = isinstance(error, ServiceClosedError) or (
+            isinstance(error, JobFailedError) and error.retryable
+        )
+        if retryable and not self._stopping \
+                and handle.fleet_attempts < self.shard_retries:
+            handle.fleet_attempts += 1
+            self.metrics.inc("fleet.shard_retries")
+            self._events.put(("retry", handle))
+            return
+        self._fail(handle, error)
+
+    def _finish(self, handle: FleetHandle, result: CellResult) -> None:
+        self._hot_put(handle.key, result)
+        with self._lock:
+            self._inflight.pop(handle.key, None)
+        self.metrics.inc("fleet.completed")
+        handle.resolve(result)
+
+    def _fail(self, handle: FleetHandle, error: BaseException) -> None:
+        with self._lock:
+            self._inflight.pop(handle.key, None)
+        self.metrics.inc("fleet.failed")
+        handle.fail(error)
+
+    # -- supervision -----------------------------------------------------
+
+    def _supervise(self) -> None:
+        while True:
+            try:
+                event = self._events.get(timeout=self.health_interval)
+            except queue.Empty:
+                self._health_sweep()
+                continue
+            if event is _STOP:
+                break
+            _, handle = event
+            self._sleep(self.retry_backoff)
+            try:
+                self._dispatch(handle)
+            except ServiceSaturatedError as error:
+                if not self._stopping \
+                        and handle.fleet_attempts < self.shard_retries:
+                    handle.fleet_attempts += 1
+                    self.metrics.inc("fleet.shard_retries")
+                    self._events.put(("retry", handle))
+                else:
+                    self._fail(handle, error)
+            except Exception as error:  # ShardDownError and surprises
+                self._fail(handle, error)
+        # Fail whatever retries were still queued behind the sentinel.
+        while True:
+            try:
+                event = self._events.get_nowait()
+            except queue.Empty:
+                break
+            if event is _STOP:
+                continue
+            self._fail(event[1], ServiceClosedError("fleet shut down"))
+
+    def _health_sweep(self) -> None:
+        for shard in self._shards:
+            if shard.up and not shard.service.alive:
+                shard.up = False
+                self.metrics.inc("fleet.shard_deaths")
+            if not shard.up and not self._closed:
+                self._restart_shard(shard)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until everything currently accepted has resolved."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                pending = list(self._inflight.values())
+            if not pending:
+                return
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            for handle in pending:
+                handle._event.wait(remaining)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError("fleet flush timed out")
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Stop the fleet.
+
+        ``drain=True`` finishes accepted work first (shard retries stay
+        live until the drain completes); ``drain=False`` fails queued
+        and retrying jobs with :class:`ServiceClosedError`.
+        """
+        if self._closed and not self._supervisor.is_alive():
+            return
+        self._closed = True
+        if drain:
+            self.flush(timeout)
+        self._stopping = True
+        self._events.put(_STOP)
+        self._supervisor.join(timeout)
+        for shard in self._shards:
+            shard.service.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "CompileFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=True)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self.router.shards
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            inflight = len(self._inflight)
+        with self._hot_lock:
+            hot_entries = len(self._hot)
+        return {
+            "shards": [
+                {
+                    "index": shard.index,
+                    "up": shard.up,
+                    "generation": shard.generation,
+                    "service": shard.service.stats(),
+                }
+                for shard in self._shards
+            ],
+            "router": {"shards": self.router.shards},
+            "hot": {"entries": hot_entries, "max": self.hot_cache},
+            "inflight": inflight,
+            "closed": self._closed,
+        }

@@ -5,7 +5,10 @@ grid cell — in plain, hashable data, so identical requests submitted
 while the first is still in flight collapse onto one computation.  A
 :class:`JobHandle` is the caller's ticket: it resolves exactly once,
 either with a :class:`~repro.evaluation.engine.CellResult` or with an
-error, and :meth:`JobHandle.result` blocks until then.
+error, and :meth:`JobHandle.result` blocks until then.  Completion
+callbacks (:meth:`JobHandle.add_done_callback`) let event-driven
+callers — the asyncio front-end, the fleet's retry chain — react
+without parking a thread per pending job.
 
 The error taxonomy mirrors the service's failure edges:
 
@@ -13,15 +16,20 @@ The error taxonomy mirrors the service's failure edges:
   (backpressure; retry later or raise ``max_pending``);
 * :class:`ServiceClosedError` — submitted after shutdown began, or the
   job was cancelled by a non-draining shutdown;
-* :class:`JobFailedError` — the job exhausted its retry budget (worker
-  crash or per-dispatch timeout each time).
+* :class:`JobFailedError` — the job exhausted its retry budget.  Its
+  ``retryable`` flag separates infrastructure failures (worker crash or
+  timeout every attempt — another shard or a restarted pool may well
+  succeed) from deterministic job failures (replaying the job fails
+  identically, so nothing above this layer should retry it);
+* :class:`ShardDownError` — the fleet routed to a shard that is down
+  and could not be restarted within the retry budget.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.evaluation.engine import CellResult, GridCell
 
@@ -39,7 +47,20 @@ class ServiceClosedError(ServeError):
 
 
 class JobFailedError(ServeError):
-    """A job failed every dispatch attempt (crash/timeout each time)."""
+    """A job failed every dispatch attempt.
+
+    ``retryable=True`` means the failures were infrastructural (crash or
+    timeout each time) — a fresh pool or another shard may succeed.
+    ``retryable=False`` means the job itself raised deterministically.
+    """
+
+    def __init__(self, message: str, retryable: bool = False):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class ShardDownError(ServeError):
+    """The owning shard is down and restarts were exhausted."""
 
 
 @dataclass(frozen=True)
@@ -62,7 +83,8 @@ class JobHandle:
 
     key: str
     request: JobRequest
-    #: True when the result came straight from the artifact store.
+    #: True when the result came from a cache tier (store/hot), not the
+    #: worker pool.
     cached: bool = False
     #: Dispatch attempts actually spent on this job (0 for cache hits).
     attempts: int = 0
@@ -70,18 +92,50 @@ class JobHandle:
                                     repr=False)
     _result: Optional[CellResult] = field(default=None, repr=False)
     _error: Optional[BaseException] = field(default=None, repr=False)
+    _callbacks: List[Callable[["JobHandle"], None]] = field(
+        default_factory=list, repr=False)
+    _cb_lock: threading.Lock = field(default_factory=threading.Lock,
+                                     repr=False)
 
     def resolve(self, result: CellResult) -> None:
         self._result = result
-        self._event.set()
+        self._settle()
 
     def fail(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._settle()
+
+    def _settle(self) -> None:
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(
+        self, callback: Callable[["JobHandle"], None],
+    ) -> None:
+        """Run ``callback(handle)`` once the job settles.
+
+        Fires immediately (in the calling thread) when the job already
+        settled; otherwise fires in whichever thread resolves the job.
+        Callbacks must not block — the fleet and front-end use them to
+        hand completions to their own executors.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     @property
     def done(self) -> bool:
         return self._event.is_set()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure, if the job settled unsuccessfully (else None)."""
+        return self._error
 
     def result(self, timeout: Optional[float] = None) -> CellResult:
         """Block until the job resolves; raise its error if it failed."""

@@ -309,6 +309,7 @@ class CompileService:
         task = (bench, scheme, indexed, 0, None, text, memo_spec)
         attempts = self.retries + 1
         error: Optional[BaseException] = None
+        retryable = True
         for attempt in range(attempts):
             for job in jobs:
                 job.handle.attempts = attempt + 1
@@ -335,8 +336,10 @@ class CompileService:
                 continue
             except Exception as exc:
                 # Deterministic failure inside the job itself: retrying
-                # replays it byte-identically, so fail fast.
+                # replays it byte-identically, so fail fast — and tell
+                # upper layers (the fleet) not to retry either.
                 error = exc
+                retryable = False
                 break
             self.metrics.merge_snapshot(snapshot)
             by_index = dict(out)
@@ -353,7 +356,8 @@ class CompileService:
                 job.handle,
                 JobFailedError(
                     f"job failed after {attempts} attempt(s): "
-                    f"{type(cause).__name__}: {cause}"
+                    f"{type(cause).__name__}: {cause}",
+                    retryable=retryable,
                 ),
                 counter="serve.jobs.failed",
             )
@@ -383,6 +387,12 @@ class CompileService:
         self.metrics.inc(counter)
 
     # -- lifecycle -------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the service accepts work and its dispatcher runs
+        (the fleet's health checks poll this)."""
+        return not self._closed and self._dispatcher.is_alive()
 
     def flush(self, timeout: Optional[float] = None) -> None:
         """Block until everything currently accepted has resolved."""

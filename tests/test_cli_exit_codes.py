@@ -84,12 +84,29 @@ class TestBadInputSweep:
         assert main(["lint"]) == 2
         assert "exactly one" in _stderr_error_line(capsys)
 
-    def test_client_unreachable_socket(self, tmp_path, capsys):
-        missing = str(tmp_path / "nobody-home.sock")
-        assert main(["client", "--socket", missing, "--ping"]) == 2
+    def test_client_unreachable_endpoint(self, tmp_path, capsys):
+        missing = f"unix://{tmp_path / 'nobody-home.sock'}"
+        assert main(["client", "--endpoint", missing, "--ping"]) == 2
         assert "cannot reach service" in _stderr_error_line(capsys)
 
-    def test_client_needs_file_or_op(self, tmp_path, capsys):
+    def test_client_deprecated_socket_notes_then_errors(self, tmp_path,
+                                                        capsys):
+        # --socket still works as a shim, but adds a deprecation note
+        # line ahead of the one-line error contract.
         missing = str(tmp_path / "nobody-home.sock")
-        assert main(["client", "--socket", missing]) == 2
+        assert main(["client", "--socket", missing, "--ping"]) == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 2, err
+        assert "deprecated" in lines[0] and "--endpoint" in lines[0]
+        assert "cannot reach service" in lines[1]
+
+    def test_client_needs_file_or_op(self, tmp_path, capsys):
+        missing = f"unix://{tmp_path / 'nobody-home.sock'}"
+        assert main(["client", "--endpoint", missing]) == 2
         assert "--ping" in _stderr_error_line(capsys)
+
+    def test_client_bad_endpoint_scheme(self, capsys):
+        assert main(["client", "--endpoint", "http://host:80",
+                     "--ping"]) == 2
+        _stderr_error_line(capsys)

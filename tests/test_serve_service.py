@@ -38,8 +38,11 @@ from repro.serve import (
     result_from_payload,
     store_schema,
 )
+from repro.serve.client import Client, ClientError
+from repro.serve.fleet import CompileFleet
+from repro.serve.frontend import FrontendServer
 from repro.serve.service import _service_worker
-from repro.serve.wire import request as wire_request, serve_socket
+from repro.serve.wire import ErrorCode, send_frame
 from repro.workloads.specint import build_benchmark
 
 _NO_SLEEP = lambda seconds: None  # noqa: E731 - retry backoff stub
@@ -303,67 +306,73 @@ class TestShutdown:
 
 
 class TestWire:
-    def _start_server(self, tmp_path, store=None):
+    """The served path over a unix socket (the old ``--socket`` shape)."""
+
+    def _start_server(self, tmp_path):
         path = str(tmp_path / "serve.sock")
-        service = CompileService(store=store, jobs=1)
-        thread = threading.Thread(target=serve_socket,
-                                  args=(path, service), daemon=True)
-        thread.start()
-        deadline = time.monotonic() + 10.0
-        while not os.path.exists(path):
-            assert time.monotonic() < deadline, "socket never appeared"
-            time.sleep(0.01)
-        return path, service, thread
+        fleet = CompileFleet(shards=1, jobs=1,
+                             cache_dir=str(tmp_path / "store"))
+        server = FrontendServer(fleet, f"unix://{path}")
+        endpoint = server.start()
+        return path, endpoint, fleet, server
 
     def test_socket_round_trip_cold_then_warm(self, tmp_path):
-        store = ArtifactStore(str(tmp_path / "store"))
-        path, service, thread = self._start_server(tmp_path, store=store)
+        path, endpoint, fleet, server = self._start_server(tmp_path)
         try:
-            ping = wire_request(path, {"op": "ping"})
-            assert ping == {"ok": True, "schema": store_schema()}
+            with Client(endpoint) as client:
+                assert client.server_info is not None
+                assert client.server_info.schema == store_schema()
 
-            compile_req = {
-                "op": "compile",
-                "cell": {"benchmark": "compress", "scheme": "treegion",
-                         "machine": "4U", "heuristic": "global_weight"},
-            }
-            cold = wire_request(path, compile_req, timeout=120.0)
-            assert cold["ok"] and not cold["cached"]
-            warm = wire_request(path, compile_req, timeout=120.0)
-            assert warm["ok"] and warm["cached"]
-            expected = evaluate_cell(
-                GridCell("compress", "treegion", "4U", "global_weight")
-            )
-            for response in (cold, warm):
-                assert result_from_payload(response["result"]) == expected
+                cell = GridCell("compress", "treegion", "4U",
+                                "global_weight")
+                cold = client.submit(cell)
+                assert not cold.cached and cold.source == "computed"
+                warm = client.submit(cell)
+                assert warm.cached and warm.source == "hot"
+                expected = evaluate_cell(cell)
+                for reply in (cold, warm):
+                    assert result_from_payload(reply.result) == expected
 
-            stats = wire_request(path, {"op": "stats"})
-            assert stats["ok"]
-            assert stats["stats"]["store"]["hits"] == 1
+                ping = client.ping()
+                assert ping.healthy and ping.shards
 
-            bad = wire_request(path, {"op": "no-such-op"})
-            assert not bad["ok"] and "no-such-op" in bad["error"]
+                stats = client.stats()
+                assert stats["hot"]["entries"] >= 1
+                assert stats["shards"][0]["up"]
 
-            down = wire_request(path, {"op": "shutdown"})
-            assert down["ok"]
+                with pytest.raises(ClientError) as failure:
+                    client.submit(GridCell("compress", "no-such-scheme",
+                                           "4U", "global_weight"))
+                assert failure.value.code == ErrorCode.BAD_REQUEST
+
+            with Client(endpoint) as client:
+                client.shutdown()
+            server.join(timeout=30.0)
         finally:
-            thread.join(timeout=30.0)
-            service.close()
-        assert not thread.is_alive()
+            fleet.close()
+        assert not server.running
         assert not os.path.exists(path)
 
-    def test_malformed_line_does_not_kill_the_server(self, tmp_path):
-        path, service, thread = self._start_server(tmp_path)
+    def test_malformed_frame_does_not_kill_the_server(self, tmp_path):
+        path, endpoint, fleet, server = self._start_server(tmp_path)
         try:
+            # Garbage inside a well-formed frame: one error reply, and
+            # the server keeps accepting fresh connections.
             with socket.socket(socket.AF_UNIX,
                                socket.SOCK_STREAM) as sock:
                 sock.settimeout(10.0)
                 sock.connect(path)
-                sock.sendall(b"this is not json\n")
-                garbage = json.loads(sock.makefile().readline())
-            assert not garbage["ok"]
-            assert wire_request(path, {"op": "ping"})["ok"]
+                send_frame(sock, {"this is": "not a hello"})
+                from repro.serve.wire import recv_frame
+
+                garbage = recv_frame(sock, 1 << 20)
+            assert garbage == {
+                "ok": False, "code": ErrorCode.BAD_REQUEST,
+                "error": garbage["error"],
+            }
+            with Client(endpoint) as client:
+                assert client.ping().healthy
+                client.shutdown()
+            server.join(timeout=30.0)
         finally:
-            wire_request(path, {"op": "shutdown"})
-            thread.join(timeout=30.0)
-            service.close()
+            fleet.close()
