@@ -23,6 +23,17 @@ of the local-store warm figure recorded in ``BENCH_serve.json``
 (0.044s), i.e. a fleet client pays at most 2x the in-process store
 pass for a warm answer even with a thousand peers connected.
 
+The cold/chaos phase additionally runs under distributed tracing
+(DESIGN.md §14): every process exports spans, and the merged
+Perfetto timeline — client roots fanning into frontend/shard/worker
+hops, restart-annotated where the chaos kill landed — is written to
+``benchmarks/results/fleet_trace.json`` (the CI artifact).  Tracing is
+switched off before the warm phase so the headline p99 measures the
+serving path, not the exporter.  The warm phase's percentiles are
+reported both ways (exact sample lists and obs histograms) and the
+snapshot asserts the two agree within the power-of-two bucket bound
+(see ``tests/test_soak_agreement.py``).
+
 Results land in ``BENCH_load.json`` at the repo root.  CI smoke runs
 shrink the scale via environment knobs::
 
@@ -41,7 +52,7 @@ import pathlib
 import time
 
 from repro.evaluation.engine import default_grid, evaluate_grid
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, merge_traces
 from repro.serve import CompileFleet, result_to_payload
 from repro.serve.frontend import FrontendServer
 from repro.serve.soak import run_soak
@@ -51,6 +62,7 @@ from benchmarks.conftest import emit_table
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_load.json"
 SERVE_BENCH_FILE = REPO_ROOT / "BENCH_serve.json"
+TRACE_FILE = REPO_ROOT / "benchmarks" / "results" / "fleet_trace.json"
 
 #: Fallback local-store warm figure when BENCH_serve.json is absent.
 DEFAULT_WARM_FIGURE = 0.044
@@ -110,14 +122,18 @@ def test_load_snapshot(tmp_path):
     t_direct = time.perf_counter() - t0
 
     registry = MetricsRegistry()
+    trace_dir = tmp_path / "traces"
     fleet = CompileFleet(shards=shards, jobs=1,
                          cache_dir=str(tmp_path / "cache"),
-                         metrics=registry)
-    server = FrontendServer(fleet, "tcp://127.0.0.1:0", metrics=registry)
+                         metrics=registry, trace_dir=str(trace_dir))
+    server = FrontendServer(fleet, "tcp://127.0.0.1:0", metrics=registry,
+                            trace_dir=str(trace_dir))
     endpoint = server.start()
     try:
         # Cold soak with a shard kill mid-batch.  The supervisor must
-        # restart the shard and retry its keys; nothing may drop.
+        # restart the shard and retry its keys; nothing may drop.  The
+        # whole phase runs under distributed tracing, so the merged
+        # timeline shows the kill and the retried hops.
         killed = []
 
         def chaos(index):
@@ -127,7 +143,8 @@ def test_load_snapshot(tmp_path):
 
         t0 = time.perf_counter()
         cold = run_soak(endpoint, cells, clients=8,
-                        on_request=chaos, metrics=registry)
+                        on_request=chaos, metrics=registry,
+                        trace_dir=str(trace_dir))
         t_cold = time.perf_counter() - t0
         assert killed, "the chaos hook never fired"
         assert cold.dropped == 0 and not cold.errors, (
@@ -135,6 +152,11 @@ def test_load_snapshot(tmp_path):
             f"{cold.errors[:3]}"
         )
         _check_payloads(cold, direct, cells)
+
+        # Tracing off for the headline phase: the warm p99 measures
+        # the serving path, not the span exporter.
+        fleet.dtracer.set_enabled(False)
+        server.frontend.dtracer.set_enabled(False)
 
         t0 = time.perf_counter()
         warm = run_soak(endpoint, cells, clients=clients,
@@ -161,7 +183,45 @@ def test_load_snapshot(tmp_path):
     assert counters.get("fleet.shard_kills") == 1
     assert health["shards"]["0"]["generation"] >= 1
 
+    # Merge the cold phase's per-process span files into the Perfetto
+    # artifact and sanity-check the cross-process shape.
+    merged = merge_traces(str(trace_dir))
+    assert merged.services() == ["client", "fleet", "frontend", "worker"]
+    assert merged.find(name="shard.compile",
+                       annotation="supervisor.restart"), \
+        "the chaos kill left no restart-annotated dispatch span"
+    chains = 0
+    for trace_id in merged.trace_ids():
+        for root in merged.roots(trace_id):
+            if root.name != "client.compile":
+                continue
+            for frontend_span in merged.children(root):
+                if any(hop.name in ("shard.compile", "fleet.hot")
+                       for hop in merged.children(frontend_span)):
+                    chains += 1
+    assert chains >= len(cells), (
+        f"only {chains} client->frontend->fleet chains for "
+        f"{len(cells)} cells")
+    TRACE_FILE.parent.mkdir(parents=True, exist_ok=True)
+    merged.write_chrome(str(TRACE_FILE))
+
     warm_summary = warm.as_dict()
+    # The two percentile views (exact sample list vs power-of-two
+    # histogram) must agree within the bucket bound for every phase
+    # split — the soak-agreement contract, held on real fleet traffic.
+    for split, exact_key in (("all", "latency"), ("warm", "warm_latency"),
+                             ("cold", "cold_latency")):
+        hist = warm_summary["latency_hist_us"][split]
+        exact = warm_summary[exact_key]
+        if not exact["count"]:
+            continue
+        for q in (50, 95, 99):
+            exact_us = exact[f"p{q}"] * 1e6
+            estimate = hist[f"p{q}"]
+            assert exact_us - 1 <= estimate <= 2 * exact_us + 1, (
+                f"{split} p{q}: histogram {estimate}µs disagrees with "
+                f"exact {exact_us:.0f}µs beyond the bucket bound")
+
     snapshot = {
         "grid_cells": len(cells),
         "shards": shards,
@@ -175,9 +235,16 @@ def test_load_snapshot(tmp_path):
         "sustained_qps": warm_summary["qps"],
         "latency": warm_summary["latency"],
         "warm_latency": warm_summary["warm_latency"],
+        "latency_hist_us": warm_summary["latency_hist_us"],
         "warm_p99_bound_seconds": round(warm_p99_bound, 4),
         "sources": warm_summary["sources"],
         "identical_to_direct": True,
+        "trace": {
+            "file": str(TRACE_FILE.relative_to(REPO_ROOT)),
+            "spans": len(merged),
+            "traces": len(merged.trace_ids()),
+            "services": merged.services(),
+        },
         "chaos": {
             "phase": "cold_soak",
             "dropped_on_shard_kill": cold.dropped,

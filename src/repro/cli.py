@@ -27,8 +27,17 @@ Commands:
 * ``soak``     — many-client load soak against a running endpoint (or
   a self-hosted fleet with ``--serve``); reports qps and latency
   percentiles as JSON;
+* ``top``      — live ANSI-refresh dashboard over a running fleet's
+  ``STATS`` plane (queue depths, hot tier, restarts, rolling latency);
+* ``trace-merge`` — stitch per-process distributed-trace JSONL files
+  (from ``--trace-dir``) into one Chrome/Perfetto timeline;
 * ``dot``      — Graphviz rendering of a function's CFG, clustered by
   region and optionally annotated with schedule cycles.
+
+``serve`` and ``soak`` take ``--trace-dir DIR`` (per-process
+distributed-trace span files, merged by ``trace-merge``) and
+``--events-log FILE`` (size-rotated JSONL lifecycle event log); see
+DESIGN.md §14.
 
 ``run``, ``report``, and ``validate`` take ``--metrics FILE`` /
 ``--trace FILE`` to dump pipeline counters and spans; ``bench`` takes
@@ -545,13 +554,31 @@ def _parse_endpoint_arg(value: str):
     return endpoint
 
 
-def _open_fleet(args, metrics, tracer):
+def _fleet_obs(args):
+    """(trace_dir, event log) from --trace-dir/--events-log."""
+    from repro.serve.events import NULL_EVENTS, EventLog
+
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir:
+        import os
+
+        os.makedirs(trace_dir, exist_ok=True)
+    events_path = getattr(args, "events_log", None)
+    events = EventLog(events_path) if events_path else NULL_EVENTS
+    return trace_dir, events
+
+
+def _open_fleet(args, metrics, tracer, trace_dir=None, events=None):
+    from repro.serve.events import NULL_EVENTS
+
     return api.open_fleet(
         shards=args.shards, cache_dir=args.cache_dir,
         cache_max_mb=args.cache_max_mb, jobs=args.jobs,
         batch_size=args.batch_size, max_pending=args.max_pending,
         job_timeout=args.job_timeout, retries=args.retries,
         metrics=metrics, tracer=tracer,
+        trace_dir=trace_dir,
+        events=events if events is not None else NULL_EVENTS,
     )
 
 
@@ -561,8 +588,11 @@ def cmd_serve(args) -> int:
 
     endpoint = _parse_endpoint_arg(_endpoint_from_args(args))
     metrics, tracer = _obs_for(args)
-    fleet = _open_fleet(args, metrics, tracer)
-    server = FrontendServer(fleet, endpoint, metrics=metrics)
+    trace_dir, events = _fleet_obs(args)
+    fleet = _open_fleet(args, metrics, tracer, trace_dir=trace_dir,
+                        events=events)
+    server = FrontendServer(fleet, endpoint, metrics=metrics,
+                            trace_dir=trace_dir, events=events)
     try:
         bound = server.start()
     except OSError as error:
@@ -576,6 +606,7 @@ def cmd_serve(args) -> int:
         server.stop()
     finally:
         fleet.close(drain=True)
+        events.close()
         print(f"fleet stats: {fleet.stats()}", file=sys.stderr)
         _write_obs(args, metrics, tracer)
     return 0
@@ -643,14 +674,17 @@ def cmd_soak(args) -> int:
     if not cells:
         raise CLIError("the soak grid is empty; pass --benchmarks/--grid")
     metrics, tracer = _obs_for(args)
+    trace_dir, events = _fleet_obs(args)
 
     server = fleet = None
     if args.serve:
         from repro.serve.frontend import FrontendServer
 
-        fleet = _open_fleet(args, metrics, tracer)
+        fleet = _open_fleet(args, metrics, tracer, trace_dir=trace_dir,
+                            events=events)
         server = FrontendServer(
-            fleet, args.endpoint or "tcp://127.0.0.1:0", metrics=metrics)
+            fleet, args.endpoint or "tcp://127.0.0.1:0", metrics=metrics,
+            trace_dir=trace_dir, events=events)
         endpoint = server.start()
         print(f"soak fleet serving on {endpoint}", file=sys.stderr)
     else:
@@ -659,17 +693,51 @@ def cmd_soak(args) -> int:
         report = run_soak(
             endpoint, cells, clients=args.clients,
             requests=args.requests, ramp_seconds=args.ramp,
-            metrics=metrics,
+            metrics=metrics, trace_dir=trace_dir,
         )
     finally:
         if server is not None:
             server.stop()
         if fleet is not None:
             fleet.close(drain=False)
+        events.close()
     summary = report.as_dict()
     print(_json.dumps(summary, indent=2, sort_keys=True))
+    if trace_dir:
+        print(f"distributed-trace spans in {trace_dir} "
+              f"(merge with: repro trace-merge {trace_dir})",
+              file=sys.stderr)
     _write_obs(args, metrics, tracer)
     return 0 if report.dropped == 0 and not report.errors else 1
+
+
+def cmd_top(args) -> int:
+    """Live ANSI dashboard over a running fleet's STATS plane."""
+    from repro.serve.top import run_top
+
+    endpoint = _parse_endpoint_arg(_endpoint_from_args(args))
+    if args.interval <= 0:
+        raise CLIError("--interval must be positive")
+    return run_top(endpoint, interval=args.interval,
+                   iterations=args.iterations, clear=not args.no_clear)
+
+
+def cmd_trace_merge(args) -> int:
+    """Stitch per-process span JSONL into one Perfetto timeline."""
+    from repro.obs.distributed import merge_traces
+
+    try:
+        merged = merge_traces(args.trace_dir)
+    except OSError as error:
+        raise CLIError(f"cannot read {args.trace_dir}: {error}")
+    if not merged.spans:
+        raise CLIError(f"no trace-*.jsonl spans under {args.trace_dir}")
+    merged.write_chrome(args.out)
+    print(f"{len(merged.spans)} span(s) across "
+          f"{len(merged.services())} service(s), "
+          f"{len(merged.trace_ids())} trace(s) -> {args.out} "
+          f"(open in Perfetto / chrome://tracing)", file=sys.stderr)
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -880,6 +948,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra attempts for crashed/timed-out "
                             "dispatches")
 
+    def dist_obs_flags(p):
+        p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       dest="trace_dir",
+                       help="write per-process distributed-trace span "
+                            "files (trace-*.jsonl) under DIR; merge "
+                            "with 'repro trace-merge DIR'")
+        p.add_argument("--events-log", default=None, metavar="FILE",
+                       dest="events_log",
+                       help="append fleet lifecycle events (shard "
+                            "start/death/restart, evictions, retries) "
+                            "as size-rotated JSONL to FILE")
+
     p = sub.add_parser(
         "serve",
         help="compile fleet behind an asyncio front-end",
@@ -888,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_flags(p)
     cache_flags(p)
     obs_flags(p)
+    dist_obs_flags(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -934,7 +1015,36 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_flags(p)
     cache_flags(p)
     obs_flags(p)
+    dist_obs_flags(p)
     p.set_defaults(func=cmd_soak)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a running fleet's STATS plane",
+    )
+    endpoint_flags(p)
+    p.add_argument("--interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="poll/refresh period (default: 1.0)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N frames (default: run until ^C)")
+    p.add_argument("--no-clear", action="store_true", dest="no_clear",
+                   help="append frames instead of repainting "
+                        "(pipes, CI logs)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "trace-merge",
+        help="merge per-process span JSONL into one Perfetto trace",
+    )
+    p.add_argument("trace_dir", metavar="DIR",
+                   help="directory of trace-*.jsonl files (--trace-dir "
+                        "of a serve/soak run)")
+    p.add_argument("-o", "--out", default="fleet_trace.json",
+                   metavar="FILE",
+                   help="Chrome trace-event JSON output "
+                        "(default: fleet_trace.json)")
+    p.set_defaults(func=cmd_trace_merge)
 
     p = sub.add_parser("dot", help="Graphviz CFG rendering")
     p.add_argument("file")

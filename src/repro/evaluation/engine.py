@@ -516,6 +516,11 @@ def _run_task(task: _Task):
             "store_hits": after["store_hits"] - before["store_hits"],
             "bytes": after["bytes"],
         }
+        # High-water memo occupancy across the worker pool — explicitly
+        # max-mode gauges, outside the determinism contract (occupancy
+        # depends on work distribution, unlike the event counters).
+        metrics.gauge("memo.entries", after["entries"], mode="max")
+        metrics.gauge("memo.bytes", after["bytes"], mode="max")
     return (out, lo, (timer.totals, timer.counts), metrics.snapshot(),
             memo_stats)
 

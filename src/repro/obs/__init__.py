@@ -1,16 +1,30 @@
 """Observability: hierarchical tracing + deterministic metrics.
 
 See :mod:`repro.obs.tracer` and :mod:`repro.obs.metrics` for the two
-halves; DESIGN.md ("Observability") describes how the evaluation engine
-merges worker registries and why serial and parallel runs report
-identical counters.
+in-process halves, and :mod:`repro.obs.distributed` for cross-process
+trace-context propagation and the ``merge_traces()`` collector;
+DESIGN.md ("Observability", "Fleet observability") describes how the
+evaluation engine merges worker registries, why serial and parallel
+runs report identical counters, and how a fleet request becomes one
+merged Perfetto timeline.
 """
 
+from repro.obs.distributed import (
+    NULL_DTRACER,
+    DistributedTracer,
+    MergedSpan,
+    MergedTrace,
+    NullDistributedTracer,
+    merge_traces,
+    new_span_id,
+    new_trace_id,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    RollingHistogram,
     current_metrics,
     metrics_scope,
     observability_snapshot,
@@ -23,6 +37,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "RollingHistogram",
     "current_metrics",
     "metrics_scope",
     "observability_snapshot",
@@ -31,4 +46,12 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "DistributedTracer",
+    "NullDistributedTracer",
+    "NULL_DTRACER",
+    "MergedSpan",
+    "MergedTrace",
+    "merge_traces",
+    "new_trace_id",
+    "new_span_id",
 ]

@@ -1,0 +1,454 @@
+"""Distributed tracing: spans that cross process boundaries.
+
+PR 3's :class:`~repro.obs.tracer.Tracer` records one process's span
+*stack*; a fleet request touches four — the client, the asyncio
+front-end, the shard dispatch thread, and a pool worker — so this
+module adds the three pieces a multi-process trace needs:
+
+* **Trace context** — every request carries a ``trace_id`` (one per
+  logical client request) and a ``parent_span_id`` (the span that
+  caused this hop).  The wire protocol ships both as *optional* fields
+  (:class:`~repro.serve.wire.CompileRequest`), so version-1 peers that
+  never heard of tracing interoperate unchanged.
+
+* **A per-process exporter** — :class:`DistributedTracer` writes each
+  finished span as one JSONL line to
+  ``<dir>/trace-<service>-<pid>.jsonl``, appended and flushed *at span
+  close*, so spans survive a shard kill or a worker process being torn
+  down mid-batch.  Spans are explicitly parented (no thread-local
+  stack), which is what lets the fleet hold spans open across its
+  dispatcher/supervisor/callback threads.  Timestamps are wall-clock
+  (``time.time``), the only clock processes share.
+
+* **A collector** — :func:`merge_traces` reads every per-process file
+  under a directory into one :class:`MergedTrace`: a queryable span
+  forest (``roots()``/``children()``/``tree()``) plus a Chrome
+  trace-event export that loads in Perfetto with one named track per
+  process and flow arrows stitching parent→child hops across
+  processes.
+
+Spans carry free-form ``annotations`` (plain strings); the fleet marks
+a dispatch that re-ran a request after a shard death with
+``supervisor.restart``, which is how a merged trace shows exactly
+which hops a chaos event cost.
+
+Everything is opt-in: with no trace directory configured the
+:data:`NULL_DTRACER` singleton hands out a shared no-op span whose
+``trace_id``/``span_id`` are ``None``, so instrumentation points cost
+an attribute read and the wire fields stay absent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (one per logical client request)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return os.urandom(8).hex()
+
+
+class DistSpan:
+    """One explicitly-parented span, open until :meth:`finish`."""
+
+    __slots__ = ("tracer", "trace_id", "span_id", "parent_span_id",
+                 "name", "start", "args", "annotations", "_done")
+
+    def __init__(self, tracer: "DistributedTracer", name: str,
+                 trace_id: str, parent_span_id: Optional[str],
+                 args: Dict[str, object]):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_span_id = parent_span_id
+        self.name = name
+        self.start = tracer._clock()
+        self.args = args
+        self.annotations: List[str] = []
+        self._done = False
+
+    def annotate(self, tag: str) -> None:
+        """Attach a plain-string marker (e.g. ``supervisor.restart``)."""
+        if tag not in self.annotations:
+            self.annotations.append(tag)
+
+    def set(self, **args) -> None:
+        """Merge more attributes into the span."""
+        self.args.update(args)
+
+    def finish(self, **args) -> None:
+        """Close the span and export it (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        if args:
+            self.args.update(args)
+        self.tracer._export(self)
+
+    def __enter__(self) -> "DistSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None:
+            self.annotate("error")
+            self.args.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self.finish()
+        return False
+
+
+class _NullDistSpan:
+    """Shared no-op span; its ids are None so nothing propagates."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+    parent_span_id = None
+
+    def annotate(self, tag: str) -> None:
+        pass
+
+    def set(self, **args) -> None:
+        pass
+
+    def finish(self, **args) -> None:
+        pass
+
+    def __enter__(self) -> "_NullDistSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_DSPAN = _NullDistSpan()
+
+
+class NullDistributedTracer:
+    """No-op :class:`DistributedTracer` stand-in."""
+
+    __slots__ = ()
+    enabled = False
+
+    def start_span(self, name: str, *, trace_id=None,
+                   parent_span_id=None, **args) -> _NullDistSpan:
+        return _NULL_DSPAN
+
+    def set_enabled(self, enabled: bool) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op tracer: ``dtracer = dtracer or NULL_DTRACER``.
+NULL_DTRACER = NullDistributedTracer()
+
+
+class DistributedTracer:
+    """Per-process span factory + JSONL exporter for one service role.
+
+    Args:
+        directory: Export directory; one ``trace-<service>-<pid>.jsonl``
+            file per process (created lazily on the first span, so
+            merely constructing a tracer writes nothing).
+        service: Process role stamped on every span (``client`` /
+            ``frontend`` / ``fleet`` / ``worker``).
+        shard: Optional shard index stamped on every span.
+        clock: Wall-clock source (``time.time``; injectable for tests).
+            Must be an epoch clock — it is the only clock the merged
+            processes share.
+    """
+
+    def __init__(self, directory: str, service: str,
+                 shard: Optional[int] = None,
+                 clock: Callable[[], float] = time.time):
+        self.directory = directory
+        self.service = service
+        self.shard = shard
+        self.enabled = True
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._handle = None
+        self._pid: Optional[int] = None
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Toggle span creation live (disabled spans are no-ops)."""
+        self.enabled = enabled
+
+    def start_span(self, name: str, *, trace_id: Optional[str] = None,
+                   parent_span_id: Optional[str] = None,
+                   **args) -> Union[DistSpan, _NullDistSpan]:
+        """Open one span.
+
+        ``trace_id=None`` starts a fresh trace (this span is a root);
+        ``parent_span_id`` links the span under a possibly-remote
+        parent.  Returns the no-op span when tracing is disabled.
+        """
+        if not self.enabled:
+            return _NULL_DSPAN
+        return DistSpan(self, name, trace_id or new_trace_id(),
+                        parent_span_id, args)
+
+    # ------------------------------------------------------------------
+
+    def _file(self):
+        pid = os.getpid()
+        if self._handle is None or self._pid != pid:
+            # A fork (pool worker) inherits the parent's handle; writing
+            # through it would interleave two processes into one file.
+            os.makedirs(self.directory, exist_ok=True)
+            path = os.path.join(
+                self.directory, f"trace-{self.service}-{pid}.jsonl")
+            self._handle = open(path, "a")
+            self._pid = pid
+        return self._handle
+
+    def _export(self, span: DistSpan) -> None:
+        record = {
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_span_id,
+            "name": span.name,
+            "service": self.service,
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "start": span.start,
+            "end": self._clock(),
+            "args": span.args,
+            "annotations": span.annotations,
+        }
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            handle = self._file()
+            handle.write(line)
+            handle.flush()  # spans must survive an abrupt kill
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+                self._pid = None
+
+
+# ----------------------------------------------------------------------
+# The collector
+
+
+class MergedSpan:
+    """One span read back from a per-process trace file."""
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id", "name",
+                 "service", "shard", "pid", "start", "end", "args",
+                 "annotations")
+
+    def __init__(self, record: Dict[str, object]):
+        self.trace_id = record.get("trace")
+        self.span_id = record.get("span")
+        self.parent_span_id = record.get("parent")
+        self.name = str(record.get("name", ""))
+        self.service = str(record.get("service", ""))
+        self.shard = record.get("shard")
+        self.pid = int(record.get("pid", 0))
+        self.start = float(record.get("start", 0.0))
+        self.end = float(record.get("end", 0.0))
+        self.args = dict(record.get("args") or {})
+        self.annotations = list(record.get("annotations") or [])
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (f"<span {self.service}:{self.name} trace={self.trace_id} "
+                f"{self.duration * 1e3:.3f}ms>")
+
+
+class MergedTrace:
+    """All spans of one trace directory, queryable as a forest."""
+
+    def __init__(self, spans: List[MergedSpan]):
+        self.spans = sorted(spans, key=lambda s: (s.start, s.name))
+        self._children: Dict[str, List[MergedSpan]] = {}
+        self._by_id: Dict[str, MergedSpan] = {}
+        for span in self.spans:
+            if span.span_id:
+                self._by_id[span.span_id] = span
+            if span.parent_span_id:
+                self._children.setdefault(
+                    span.parent_span_id, []).append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def trace_ids(self) -> List[str]:
+        seen, out = set(), []
+        for span in self.spans:
+            if span.trace_id and span.trace_id not in seen:
+                seen.add(span.trace_id)
+                out.append(span.trace_id)
+        return out
+
+    def roots(self, trace_id: Optional[str] = None) -> List[MergedSpan]:
+        """Spans with no (present) parent — client-side request roots."""
+        return [
+            span for span in self.spans
+            if (trace_id is None or span.trace_id == trace_id)
+            and (span.parent_span_id is None
+                 or span.parent_span_id not in self._by_id)
+        ]
+
+    def children(self, span: MergedSpan) -> List[MergedSpan]:
+        return self._children.get(span.span_id, [])
+
+    def find(self, name: Optional[str] = None,
+             service: Optional[str] = None,
+             annotation: Optional[str] = None,
+             trace_id: Optional[str] = None) -> List[MergedSpan]:
+        return [
+            span for span in self.spans
+            if (name is None or span.name == name)
+            and (service is None or span.service == service)
+            and (annotation is None or annotation in span.annotations)
+            and (trace_id is None or span.trace_id == trace_id)
+        ]
+
+    def tree(self, trace_id: str) -> List[Dict[str, object]]:
+        """The trace's span forest as nested dicts (test-friendly)."""
+
+        def node(span: MergedSpan) -> Dict[str, object]:
+            return {
+                "name": span.name,
+                "service": span.service,
+                "shard": span.shard,
+                "annotations": list(span.annotations),
+                "args": dict(span.args),
+                "children": [node(child)
+                             for child in self.children(span)],
+            }
+
+        return [node(root) for root in self.roots(trace_id)]
+
+    def services(self) -> List[str]:
+        return sorted({span.service for span in self.spans})
+
+    # ------------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, object]:
+        """Chrome trace-event JSON spanning every process.
+
+        Each (service, pid) pair becomes one named Perfetto process
+        track; spans are complete (``"ph": "X"``) events, and every
+        cross-span parent link becomes a flow arrow (``"s"``/``"f"``)
+        so a client root visibly fans into its frontend/shard/worker
+        hops.
+        """
+        if not self.spans:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        epoch = min(span.start for span in self.spans)
+        processes: Dict[tuple, int] = {}
+        events: List[Dict[str, object]] = []
+        for span in self.spans:
+            key = (span.service, span.pid)
+            if key not in processes:
+                pid = len(processes) + 1
+                processes[key] = pid
+                label = f"{span.service} (pid {span.pid})"
+                if span.shard is not None:
+                    label = f"{span.service} shard {span.shard}"
+                events.append({
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": label},
+                })
+        flow = 0
+        for span in self.spans:
+            pid = processes[(span.service, span.pid)]
+            args = dict(span.args)
+            args["trace_id"] = span.trace_id
+            if span.annotations:
+                args["annotations"] = ",".join(span.annotations)
+            events.append({
+                "name": span.name,
+                "cat": span.service,
+                "ph": "X",
+                "ts": (span.start - epoch) * 1e6,
+                "dur": max(span.duration, 0.0) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            })
+            parent = self._by_id.get(span.parent_span_id or "")
+            if parent is not None:
+                flow += 1
+                parent_pid = processes[(parent.service, parent.pid)]
+                ts_start = max(parent.start, epoch)
+                events.append({
+                    "name": "request", "cat": "flow", "ph": "s",
+                    "id": flow, "ts": (ts_start - epoch) * 1e6,
+                    "pid": parent_pid, "tid": 0,
+                })
+                events.append({
+                    "name": "request", "cat": "flow", "ph": "f",
+                    "bp": "e", "id": flow,
+                    "ts": (span.start - epoch) * 1e6,
+                    "pid": pid, "tid": 0,
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+            handle.write("\n")
+
+    def __repr__(self) -> str:
+        return (f"<MergedTrace {len(self.spans)} spans, "
+                f"{len(self.trace_ids())} traces, "
+                f"services={self.services()}>")
+
+
+def read_span_file(path: str) -> List[MergedSpan]:
+    """Parse one per-process JSONL file, skipping torn trailing lines
+    (a killed process may have been mid-write)."""
+    spans: List[MergedSpan] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write from a killed process
+            if isinstance(record, dict) and record.get("span"):
+                spans.append(MergedSpan(record))
+    return spans
+
+
+def merge_traces(source: Union[str, Iterable[str]]) -> MergedTrace:
+    """Stitch per-process span files into one :class:`MergedTrace`.
+
+    ``source`` is a trace directory (every ``trace-*.jsonl`` under it)
+    or an explicit iterable of file paths.
+    """
+    if isinstance(source, str):
+        paths = sorted(
+            os.path.join(source, name)
+            for name in os.listdir(source)
+            if name.startswith("trace-") and name.endswith(".jsonl")
+        )
+    else:
+        paths = list(source)
+    spans: List[MergedSpan] = []
+    for path in paths:
+        spans.extend(read_span_file(path))
+    return MergedTrace(spans)

@@ -13,8 +13,22 @@ addition, and snapshots sort their keys — so a serial run and a
 ``jobs=N`` parallel run of the same grid serialize byte-identically
 (``tests/test_obs.py`` enforces this).  Gauges are *point-in-time* facts
 (analysis-cache hit counts, process-local state); they merge by ``max``
-and are explicitly outside the determinism guarantee, which is why
-:meth:`MetricsRegistry.deterministic_snapshot` excludes them.
+by default and are explicitly outside the determinism guarantee, which
+is why :meth:`MetricsRegistry.deterministic_snapshot` excludes them.
+
+**Gauge merge modes.**  ``max`` is right for cross-worker high-water
+marks (``memo.entries``, peak queue depth across a pool), but wrong for
+point-in-time facts where the *latest* writer is authoritative (a
+shard's current queue depth folded into a fleet snapshot: after the
+queue drains, ``max`` would pin the stale peak forever).
+:meth:`MetricsRegistry.gauge` therefore takes ``mode="max"`` (default)
+or ``mode="last"`` — ``last`` gauges adopt the incoming value on merge.
+The fleet uses ``last`` for its own point-in-time gauges (queue depth,
+in-flight dedup size, hot-tier occupancy/bytes) and ``max`` for
+cross-worker marks shipped back from engine workers (``memo.*``).
+Modes ride in snapshots under ``gauge_modes`` — a key emitted only
+when some gauge is non-default, so mode-free registries serialize
+exactly as before.
 
 Instrumentation points deep in the pipeline (tail duplication, renaming,
 prep, the DDG builder) would need a ``metrics`` parameter threaded
@@ -31,8 +45,9 @@ hold unchanged).
 from __future__ import annotations
 
 import json
+import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class Histogram:
@@ -128,12 +143,15 @@ class Histogram:
 class MetricsRegistry:
     """Named counters, gauges, and histograms for one run."""
 
-    __slots__ = ("counters", "gauges", "histograms")
+    __slots__ = ("counters", "gauges", "histograms", "gauge_modes")
 
     def __init__(self):
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        #: gauge name -> merge mode, recorded only for non-default
+        #: ("last") gauges so mode-free snapshots keep the old shape.
+        self.gauge_modes: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
 
@@ -141,8 +159,22 @@ class MetricsRegistry:
         """Add ``value`` to counter ``name`` (created at 0)."""
         self.counters[name] = self.counters.get(name, 0) + value
 
-    def gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to a point-in-time ``value``."""
+    def gauge(self, name: str, value: float,
+              mode: Optional[str] = None) -> None:
+        """Set gauge ``name`` to a point-in-time ``value``.
+
+        ``mode`` fixes how the gauge merges: ``"max"`` (default —
+        cross-worker high-water mark) or ``"last"`` (incoming value
+        wins — current state of a single authoritative writer).
+        Omitting ``mode`` keeps whatever mode the gauge already has.
+        """
+        if mode is not None:
+            if mode not in ("max", "last"):
+                raise ValueError(f"unknown gauge merge mode: {mode!r}")
+            if mode == "last":
+                self.gauge_modes[name] = "last"
+            else:
+                self.gauge_modes.pop(name, None)
         self.gauges[name] = value
 
     def observe(self, name: str, value) -> None:
@@ -156,13 +188,20 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in (worker merge): counters and
-        histogram buckets add, gauges take the max."""
+        histogram buckets add; gauges take the max, unless either side
+        marked the gauge ``last``, in which case the incoming value
+        wins."""
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
+        other_modes = getattr(other, "gauge_modes", {})
+        for name in other_modes:
+            self.gauge_modes.setdefault(name, other_modes[name])
         for name, value in other.gauges.items():
             current = self.gauges.get(name)
-            self.gauges[name] = value if current is None \
-                else max(current, value)
+            if current is None or self.gauge_modes.get(name) == "last":
+                self.gauges[name] = value
+            else:
+                self.gauges[name] = max(current, value)
         for name, histogram in other.histograms.items():
             mine = self.histograms.get(name)
             if mine is None:
@@ -172,7 +211,7 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         """JSON-ready snapshot with sorted keys (the wire format workers
         ship back to the engine parent)."""
-        return {
+        snap = {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
             "histograms": {
@@ -180,6 +219,11 @@ class MetricsRegistry:
                 for k in sorted(self.histograms)
             },
         }
+        if self.gauge_modes:
+            snap["gauge_modes"] = {
+                k: self.gauge_modes[k] for k in sorted(self.gauge_modes)
+            }
+        return snap
 
     def deterministic_snapshot(self) -> Dict[str, object]:
         """Counters + histograms only — the part guaranteed byte-identical
@@ -192,6 +236,7 @@ class MetricsRegistry:
         registry = cls()
         registry.counters = dict(data.get("counters", {}))
         registry.gauges = dict(data.get("gauges", {}))
+        registry.gauge_modes = dict(data.get("gauge_modes", {}))
         registry.histograms = {
             name: Histogram.from_dict(hist)
             for name, hist in dict(data.get("histograms", {})).items()
@@ -216,7 +261,9 @@ class MetricsRegistry:
                 f"mean={histogram.mean:.2f}"
             )
         for name in sorted(self.gauges):
-            lines.append(f"{name:>32s}  {self.gauges[name]:>12g}  (gauge)")
+            mode = self.gauge_modes.get(name, "max")
+            lines.append(
+                f"{name:>32s}  {self.gauges[name]:>12g}  (gauge:{mode})")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -233,7 +280,8 @@ class NullMetrics:
     def inc(self, name: str, value: int = 1) -> None:
         pass
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float,
+              mode: Optional[str] = None) -> None:
         pass
 
     def observe(self, name: str, value) -> None:
@@ -248,6 +296,78 @@ class NullMetrics:
 
 #: Shared no-op registry: ``metrics = metrics or NULL_METRICS``.
 NULL_METRICS = NullMetrics()
+
+
+# ----------------------------------------------------------------------
+# Rolling-window histograms (the live stats plane's latency view)
+
+
+class RollingHistogram:
+    """A histogram over the last ``window_seconds * windows`` seconds.
+
+    The stats plane wants *recent* latency percentiles — "p99 over the
+    last minute", not since process start.  Samples land in the
+    :class:`Histogram` for the current time window; windows older than
+    the horizon are discarded on the next touch, and
+    :meth:`summary` merges the surviving windows.  Percentiles inherit
+    the power-of-two upper-bound semantics of
+    :meth:`Histogram.percentile`.
+
+    Not thread-safe by design: each instance belongs to one owner (the
+    front-end's event loop observes and snapshots from the same
+    thread).
+    """
+
+    __slots__ = ("window_seconds", "windows", "_clock", "_live")
+
+    def __init__(self, window_seconds: float = 10.0, windows: int = 6,
+                 clock: Callable[[], float] = time.monotonic):
+        if window_seconds <= 0 or windows <= 0:
+            raise ValueError("window_seconds and windows must be positive")
+        self.window_seconds = window_seconds
+        self.windows = windows
+        self._clock = clock
+        #: (window index, histogram), oldest first.
+        self._live: List[Tuple[int, Histogram]] = []
+
+    def _roll(self) -> int:
+        current = int(self._clock() / self.window_seconds)
+        horizon = current - self.windows + 1
+        while self._live and self._live[0][0] < horizon:
+            self._live.pop(0)
+        return current
+
+    def observe(self, value) -> None:
+        current = self._roll()
+        if not self._live or self._live[-1][0] != current:
+            self._live.append((current, Histogram()))
+        self._live[-1][1].observe(value)
+
+    def merged(self) -> Histogram:
+        """One histogram folding every live window together."""
+        self._roll()
+        merged = Histogram()
+        for _, histogram in self._live:
+            merged.merge(histogram)
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready recent-latency summary (p50/p95/p99 upper bounds)."""
+        merged = self.merged()
+        return {
+            "count": merged.count,
+            "mean": round(merged.mean, 3),
+            "min": merged.min,
+            "max": merged.max,
+            "p50": merged.percentile(50),
+            "p95": merged.percentile(95),
+            "p99": merged.percentile(99),
+            "window_seconds": self.window_seconds * self.windows,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<RollingHistogram {len(self._live)} live windows "
+                f"x {self.window_seconds}s>")
 
 
 # ----------------------------------------------------------------------

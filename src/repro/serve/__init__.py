@@ -25,7 +25,10 @@ The layers, bottom up (see DESIGN.md §10–§12):
   and the synchronous :class:`Client` behind
   :func:`repro.api.connect`;
 * :mod:`repro.serve.soak` — the many-client load harness behind
-  ``repro soak`` and ``benchmarks/test_load_snapshot.py``.
+  ``repro soak`` and ``benchmarks/test_load_snapshot.py``;
+* :mod:`repro.serve.events` — the size-rotated JSONL lifecycle event
+  log, and :mod:`repro.serve.top` — the ``repro top`` ANSI dashboard
+  over the ``STATS``/``HEALTH`` wire ops (see DESIGN.md §14).
 """
 
 from repro.serve.jobs import (
@@ -50,8 +53,10 @@ from repro.serve.router import KeyRouter, request_key
 from repro.serve.fleet import CompileFleet
 from repro.serve.wire import Endpoint, ErrorCode, parse_endpoint
 from repro.serve.client import Client, ClientError, connect
+from repro.serve.events import NULL_EVENTS, EventLog, read_events
 from repro.serve.frontend import FleetFrontend, FrontendServer
 from repro.serve.soak import SoakReport, run_soak
+from repro.serve.top import render_top, run_top
 
 __all__ = [
     "ArtifactStore",
@@ -61,6 +66,8 @@ __all__ = [
     "CompileService",
     "Endpoint",
     "ErrorCode",
+    "EventLog",
+    "NULL_EVENTS",
     "FleetFrontend",
     "FrontendServer",
     "JobFailedError",
@@ -76,10 +83,13 @@ __all__ = [
     "connect",
     "machine_fingerprint",
     "parse_endpoint",
+    "read_events",
+    "render_top",
     "request_key",
     "resolve_program_text",
     "result_from_payload",
     "result_to_payload",
     "run_soak",
+    "run_top",
     "store_schema",
 ]

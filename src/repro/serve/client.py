@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.evaluation.engine import CellResult, GridCell
 from repro.ir.printer import format_program
+from repro.obs.distributed import NULL_DTRACER
 from repro.serve.jobs import ServeError
 from repro.serve.wire import (
     MAX_FRAME_BYTES,
@@ -32,6 +33,8 @@ from repro.serve.wire import (
     ErrorCode,
     ErrorReply,
     FrameError,
+    HealthReply,
+    HealthRequest,
     Hello,
     HelloReply,
     PingReply,
@@ -88,6 +91,7 @@ class Client:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         client_name: str = "repro-client",
         sleep=time.sleep,
+        tracer=NULL_DTRACER,
     ) -> None:
         self.endpoint = parse_endpoint(endpoint)
         self.timeout = timeout
@@ -97,6 +101,12 @@ class Client:
         self.max_frame_bytes = max_frame_bytes
         self.client_name = client_name
         self._sleep = sleep
+        #: A :class:`~repro.obs.distributed.DistributedTracer` (service
+        #: ``client``).  Each :meth:`submit` opens the trace's *root*
+        #: span and ships its context on the wire, so the merged trace
+        #: hangs every server-side hop under the client's view of the
+        #: request.  Defaults to the no-op tracer (no wire overhead).
+        self.tracer = tracer if tracer is not None else NULL_DTRACER
         self._sock: Optional[socket.socket] = None
         #: The server's handshake reply (protocol, schema, shard count).
         self.server_info: Optional[HelloReply] = None
@@ -197,13 +207,21 @@ class Client:
         timeout: Optional[float] = None,
     ) -> CompileReply:
         """Compile one cell; returns the full reply (result + metadata)."""
-        reply = self._call(CompileRequest(
-            cell=cell, program_text=program_text, timeout=timeout,
-        ))
-        if not isinstance(reply, CompileReply):
-            raise ClientError(ErrorCode.INTERNAL,
-                              f"unexpected compile reply: {reply!r}")
-        return reply
+        with self.tracer.start_span(
+            "client.compile", benchmark=cell.benchmark,
+            scheme=cell.scheme, machine=cell.machine,
+            heuristic=cell.heuristic, client=self.client_name,
+        ) as span:
+            reply = self._call(CompileRequest(
+                cell=cell, program_text=program_text, timeout=timeout,
+                trace_id=span.trace_id, parent_span_id=span.span_id,
+            ))
+            if not isinstance(reply, CompileReply):
+                raise ClientError(ErrorCode.INTERNAL,
+                                  f"unexpected compile reply: {reply!r}")
+            span.set(shard=reply.shard, source=reply.source,
+                     cached=reply.cached)
+            return reply
 
     def evaluate(
         self,
@@ -261,6 +279,14 @@ class Client:
             raise ClientError(ErrorCode.INTERNAL,
                               f"unexpected stats reply: {reply!r}")
         return reply.stats
+
+    def health(self) -> HealthReply:
+        """The server's cheap liveness probe (``health`` op)."""
+        reply = self._call(HealthRequest())
+        if not isinstance(reply, HealthReply):
+            raise ClientError(ErrorCode.INTERNAL,
+                              f"unexpected health reply: {reply!r}")
+        return reply
 
     def shutdown(self) -> None:
         """Ask the server to stop (no retry — shutdown is not idempotent

@@ -1,0 +1,159 @@
+"""Append-only structured event log for fleet lifecycle events.
+
+Metrics answer "how many"; traces answer "where did this request go";
+the event log answers "what happened to the *fleet*": shard starts,
+deaths, restarts, hot-tier evictions, request retries, saturation
+rejections, protocol errors.  Each event is one JSON line —
+
+``{"ts": <epoch seconds>, "event": "<dotted.name>", "pid": <int>, ...}``
+
+— appended and flushed immediately so the log survives a crash of the
+process it describes.
+
+**Rotation** is size-based: when the live file would exceed
+``max_bytes`` *before* a write, it is renamed to ``<path>.1`` (existing
+backups shift to ``.2`` … ``.<backups>``, the oldest dropped) and a
+fresh file is started.  Rotation happens on event boundaries, so every
+file is intact JSONL.  :func:`read_events` reads backups oldest-first
+followed by the live file, yielding the full retained history in
+chronological order.
+
+Thread-safe: the fleet emits from its dispatcher, supervisor, and
+executor callback threads.  :data:`NULL_EVENTS` is the usual shared
+no-op for callers that configured no log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, Iterator, List
+
+
+class EventLog:
+    """Size-rotated append-only JSONL event log."""
+
+    def __init__(self, path: str, *, max_bytes: int = 4 * 1024 * 1024,
+                 backups: int = 3,
+                 clock: Callable[[], float] = time.time):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = max(0, backups)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._handle = None
+        self._size = 0
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event record (never raises into the caller's
+        control flow — a dying disk must not take the fleet with it)."""
+        record: Dict[str, object] = {
+            "ts": round(self._clock(), 6),
+            "event": event,
+            "pid": os.getpid(),
+        }
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        except (TypeError, ValueError):
+            line = json.dumps(
+                {"ts": record["ts"], "event": event, "pid": record["pid"],
+                 "error": "unserializable fields"}) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                self._ensure_open()
+                if self._size + len(data) > self.max_bytes and self._size:
+                    self._rotate()
+                self._handle.write(line)
+                self._handle.flush()
+                self._size += len(data)
+            except OSError:
+                pass
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a")
+            self._size = os.path.getsize(self.path)
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self._handle = None
+        if self.backups > 0:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._handle = open(self.path, "a")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:
+        return f"<EventLog {self.path!r} max={self.max_bytes}B>"
+
+
+class NullEventLog:
+    """Shared no-op event log."""
+
+    __slots__ = ()
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: ``events = events or NULL_EVENTS``.
+NULL_EVENTS = NullEventLog()
+
+
+def iter_events(path: str) -> Iterator[Dict[str, object]]:
+    """Yield retained events oldest-first across rotated backups.
+
+    Backups are read ``<path>.N`` (oldest) down to ``<path>.1``, then
+    the live file.  Torn or non-JSON lines are skipped.
+    """
+    paths: List[str] = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        paths.append(f"{path}.{index}")
+        index += 1
+    paths.reverse()
+    if os.path.exists(path):
+        paths.append(path)
+    for name in paths:
+        with open(name) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """All retained events as a list (see :func:`iter_events`)."""
+    return list(iter_events(path))

@@ -51,12 +51,15 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.evaluation.engine import CellResult, GridCell
 from repro.ir.function import Program
-from repro.obs.metrics import NULL_METRICS
+from repro.obs.distributed import NULL_DTRACER, DistributedTracer
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
+from repro.serve.events import NULL_EVENTS
 from repro.serve.jobs import (
     JobFailedError,
     JobHandle,
@@ -92,9 +95,9 @@ class _LockedMetrics:
         with self._lock:
             self._inner.inc(name, value)
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float, mode=None) -> None:
         with self._lock:
-            self._inner.gauge(name, value)
+            self._inner.gauge(name, value, mode=mode)
 
     def observe(self, name: str, value) -> None:
         with self._lock:
@@ -109,6 +112,48 @@ class _LockedMetrics:
             self._inner.merge_snapshot(data)
 
 
+class _TeeMetrics:
+    """Fan every update out to the fleet's own registry *and* the
+    caller's.
+
+    The fleet must be able to answer ``STATS`` with a metrics snapshot
+    whether or not the embedding application passed a registry of its
+    own, so it always keeps one; a user registry (the CLI's
+    ``--metrics`` file, the benchmarks') sees the same stream.
+    """
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, *sinks):
+        self._sinks = [
+            sink for sink in sinks
+            if sink is not None and sink is not NULL_METRICS
+        ]
+
+    def inc(self, name: str, value: int = 1) -> None:
+        for sink in self._sinks:
+            sink.inc(name, value)
+
+    def gauge(self, name: str, value: float, mode=None) -> None:
+        for sink in self._sinks:
+            try:
+                sink.gauge(name, value, mode=mode)
+            except TypeError:  # pre-mode registry duck types
+                sink.gauge(name, value)
+
+    def observe(self, name: str, value) -> None:
+        for sink in self._sinks:
+            sink.observe(name, value)
+
+    def merge(self, other) -> None:
+        for sink in self._sinks:
+            sink.merge(other)
+
+    def merge_snapshot(self, data) -> None:
+        for sink in self._sinks:
+            sink.merge_snapshot(data)
+
+
 @dataclass
 class FleetHandle(JobHandle):
     """A fleet-level job handle with routing provenance."""
@@ -119,6 +164,9 @@ class FleetHandle(JobHandle):
     fleet_attempts: int = 0
     #: Where the result came from: ``hot`` | ``store`` | ``computed``.
     source: str = "computed"
+    #: The open ``shard.compile`` span of the current dispatch attempt
+    #: (observability only; None when the request is untraced).
+    dspan: object = field(default=None, repr=False)
 
 
 class _Shard:
@@ -153,6 +201,13 @@ class CompileFleet:
         health_interval: Seconds between supervisor health sweeps.
         service_kwargs: Extra :class:`CompileService` keyword arguments
             (tests inject crashing workers and no-op sleeps here).
+        trace_dir: Distributed-trace export directory
+            (:mod:`repro.obs.distributed`); enables ``shard.compile``
+            spans here and ``worker.run_task`` spans in the pools for
+            requests that carry a trace context.
+        events: An :class:`~repro.serve.events.EventLog` receiving
+            fleet lifecycle events (shard start/death/restart, retries,
+            evictions); defaults to the shared no-op.
     """
 
     def __init__(
@@ -173,10 +228,21 @@ class CompileFleet:
         tracer=NULL_TRACER,
         sleep: Callable[[float], None] = time.sleep,
         service_kwargs: Optional[Dict[str, object]] = None,
+        trace_dir: Optional[str] = None,
+        events=NULL_EVENTS,
     ) -> None:
         self.router = KeyRouter(shards)
-        self.metrics = _LockedMetrics(metrics)
+        #: The fleet's own registry — always live, so the stats plane
+        #: can snapshot counters/gauges even when the embedder passed no
+        #: registry.  User metrics see the same stream through the tee.
+        self.own_metrics = MetricsRegistry()
+        self.metrics = _LockedMetrics(_TeeMetrics(self.own_metrics,
+                                                  metrics))
         self.tracer = tracer
+        self.trace_dir = trace_dir
+        self.dtracer = DistributedTracer(trace_dir, "fleet") \
+            if trace_dir else NULL_DTRACER
+        self.events = events if events is not None else NULL_EVENTS
         self.jobs = jobs
         self.batch_size = batch_size
         self.max_pending = max_pending
@@ -189,6 +255,7 @@ class CompileFleet:
         self._sleep = sleep
         self._service_kwargs = dict(service_kwargs or {})
         self._hot: "OrderedDict[str, CellResult]" = OrderedDict()
+        self._hot_bytes = 0
         self._hot_lock = threading.Lock()
         self._inflight: Dict[str, FleetHandle] = {}
         self._lock = threading.Lock()
@@ -206,12 +273,14 @@ class CompileFleet:
             shard = _Shard(index, store, service=None)  # type: ignore
             shard.service = self._make_service(shard)
             self._shards.append(shard)
+            self.events.emit("shard.start", shard=index, generation=0)
         self._events: "queue.Queue[object]" = queue.Queue()
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-fleet-supervisor",
             daemon=True,
         )
         self._supervisor.start()
+        self.events.emit("fleet.start", shards=shards, jobs=jobs)
 
     # -- shard lifecycle -------------------------------------------------
 
@@ -221,6 +290,7 @@ class CompileFleet:
             batch_size=self.batch_size, max_pending=self.max_pending,
             job_timeout=self.job_timeout, retries=self.retries,
             metrics=self.metrics, tracer=self.tracer,
+            trace_dir=self.trace_dir, shard=shard.index,
             **self._service_kwargs,
         )
 
@@ -236,6 +306,8 @@ class CompileFleet:
             shard.generation += 1
             shard.up = True
         self.metrics.inc("fleet.shard_restarts")
+        self.events.emit("shard.restart", shard=shard.index,
+                         generation=shard.generation)
 
     def kill_shard(self, index: int, timeout: float = 30.0) -> None:
         """Abruptly take one shard down (fault injection / ops drills).
@@ -248,6 +320,8 @@ class CompileFleet:
         shard = self._shards[index]
         shard.up = False
         self.metrics.inc("fleet.shard_kills")
+        self.events.emit("shard.kill", shard=index,
+                         generation=shard.generation)
         shard.service.close(drain=False, timeout=timeout)
 
     def health(self) -> Dict[str, object]:
@@ -275,14 +349,30 @@ class CompileFleet:
                 self._hot.move_to_end(key)
             return result
 
+    @staticmethod
+    def _estimate_bytes(result: CellResult) -> int:
+        # Flat-cost estimate of one hot entry: the CellResult object +
+        # its per-region schedule-length tuple.  Exact accounting would
+        # need sys.getsizeof recursion on the hot path; occupancy
+        # trends, not audits, are what the stats plane wants.
+        return 200 + 8 * len(result.schedule_lengths)
+
     def _hot_put(self, key: str, result: CellResult) -> None:
         if not self.hot_cache:
             return
+        evicted = 0
         with self._hot_lock:
+            if key not in self._hot:
+                self._hot_bytes += self._estimate_bytes(result)
             self._hot[key] = result
             self._hot.move_to_end(key)
             while len(self._hot) > self.hot_cache:
-                self._hot.popitem(last=False)
+                _, old = self._hot.popitem(last=False)
+                self._hot_bytes -= self._estimate_bytes(old)
+                evicted += 1
+        if evicted:
+            self.metrics.inc("fleet.hot_evictions", evicted)
+            self.events.emit("hot.evict", evicted=evicted)
 
     # -- submission ------------------------------------------------------
 
@@ -302,6 +392,12 @@ class CompileFleet:
         hot = self._hot_get(key)
         if hot is not None:
             self.metrics.inc("fleet.hot_hits")
+            if request.trace_id:
+                self.dtracer.start_span(
+                    "fleet.hot", trace_id=request.trace_id,
+                    parent_span_id=request.parent_span_id,
+                    key=key[:12],
+                ).finish(source="hot")
             handle = FleetHandle(key=key, request=request, cached=True,
                                  source="hot")
             handle.resolve(hot)
@@ -315,9 +411,11 @@ class CompileFleet:
             self._inflight[key] = handle
         try:
             self._dispatch(handle)
-        except Exception:
+        except Exception as error:
             with self._lock:
                 self._inflight.pop(key, None)
+            if isinstance(error, ServiceSaturatedError):
+                self.events.emit("request.saturated", key=key[:12])
             raise
         return handle
 
@@ -360,12 +458,34 @@ class CompileFleet:
         """Submit ``handle`` to its owner shard (restarting it first if
         it is down); chains completion back through the fleet."""
         shard = self._shards[self.router.shard_for(handle.key)]
+        span = None
+        if handle.request.trace_id:
+            # One span per dispatch attempt; a supervisor retry after a
+            # shard death opens a fresh one carrying the restart mark.
+            span = self.dtracer.start_span(
+                "shard.compile", trace_id=handle.request.trace_id,
+                parent_span_id=handle.request.parent_span_id,
+                shard=shard.index, generation=shard.generation,
+                fleet_attempt=handle.fleet_attempts,
+            )
+            if handle.fleet_attempts > 0:
+                span.annotate("supervisor.restart")
+            handle.dspan = span
         for _ in range(2):
             if not shard.up or not shard.service.alive:
                 self._restart_shard(shard)
+                if span is not None:
+                    span.annotate("supervisor.restart")
+                    span.set(generation=shard.generation)
             self._replica_read(shard, handle.key)
+            request = handle.request
+            if span is not None and span.span_id is not None:
+                # Reparent the inner request under this dispatch span so
+                # the pool worker's span nests beneath it.
+                request = _dc_replace(request,
+                                      parent_span_id=span.span_id)
             try:
-                inner = shard.service.submit(handle.request)
+                inner = shard.service.submit(request)
             except ServiceClosedError:
                 # Lost a race with the shard going down; restart once.
                 shard.up = False
@@ -375,6 +495,9 @@ class CompileFleet:
                 lambda done, h=handle: self._on_inner_done(h, done)
             )
             return
+        if span is not None:
+            span.finish(outcome="shard_down")
+            handle.dspan = None
         raise ShardDownError(
             f"shard {shard.index} would not accept work after a restart"
         )
@@ -382,10 +505,14 @@ class CompileFleet:
     def _on_inner_done(self, handle: FleetHandle,
                        inner: JobHandle) -> None:
         error = inner.error
+        span, handle.dspan = handle.dspan, None
         if error is None:
             handle.cached = inner.cached
             handle.attempts = inner.attempts
             handle.source = "store" if inner.cached else "computed"
+            if span is not None:
+                span.finish(outcome="ok", source=handle.source,
+                            attempts=handle.attempts)
             self._finish(handle, inner.result(0))
             return
         retryable = isinstance(error, ServiceClosedError) or (
@@ -395,8 +522,18 @@ class CompileFleet:
                 and handle.fleet_attempts < self.shard_retries:
             handle.fleet_attempts += 1
             self.metrics.inc("fleet.shard_retries")
+            self.events.emit("request.retry", key=handle.key[:12],
+                             shard=handle.shard,
+                             attempt=handle.fleet_attempts,
+                             error=type(error).__name__)
+            if span is not None:
+                span.annotate("retry.scheduled")
+                span.finish(outcome="retry",
+                            error=type(error).__name__)
             self._events.put(("retry", handle))
             return
+        if span is not None:
+            span.finish(outcome="failed", error=type(error).__name__)
         self._fail(handle, error)
 
     def _finish(self, handle: FleetHandle, result: CellResult) -> None:
@@ -410,6 +547,9 @@ class CompileFleet:
         with self._lock:
             self._inflight.pop(handle.key, None)
         self.metrics.inc("fleet.failed")
+        self.events.emit("request.failed", key=handle.key[:12],
+                         shard=handle.shard,
+                         error=type(error).__name__)
         handle.fail(error)
 
     # -- supervision -----------------------------------------------------
@@ -452,6 +592,8 @@ class CompileFleet:
             if shard.up and not shard.service.alive:
                 shard.up = False
                 self.metrics.inc("fleet.shard_deaths")
+                self.events.emit("shard.death", shard=shard.index,
+                                 generation=shard.generation)
             if not shard.up and not self._closed:
                 self._restart_shard(shard)
 
@@ -490,6 +632,8 @@ class CompileFleet:
         self._supervisor.join(timeout)
         for shard in self._shards:
             shard.service.close(drain=drain, timeout=timeout)
+        self.events.emit("fleet.close", drained=drain)
+        self.dtracer.close()
 
     def __enter__(self) -> "CompileFleet":
         return self
@@ -508,6 +652,7 @@ class CompileFleet:
             inflight = len(self._inflight)
         with self._hot_lock:
             hot_entries = len(self._hot)
+            hot_bytes = self._hot_bytes
         return {
             "shards": [
                 {
@@ -519,7 +664,37 @@ class CompileFleet:
                 for shard in self._shards
             ],
             "router": {"shards": self.router.shards},
-            "hot": {"entries": hot_entries, "max": self.hot_cache},
+            "hot": {"entries": hot_entries, "max": self.hot_cache,
+                    "bytes": hot_bytes},
             "inflight": inflight,
             "closed": self._closed,
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The fleet's own registry as a JSON-ready snapshot (the
+        ``STATS`` op's ``metrics`` section), with point-in-time fleet
+        state refreshed as ``last``-mode gauges first.
+
+        Counters (requests, dedups, restarts, retries) accumulate over
+        the fleet's life; ``memo.*`` gauges arrive through worker
+        snapshot merges in ``max`` mode; the gauges set here describe
+        *now* and therefore overwrite on every refresh.
+        """
+        with self._lock:
+            inflight = len(self._inflight)
+        with self._hot_lock:
+            hot_entries = len(self._hot)
+            hot_bytes = self._hot_bytes
+        queued = 0
+        for shard in self._shards:
+            try:
+                queued += int(shard.service.stats().get("queued", 0))
+            except Exception:
+                pass
+        self.metrics.gauge("fleet.inflight", inflight, mode="last")
+        self.metrics.gauge("fleet.queued", queued, mode="last")
+        self.metrics.gauge("fleet.hot.entries", hot_entries,
+                           mode="last")
+        self.metrics.gauge("fleet.hot.bytes", hot_bytes, mode="last")
+        with self.metrics._lock:
+            return self.own_metrics.snapshot()

@@ -28,9 +28,12 @@ from __future__ import annotations
 import asyncio
 import os
 import threading
-from typing import Optional
+import time
+from typing import Dict, Optional
 
-from repro.obs.metrics import NULL_METRICS
+from repro.obs.distributed import NULL_DTRACER, DistributedTracer
+from repro.obs.metrics import NULL_METRICS, RollingHistogram
+from repro.serve.events import NULL_EVENTS
 from repro.serve.fleet import CompileFleet
 from repro.serve.jobs import (
     JobFailedError,
@@ -51,6 +54,8 @@ from repro.serve.wire import (
     ErrorCode,
     ErrorReply,
     FrameError,
+    HealthReply,
+    HealthRequest,
     Hello,
     HelloReply,
     PingReply,
@@ -95,6 +100,8 @@ class FleetFrontend:
         metrics=NULL_METRICS,
         allow_remote_shutdown: bool = True,
         backlog: int = 2048,
+        trace_dir: Optional[str] = None,
+        events=NULL_EVENTS,
     ) -> None:
         self.fleet = fleet
         self.endpoint = parse_endpoint(endpoint)
@@ -102,6 +109,14 @@ class FleetFrontend:
         self.metrics = metrics
         self.allow_remote_shutdown = allow_remote_shutdown
         self.backlog = backlog
+        self.dtracer = DistributedTracer(trace_dir, "frontend") \
+            if trace_dir else NULL_DTRACER
+        self.events = events if events is not None else NULL_EVENTS
+        #: Rolling per-op latency (µs) over the last minute — the
+        #: ``STATS`` reply's ``latency`` section.  Touched only from
+        #: the event loop, so no lock.
+        self._latency: Dict[str, RollingHistogram] = {}
+        self._started_at = time.time()
         #: The actually-bound endpoint (tcp port 0 resolves on start).
         self.bound: Optional[Endpoint] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -127,6 +142,8 @@ class FleetFrontend:
             sock = self._server.sockets[0]
             host, port = sock.getsockname()[:2]
             self.bound = Endpoint(scheme="tcp", host=host, port=port)
+        self._started_at = time.time()
+        self.events.emit("frontend.start", endpoint=str(self.bound))
         return self.bound
 
     def request_shutdown(self) -> None:
@@ -141,6 +158,8 @@ class FleetFrontend:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            self.events.emit("frontend.stop", endpoint=str(self.bound))
+            self.dtracer.close()
         if self.endpoint.scheme == "unix" and self.endpoint.path:
             try:
                 os.unlink(self.endpoint.path)
@@ -160,12 +179,16 @@ class FleetFrontend:
                 except ProtocolError as error:
                     # Bad JSON inside an intact frame: answer, carry on.
                     self.metrics.inc("frontend.bad_requests")
+                    self.events.emit("protocol.error", kind="message",
+                                     detail=str(error))
                     await write_frame(writer, reply_to_wire(
                         ErrorReply(error.code, str(error))))
                     continue
                 except FrameError as error:
                     # Broken byte stream: best-effort answer, hang up.
                     self.metrics.inc("frontend.frame_errors")
+                    self.events.emit("protocol.error", kind="frame",
+                                     detail=str(error))
                     await write_frame(writer, reply_to_wire(
                         ErrorReply(error.code, str(error))))
                     return
@@ -224,13 +247,29 @@ class FleetFrontend:
 
     # -- request dispatch ------------------------------------------------
 
+    def _observe_latency(self, op: str, began: float) -> None:
+        histogram = self._latency.get(op)
+        if histogram is None:
+            histogram = self._latency[op] = RollingHistogram()
+        histogram.observe(int((time.perf_counter() - began) * 1e6))
+
     async def _dispatch(self, raw) -> Reply:
         self.metrics.inc("frontend.requests")
+        began = time.perf_counter()
         try:
             request = request_from_wire(raw)
         except ProtocolError as error:
             self.metrics.inc("frontend.bad_requests")
+            self.events.emit("protocol.error", kind="request",
+                             detail=str(error))
             return ErrorReply(error.code, str(error))
+        op = str(raw.get("op", "?"))
+        try:
+            return await self._dispatch_typed(request)
+        finally:
+            self._observe_latency(op, began)
+
+    async def _dispatch_typed(self, request) -> Reply:
         if isinstance(request, CompileRequest):
             return await self._compile(request)
         if isinstance(request, PingRequest):
@@ -242,7 +281,15 @@ class FleetFrontend:
                 shards=health["shards"],
             )
         if isinstance(request, StatsRequest):
-            return StatsReply(self.fleet.stats())
+            return StatsReply(self._stats())
+        if isinstance(request, HealthRequest):
+            health = self.fleet.health()
+            return HealthReply(
+                healthy=bool(health["healthy"]),
+                shards=health["shards"],
+                uptime_seconds=round(time.time() - self._started_at, 3),
+                pid=os.getpid(),
+            )
         if isinstance(request, ShutdownRequest):
             if not self.allow_remote_shutdown:
                 return ErrorReply(ErrorCode.BAD_REQUEST,
@@ -253,20 +300,62 @@ class FleetFrontend:
                               "hello is only valid as the first frame")
         return ErrorReply(ErrorCode.INTERNAL, "unroutable request")
 
+    def _stats(self) -> Dict[str, object]:
+        """The ``STATS`` payload: the fleet's structural stats at the
+        top level (shape-compatible with PR 7 clients) plus ``server``
+        identity, the fleet ``metrics`` snapshot, and rolling per-op
+        ``latency`` summaries.  Everything here reads state — nothing
+        enters the compute path's queues or pools.
+        """
+        stats = dict(self.fleet.stats())
+        stats["server"] = {
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "protocol_version": PROTOCOL_VERSION,
+            "schema": store_schema(),
+            "endpoint": str(self.bound or self.endpoint),
+        }
+        snapshot = getattr(self.fleet, "metrics_snapshot", None)
+        if callable(snapshot):
+            stats["metrics"] = snapshot()
+        stats["latency"] = {
+            op: self._latency[op].summary()
+            for op in sorted(self._latency)
+        }
+        return stats
+
     async def _compile(self, request: CompileRequest) -> Reply:
         loop = asyncio.get_running_loop()
+        # The frontend hop of the distributed trace.  A client-sent
+        # context is adopted; with none, a trace-enabled server starts
+        # its own trace here.  When the server has no tracer the null
+        # span's ids are None and the incoming context passes through
+        # to the fleet untouched.
+        span = self.dtracer.start_span(
+            "frontend.request",
+            trace_id=request.trace_id,
+            parent_span_id=request.parent_span_id,
+            benchmark=request.cell.benchmark,
+            scheme=request.cell.scheme,
+        )
+        trace_id = span.trace_id or request.trace_id
+        parent_id = span.span_id or request.parent_span_id
         try:
             handle = self.fleet.submit(JobRequest(
                 cell=request.cell, program_text=request.program_text,
+                trace_id=trace_id, parent_span_id=parent_id,
             ))
         except ServeError as error:
             self.metrics.inc("frontend.rejected")
+            span.finish(outcome="rejected",
+                        error=type(error).__name__)
             return ErrorReply(error_code_for(error), str(error))
         except Exception as error:
             # The request cannot even be content-keyed (unknown scheme,
             # bad benchmark name, unparsable program): a client bug, not
             # a fleet failure — resending it verbatim cannot succeed.
             self.metrics.inc("frontend.bad_requests")
+            span.finish(outcome="bad_request")
             return ErrorReply(ErrorCode.BAD_REQUEST, str(error))
         future: "asyncio.Future[JobHandle]" = loop.create_future()
 
@@ -284,6 +373,8 @@ class FleetFrontend:
             settled = await asyncio.wait_for(future, request.timeout)
         except asyncio.TimeoutError:
             self.metrics.inc("frontend.request_timeouts")
+            span.annotate("timeout")
+            span.finish(outcome="timeout")
             return ErrorReply(
                 ErrorCode.TIMEOUT,
                 f"request deadline of {request.timeout}s expired; the "
@@ -292,8 +383,15 @@ class FleetFrontend:
         error = settled.error
         if error is not None:
             self.metrics.inc("frontend.failed")
+            span.finish(outcome="failed", error=type(error).__name__)
             return ErrorReply(error_code_for(error), str(error))
         self.metrics.inc("frontend.compiles")
+        span.finish(
+            outcome="ok",
+            shard=getattr(settled, "shard", -1),
+            source=getattr(settled, "source", "computed"),
+            attempts=settled.attempts,
+        )
         return CompileReply(
             result=result_to_payload(settled.key, settled.result(0)),
             cached=settled.cached,

@@ -71,10 +71,19 @@ class JobRequest:
     (:func:`repro.ir.printer.format_program`); None means "the built-in
     benchmark named by ``cell.benchmark``" and the service resolves the
     text itself for keying.
+
+    ``trace_id``/``parent_span_id`` carry the distributed trace context
+    (:mod:`repro.obs.distributed`) down through the fleet and service.
+    They are observability-only: content keying
+    (:func:`repro.serve.router.request_key`) ignores them, so two
+    requests for the same work still dedup onto one computation even
+    when they belong to different traces.
     """
 
     cell: GridCell
     program_text: Optional[str] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
 
 @dataclass

@@ -107,6 +107,50 @@ def _service_worker(task):
     return _run_task(task)
 
 
+#: Per-process cache of worker-side distributed tracers, keyed by
+#: (trace directory, shard, pid).  The pid key matters: a pool worker is
+#: forked from the service process and must not write through an
+#: inherited parent handle.
+_worker_tracers: Dict[Tuple[Optional[str], Optional[int], int], object] = {}
+
+
+def _worker_tracer(trace_dir: str, shard: Optional[int]):
+    from repro.obs.distributed import DistributedTracer
+
+    key = (trace_dir, shard, os.getpid())
+    tracer = _worker_tracers.get(key)
+    if tracer is None:
+        tracer = DistributedTracer(trace_dir, "worker", shard=shard)
+        _worker_tracers[key] = tracer
+    return tracer
+
+
+def _traced_call(worker, trace_dir, shard, specs, task):
+    """Run ``worker(task)`` inside per-request ``worker.run_task`` spans.
+
+    ``specs`` is a list of ``(trace_id, parent_span_id)`` pairs — one
+    per traced job coalesced into this group task.  The wrapper lives
+    *around* the injected worker rather than inside it, so test workers
+    (crashers, gated workers) keep their exact signature and payload.
+    With no specs or no trace directory this is a plain passthrough.
+    """
+    if not trace_dir or not specs:
+        return worker(task)
+    tracer = _worker_tracer(trace_dir, shard)
+    bench, scheme = task[0], task[1]
+    spans = [
+        tracer.start_span("worker.run_task", trace_id=trace_id,
+                          parent_span_id=parent, benchmark=bench,
+                          scheme=scheme, group_jobs=len(specs))
+        for trace_id, parent in specs
+    ]
+    try:
+        return worker(task)
+    finally:
+        for span in spans:
+            span.finish()
+
+
 class CompileService:
     """Batched, cached, retrying front end over the engine worker pool.
 
@@ -124,6 +168,11 @@ class CompileService:
         worker: Override of the pool worker function (tests inject
             crashing workers through this seam; must be picklable).
         sleep: Override of the backoff sleep (tests pass a no-op).
+        trace_dir: Distributed-trace export directory; when set, jobs
+            that carry a trace context get a ``worker.run_task`` span
+            written from inside the pool worker process.
+        shard: Shard identity stamped on worker spans (None outside a
+            fleet).
     """
 
     def __init__(
@@ -139,8 +188,12 @@ class CompileService:
         tracer=NULL_TRACER,
         worker: Optional[Callable] = None,
         sleep: Callable[[float], None] = time.sleep,
+        trace_dir: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> None:
         self.store = store
+        self.trace_dir = trace_dir
+        self.shard = shard
         self.jobs = max(1, jobs)
         self.batch_size = max(1, batch_size)
         self.job_timeout = job_timeout
@@ -307,6 +360,14 @@ class CompileService:
             else:
                 memo_spec = (None, 0.0)
         task = (bench, scheme, indexed, 0, None, text, memo_spec)
+        trace_specs = []
+        if self.trace_dir is not None:
+            trace_specs = [
+                (job.handle.request.trace_id,
+                 job.handle.request.parent_span_id)
+                for job in jobs
+                if getattr(job.handle.request, "trace_id", None)
+            ]
         attempts = self.retries + 1
         error: Optional[BaseException] = None
         retryable = True
@@ -318,7 +379,14 @@ class CompileService:
                 self._sleep(self.backoff * (2 ** (attempt - 1)))
             self.metrics.inc("serve.dispatches")
             try:
-                future = self._ensure_executor().submit(self._worker, task)
+                if trace_specs:
+                    future = self._ensure_executor().submit(
+                        _traced_call, self._worker, self.trace_dir,
+                        self.shard, trace_specs, task,
+                    )
+                else:
+                    future = self._ensure_executor().submit(
+                        self._worker, task)
                 out, _, _, snapshot, _memo_stats = future.result(
                     timeout=self.job_timeout
                 )

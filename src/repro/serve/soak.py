@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.engine import GridCell
-from repro.obs.metrics import NULL_METRICS
+from repro.obs.distributed import NULL_DTRACER, DistributedTracer
+from repro.obs.metrics import NULL_METRICS, Histogram
 from repro.serve.client import Client
 
 
@@ -73,6 +74,14 @@ class SoakReport:
     warm_latencies: List[float] = field(default_factory=list)
     cold_latencies: List[float] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    #: The same latencies as obs histograms (µs) — the *second* way the
+    #: soak computes percentiles.  Exact list percentiles gate the load
+    #: benchmark; these are what a merged/serialized metrics view would
+    #: report, and ``tests/test_soak_agreement.py`` bounds how far the
+    #: two may diverge (the power-of-two-bucket upper-bound contract).
+    histograms: Dict[str, Histogram] = field(
+        default_factory=lambda: {"all": Histogram(), "warm": Histogram(),
+                                 "cold": Histogram()})
 
     @property
     def dropped(self) -> int:
@@ -100,6 +109,15 @@ class SoakReport:
             "latency": _summarize(self.latencies),
             "warm_latency": _summarize(self.warm_latencies),
             "cold_latency": _summarize(self.cold_latencies),
+            "latency_hist_us": {
+                name: {
+                    "count": hist.count,
+                    "p50": hist.percentile(50),
+                    "p95": hist.percentile(95),
+                    "p99": hist.percentile(99),
+                }
+                for name, hist in sorted(self.histograms.items())
+            },
             "sources": {k: source_counts[k] for k in sorted(source_counts)},
         }
 
@@ -117,6 +135,7 @@ def run_soak(
     retries: int = 4,
     metrics=NULL_METRICS,
     on_request: Optional[object] = None,
+    trace_dir: Optional[str] = None,
 ) -> SoakReport:
     """Drive a many-client soak against a running front-end.
 
@@ -133,6 +152,9 @@ def run_soak(
     is *issued* — is the fault-injection hook the kill-a-shard tests
     use.  Per-request failures are recorded, never raised: the report's
     ``errors``/``dropped`` fields are the assertion surface.
+    ``trace_dir`` enables distributed tracing: all soak clients share
+    one ``client``-role tracer, each request gets a root span, and the
+    trace context rides the wire to the fleet.
     """
     total = len(cells) if requests is None else requests
     if total <= 0 or not cells:
@@ -141,6 +163,8 @@ def run_soak(
     report = SoakReport(clients=clients, requests=total)
     lock = threading.Lock()
     start_gate = threading.Event()
+    tracer = DistributedTracer(trace_dir, "client") \
+        if trace_dir else NULL_DTRACER
 
     def worker(worker_index: int) -> None:
         start_gate.wait()
@@ -148,7 +172,7 @@ def run_soak(
             time.sleep(ramp_seconds * worker_index / (clients - 1))
         client = Client(
             endpoint, timeout=client_timeout, retries=retries,
-            client_name=f"soak-{worker_index:04d}",
+            client_name=f"soak-{worker_index:04d}", tracer=tracer,
         )
         try:
             with client:
@@ -170,6 +194,7 @@ def run_soak(
                         continue
                     elapsed = time.perf_counter() - began
                     warm = reply.cached
+                    micros = int(elapsed * 1e6)
                     with lock:
                         report.completed += 1
                         report.payloads[index] = reply.result
@@ -177,6 +202,9 @@ def run_soak(
                         report.latencies.append(elapsed)
                         (report.warm_latencies if warm
                          else report.cold_latencies).append(elapsed)
+                        report.histograms["all"].observe(micros)
+                        report.histograms[
+                            "warm" if warm else "cold"].observe(micros)
                     metrics.inc("soak.completed")
                     metrics.observe("soak.latency_us",
                                     int(elapsed * 1e6))
@@ -205,4 +233,6 @@ def run_soak(
         thread.join()
     report.wall_seconds = time.perf_counter() - began
     metrics.gauge("soak.qps", report.qps)
+    if tracer is not NULL_DTRACER:
+        tracer.close()
     return report

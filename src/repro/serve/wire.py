@@ -323,11 +323,20 @@ class Hello:
 @dataclass(frozen=True)
 class CompileRequest:
     """One cell to compile; ``program_text`` None means the built-in
-    benchmark named by ``cell.benchmark``."""
+    benchmark named by ``cell.benchmark``.
+
+    ``trace_id``/``parent_span_id`` are the distributed trace context
+    (:mod:`repro.obs.distributed`).  Both are optional and emitted on
+    the wire only when set, so the message shape — and protocol
+    version 1 — are unchanged for untraced clients, and version-1
+    servers that predate tracing simply ignore the extra fields.
+    """
 
     cell: GridCell
     program_text: Optional[str] = None
     timeout: Optional[float] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -341,12 +350,19 @@ class StatsRequest:
 
 
 @dataclass(frozen=True)
+class HealthRequest:
+    """Cheap liveness/readiness probe: shard up/down map only, no
+    metrics collection.  Like ``stats``, answered by the front-end
+    without touching the compute path."""
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     """Ask the front-end to stop serving (drains the fleet)."""
 
 
 Request = Union[Hello, CompileRequest, PingRequest, StatsRequest,
-                ShutdownRequest]
+                HealthRequest, ShutdownRequest]
 
 
 def request_to_wire(request: Request) -> Dict[str, object]:
@@ -362,11 +378,17 @@ def request_to_wire(request: Request) -> Dict[str, object]:
             message["program_text"] = request.program_text
         if request.timeout is not None:
             message["timeout"] = request.timeout
+        if request.trace_id is not None:
+            message["trace_id"] = request.trace_id
+        if request.parent_span_id is not None:
+            message["parent_span_id"] = request.parent_span_id
         return message
     if isinstance(request, PingRequest):
         return {"op": "ping"}
     if isinstance(request, StatsRequest):
         return {"op": "stats"}
+    if isinstance(request, HealthRequest):
+        return {"op": "health"}
     if isinstance(request, ShutdownRequest):
         return {"op": "shutdown"}
     raise TypeError(f"not a request: {request!r}")
@@ -392,14 +414,25 @@ def request_from_wire(raw: Dict[str, object]) -> Request:
         timeout = raw.get("timeout")
         if timeout is not None and not isinstance(timeout, (int, float)):
             raise ProtocolError("compile.timeout must be a number")
+        trace_id = raw.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ProtocolError("compile.trace_id must be a string")
+        parent_span_id = raw.get("parent_span_id")
+        if parent_span_id is not None \
+                and not isinstance(parent_span_id, str):
+            raise ProtocolError("compile.parent_span_id must be a string")
         return CompileRequest(cell=cell_from_wire(raw["cell"]),
                               program_text=text,
                               timeout=None if timeout is None
-                              else float(timeout))
+                              else float(timeout),
+                              trace_id=trace_id,
+                              parent_span_id=parent_span_id)
     if op == "ping":
         return PingRequest()
     if op == "stats":
         return StatsRequest()
+    if op == "health":
+        return HealthRequest()
     if op == "shutdown":
         return ShutdownRequest()
     raise ProtocolError(f"unknown op {op!r}")
@@ -443,6 +476,16 @@ class StatsReply:
 
 
 @dataclass(frozen=True)
+class HealthReply:
+    """Liveness summary: overall health, per-shard up/down, identity."""
+
+    healthy: bool
+    shards: Dict[str, object] = field(default_factory=dict)
+    uptime_seconds: float = 0.0
+    pid: int = 0
+
+
+@dataclass(frozen=True)
 class ShutdownReply:
     """Acknowledged; the front-end stops accepting connections."""
 
@@ -456,7 +499,7 @@ class ErrorReply:
 
 
 Reply = Union[HelloReply, CompileReply, PingReply, StatsReply,
-              ShutdownReply, ErrorReply]
+              HealthReply, ShutdownReply, ErrorReply]
 
 
 def reply_to_wire(reply: Reply) -> Dict[str, object]:
@@ -477,6 +520,10 @@ def reply_to_wire(reply: Reply) -> Dict[str, object]:
                 "shards": reply.shards}
     if isinstance(reply, StatsReply):
         return {"ok": True, "op": "stats", "stats": reply.stats}
+    if isinstance(reply, HealthReply):
+        return {"ok": True, "op": "health", "healthy": reply.healthy,
+                "shards": reply.shards,
+                "uptime_seconds": reply.uptime_seconds, "pid": reply.pid}
     if isinstance(reply, ShutdownReply):
         return {"ok": True, "op": "shutdown"}
     raise TypeError(f"not a reply: {reply!r}")
@@ -520,6 +567,14 @@ def reply_from_wire(raw: Dict[str, object]) -> Reply:
         if not isinstance(stats, dict):
             raise ProtocolError("stats reply without a stats object")
         return StatsReply(stats=stats)
+    if op == "health":
+        return HealthReply(
+            healthy=bool(raw.get("healthy", False)),
+            shards=raw.get("shards", {})
+            if isinstance(raw.get("shards"), dict) else {},
+            uptime_seconds=float(raw.get("uptime_seconds", 0.0)),
+            pid=int(raw.get("pid", 0)),
+        )
     if op == "shutdown":
         return ShutdownReply()
     raise ProtocolError(f"unknown reply op {op!r}")

@@ -1,0 +1,175 @@
+"""The ``tools/bench_regress.py`` CI gate.
+
+Fabricated snapshots drive every check: the scale-invariant contracts
+(obs overhead bound, memo serving, zero chaos drops, percentile
+agreement) must fire regardless of baseline, and the tolerance bands
+must fire only when the fresh run's scale matches the baseline's.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_regress",
+    pathlib.Path(__file__).parent.parent / "tools" / "bench_regress.py")
+bench_regress = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_regress)
+
+
+def _obs(**overrides):
+    snap = {"grid_cells": 192, "overhead_ratio": 1.04, "span_count": 241}
+    snap.update(overrides)
+    return snap
+
+
+def _sched(**overrides):
+    snap = {"grid_cells": 192, "warm_speedup": 4.0,
+            "memo": {"cold_misses": 100, "warm_hits": 300}}
+    snap.update(overrides)
+    return snap
+
+
+def _load(**overrides):
+    latency = {"count": 2000, "p50": 0.0005, "p95": 0.001, "p99": 0.002}
+    snap = {
+        "grid_cells": 192, "clients": 1000, "sustained_qps": 200.0,
+        "latency": dict(latency), "warm_latency": dict(latency),
+        "latency_hist_us": {
+            "all": {"count": 2000, "p50": 511, "p95": 1023, "p99": 2047},
+            "warm": {"count": 2000, "p50": 511, "p95": 1023,
+                     "p99": 2047},
+        },
+        "warm_p99_bound_seconds": 0.088,
+        "identical_to_direct": True,
+        "chaos": {"dropped_on_shard_kill": 0, "shard_kills": 1},
+    }
+    snap.update(overrides)
+    return snap
+
+
+class TestContracts:
+    def test_clean_snapshots_pass(self):
+        assert not bench_regress.check_obs(_obs())
+        assert not bench_regress.check_sched(_sched())
+        assert not bench_regress.check_load(_load())
+
+    def test_obs_overhead_hard_bound(self):
+        (violation,) = bench_regress.check_obs(_obs(overhead_ratio=1.6))
+        assert "1.5x bound" in violation
+
+    def test_sched_memo_must_serve(self):
+        violations = bench_regress.check_sched(_sched(
+            warm_speedup=0.8,
+            memo={"cold_misses": 100, "warm_hits": 10}))
+        assert len(violations) == 2
+        assert any("warm_speedup" in v for v in violations)
+        assert any("not serving" in v for v in violations)
+
+    def test_load_chaos_and_p99(self):
+        chaos = {"dropped_on_shard_kill": 3, "shard_kills": 0}
+        warm = {"count": 10, "p50": 0.1, "p95": 0.1, "p99": 0.2}
+        violations = bench_regress.check_load(_load(
+            chaos=chaos, warm_latency=warm, latency_hist_us={}))
+        assert any("dropped" in v for v in violations)
+        assert any("shard kills" in v for v in violations)
+        assert any("exceeds its" in v for v in violations)
+
+    def test_percentile_agreement_gate(self):
+        # A histogram p99 above 2x the exact p99 breaks the agreement
+        # contract even though every latency bound still holds.
+        snap = _load()
+        snap["latency_hist_us"]["warm"]["p99"] = 8191
+        (violation,) = bench_regress.check_load(snap)
+        assert "agreement bound" in violation
+        # Empty splits are skipped, not compared.
+        snap = _load()
+        snap["latency_hist_us"]["warm"] = {"count": 0, "p50": None,
+                                           "p95": None, "p99": None}
+        assert not bench_regress.check_load(snap)
+
+
+class TestToleranceBands:
+    def test_bands_apply_only_at_matched_scale(self):
+        slow = _load(sustained_qps=10.0)
+        # Same scale: the qps floor fires.
+        (violation,) = bench_regress.check_load(slow, _load())
+        assert "fell below" in violation
+        # Shrunken CI run (different client count): band skipped.
+        assert not bench_regress.check_load(
+            slow, _load(clients=50, sustained_qps=500.0))
+
+    def test_obs_drift_band(self):
+        fresh = _obs(overhead_ratio=1.4)
+        (violation,) = bench_regress.check_obs(fresh, _obs())
+        assert "baseline" in violation
+        assert not bench_regress.check_obs(
+            fresh, _obs(grid_cells=8, overhead_ratio=1.0))
+
+    def test_sched_speedup_floor(self):
+        fresh = _sched(warm_speedup=1.5)
+        (violation,) = bench_regress.check_sched(
+            fresh, _sched(warm_speedup=4.0))
+        assert "0.5x the baseline" in violation
+        assert not bench_regress.check_sched(
+            fresh, _sched(warm_speedup=2.0))
+
+
+class TestRunner:
+    def _write(self, directory, obs=None, sched=None, load=None):
+        directory.mkdir(exist_ok=True)
+        for name, snap in (("BENCH_obs.json", obs or _obs()),
+                           ("BENCH_sched.json", sched or _sched()),
+                           ("BENCH_load.json", load or _load())):
+            (directory / name).write_text(json.dumps(snap))
+
+    def test_run_clean_tree(self, tmp_path):
+        fresh = tmp_path / "fresh"
+        baseline = tmp_path / "baseline"
+        self._write(fresh)
+        self._write(baseline)
+        out = io.StringIO()
+        violations = bench_regress.run(str(fresh), str(baseline),
+                                       out=out)
+        assert violations == []
+        report = out.getvalue()
+        assert report.count("ok") == 3
+        assert "(baseline)" in report
+
+    def test_run_flags_regressions_and_missing_files(self, tmp_path):
+        fresh = tmp_path / "fresh"
+        self._write(fresh, obs=_obs(overhead_ratio=2.0))
+        (fresh / "BENCH_sched.json").unlink()
+        out = io.StringIO()
+        violations = bench_regress.run(
+            str(fresh), str(tmp_path / "nonexistent"), out=out)
+        assert any("snapshot missing" in v for v in violations)
+        assert any("1.5x bound" in v for v in violations)
+        assert "REGRESSION" in out.getvalue()
+        assert "FAIL" in out.getvalue()
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh"
+        baseline = tmp_path / "baseline"
+        self._write(fresh)
+        self._write(baseline)
+        assert bench_regress.main(
+            ["--fresh-dir", str(fresh),
+             "--baseline-dir", str(baseline)]) == 0
+        self._write(fresh, load=_load(identical_to_direct=False))
+        assert bench_regress.main(
+            ["--fresh-dir", str(fresh),
+             "--baseline-dir", str(baseline)]) == 1
+        assert "diverged" in capsys.readouterr().out
+
+    def test_committed_snapshots_pass_the_gate(self):
+        """The real repo snapshots satisfy their own contracts."""
+        repo = bench_regress.REPO_ROOT
+        for name, check in bench_regress.CHECKS:
+            snap = json.loads((repo / name).read_text())
+            assert check(snap) == [], name

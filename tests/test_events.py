@@ -1,0 +1,128 @@
+"""The structured fleet event log (:mod:`repro.serve.events`).
+
+Rotation keeps every retained file intact JSONL and
+:func:`read_events` replays backups oldest-first; the fleet emits the
+lifecycle events DESIGN.md §14 lists (shard start/kill/restart, request
+retries, fleet close) without ever letting a logging failure into the
+serving path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.events import (
+    NULL_EVENTS,
+    EventLog,
+    iter_events,
+    read_events,
+)
+
+from tests.test_fleet import _fast_fleet, _wait_for
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestEventLog:
+    def test_emit_appends_flushed_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path), clock=FakeClock())
+        log.emit("shard.start", shard=0, generation=0)
+        log.emit("hot.evict", evicted=3)
+        # Records are readable before close — emit flushes.
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        log.close()
+        assert [r["event"] for r in rows] == ["shard.start", "hot.evict"]
+        assert rows[0]["shard"] == 0 and rows[0]["ts"] == 51.0
+        assert all("pid" in r for r in rows)
+
+    def test_unserializable_fields_degrade_not_raise(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        # default=str covers most objects; tuple dict keys defeat even
+        # that, and the log must still record the event name.
+        log.emit("weird", payload={(1, 2): "x"})
+        log.close()
+        (row,) = read_events(str(path))
+        assert row["event"] == "weird"
+        assert row["error"] == "unserializable fields"
+
+    def test_rotation_shifts_backups_and_drops_oldest(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path), max_bytes=120, backups=2)
+        for index in range(12):
+            log.emit("tick", index=index)
+        log.close()
+        assert path.exists()
+        assert (tmp_path / "events.jsonl.1").exists()
+        assert (tmp_path / "events.jsonl.2").exists()
+        assert not (tmp_path / "events.jsonl.3").exists()
+        # Every retained file is intact JSONL and the merged view is
+        # oldest-first with no duplicates.
+        merged = read_events(str(path))
+        indices = [row["index"] for row in merged]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        assert indices[-1] == 11  # the live tail is always retained
+
+    def test_zero_backups_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path), max_bytes=100, backups=0)
+        for index in range(10):
+            log.emit("tick", index=index)
+        log.close()
+        assert not (tmp_path / "events.jsonl.1").exists()
+        assert read_events(str(path))  # live file still intact
+
+    def test_reader_skips_torn_lines_and_missing_files(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert read_events(str(path)) == []
+        log = EventLog(str(path))
+        log.emit("ok")
+        log.close()
+        with open(path, "a") as handle:
+            handle.write('{"event": "torn')
+        assert [r["event"] for r in iter_events(str(path))] == ["ok"]
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(str(tmp_path / "e.jsonl"), max_bytes=0)
+
+    def test_null_log_is_silent(self):
+        NULL_EVENTS.emit("anything", n=1)
+        NULL_EVENTS.close()
+
+
+class TestFleetLifecycleEvents:
+    def test_fleet_emits_start_kill_restart_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(str(path))
+        fleet = _fast_fleet(tmp_path, events=log)
+        try:
+            fleet.kill_shard(0, timeout=0.5)
+            _wait_for(
+                lambda: fleet.health()["shards"]["0"]["generation"] >= 1,
+                message="shard 0 restarted",
+            )
+        finally:
+            fleet.close()
+            log.close()
+        events = [row["event"] for row in read_events(str(path))]
+        assert events.count("shard.start") == 2
+        assert "fleet.start" in events
+        assert "shard.kill" in events
+        assert "shard.restart" in events
+        assert events[-1] == "fleet.close"
+        restart = next(row for row in read_events(str(path))
+                       if row["event"] == "shard.restart")
+        assert restart["shard"] == 0 and restart["generation"] >= 1

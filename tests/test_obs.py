@@ -321,6 +321,125 @@ class TestMetricsRegistry:
         assert snap["total_seconds"] == pytest.approx(0.5)
 
 
+class TestGaugeModes:
+    def test_default_max_is_a_high_water_mark(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("memo.entries", 14, mode="max")
+        b.gauge("memo.entries", 9)
+        a.merge(b)
+        assert a.gauges["memo.entries"] == 14
+
+    def test_last_mode_adopts_the_incoming_value(self):
+        # A shard's *current* queue depth: after the queue drains, the
+        # newest snapshot must win or the stale peak pins forever.
+        fleet, shard = MetricsRegistry(), MetricsRegistry()
+        fleet.gauge("fleet.queued", 120, mode="last")
+        shard.gauge("fleet.queued", 0, mode="last")
+        fleet.merge(shard)
+        assert fleet.gauges["fleet.queued"] == 0
+
+    def test_receiver_learns_mode_from_the_incoming_side(self):
+        receiver, sender = MetricsRegistry(), MetricsRegistry()
+        sender.gauge("fleet.inflight", 3, mode="last")
+        receiver.merge(sender)
+        sender2 = MetricsRegistry()
+        sender2.gauge("fleet.inflight", 1, mode="last")
+        receiver.merge(sender2)
+        assert receiver.gauges["fleet.inflight"] == 1
+
+    def test_mode_is_sticky_until_changed(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("g", 5, mode="last")
+        metrics.gauge("g", 7)  # no mode -> keeps "last"
+        assert metrics.gauge_modes == {"g": "last"}
+        metrics.gauge("g", 9, mode="max")  # explicit reset
+        assert metrics.gauge_modes == {}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().gauge("g", 1, mode="sum")
+
+    def test_modes_round_trip_through_snapshots(self):
+        worker = MetricsRegistry()
+        worker.gauge("fleet.queued", 4, mode="last")
+        worker.gauge("memo.entries", 10, mode="max")
+        snap = json.loads(json.dumps(worker.snapshot()))
+        assert snap["gauge_modes"] == {"fleet.queued": "last"}
+        clone = MetricsRegistry.from_snapshot(snap)
+        assert clone.gauge_modes == {"fleet.queued": "last"}
+        clone.merge_snapshot(
+            {"gauges": {"fleet.queued": 1, "memo.entries": 6}})
+        assert clone.gauges == {"fleet.queued": 1, "memo.entries": 10}
+
+    def test_mode_free_snapshot_keeps_the_old_shape(self):
+        # Back-compat: registries that never used "last" serialize
+        # exactly as before the modes existed.
+        metrics = MetricsRegistry()
+        metrics.gauge("g", 1)
+        metrics.gauge("h", 2, mode="max")
+        assert "gauge_modes" not in metrics.snapshot()
+        assert set(metrics.snapshot()) == {"counters", "gauges",
+                                           "histograms"}
+
+    def test_format_table_names_the_mode(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("depth", 3, mode="last")
+        metrics.gauge("peak", 9)
+        table = metrics.format_table()
+        assert "(gauge:last)" in table
+        assert "(gauge:max)" in table
+
+    def test_null_metrics_accepts_mode(self):
+        NullMetrics().gauge("g", 1, mode="last")
+
+
+class TestRollingHistogram:
+    def _rolling(self, clock):
+        from repro.obs import RollingHistogram
+
+        return RollingHistogram(window_seconds=10.0, windows=3,
+                                clock=clock)
+
+    def test_summary_over_live_windows(self):
+        now = {"t": 0.0}
+        rolling = self._rolling(lambda: now["t"])
+        for value in (100, 200, 400):
+            rolling.observe(value)
+        summary = rolling.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 100 and summary["max"] == 400
+        assert summary["window_seconds"] == 30.0
+        assert summary["p50"] >= 200
+        assert summary["p99"] <= 400
+
+    def test_old_windows_age_out(self):
+        now = {"t": 0.0}
+        rolling = self._rolling(lambda: now["t"])
+        rolling.observe(1_000_000)  # a slow outlier at t=0
+        now["t"] = 15.0
+        rolling.observe(100)
+        assert rolling.merged().count == 2  # still inside the horizon
+        now["t"] = 35.0  # window 0 is now beyond 3x10s
+        rolling.observe(100)
+        merged = rolling.merged()
+        assert merged.count == 2
+        assert merged.max == 100  # the outlier no longer dominates p99
+
+    def test_empty_summary(self):
+        now = {"t": 0.0}
+        summary = self._rolling(lambda: now["t"]).summary()
+        assert summary["count"] == 0
+        assert summary["p99"] is None
+
+    def test_rejects_degenerate_config(self):
+        from repro.obs import RollingHistogram
+
+        with pytest.raises(ValueError):
+            RollingHistogram(window_seconds=0)
+        with pytest.raises(ValueError):
+            RollingHistogram(windows=0)
+
+
 class TestMetricsScope:
     def test_default_is_null(self):
         assert current_metrics() is NULL_METRICS

@@ -1,0 +1,115 @@
+"""The soak harness computes every percentile two ways — exact
+nearest-rank over the raw sample list, and the power-of-two-bucket
+:meth:`~repro.obs.metrics.Histogram.percentile` over the same samples
+in microseconds.  The exact numbers gate the load benchmark; the
+histogram numbers are what a merged/serialized metrics view reports.
+These tests pin the agreement bound between the two: the histogram
+estimate is an upper bound on the exact percentile and is never more
+than 2x it (the bucket-width contract), so neither view can silently
+drift into telling a different latency story.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.serve.soak import SoakReport, percentile
+
+QUANTILES = (50, 90, 95, 99)
+
+
+def _both_ways(samples_us):
+    """(exact, histogram-estimate) per quantile for one sample set."""
+    histogram = Histogram()
+    for value in samples_us:
+        histogram.observe(value)
+    exact = {q: percentile(samples_us, q) for q in QUANTILES}
+    estimate = {q: histogram.percentile(q) for q in QUANTILES}
+    return exact, estimate
+
+
+def _assert_agreement(samples_us):
+    exact, estimate = _both_ways(samples_us)
+    for q in QUANTILES:
+        assert estimate[q] >= exact[q], (
+            f"p{q}: histogram {estimate[q]} under-reports "
+            f"exact {exact[q]}")
+        bound = max(2 * exact[q], 1)
+        assert estimate[q] <= bound, (
+            f"p{q}: histogram {estimate[q]} exceeds 2x exact "
+            f"{exact[q]}")
+        # Estimates are clamped to the observed range.
+        assert min(samples_us) <= estimate[q] <= max(samples_us)
+
+
+class TestPercentileAgreement:
+    def test_uniform_latencies(self):
+        _assert_agreement(list(range(1, 2001)))
+
+    def test_heavy_tailed_latencies(self):
+        # Soak-shaped: a warm bulk at ~500µs with a cold 1%-ish tail
+        # out to seconds, the regime where bucket error matters most.
+        rng = random.Random(7)
+        samples = [rng.randint(300, 900) for _ in range(990)]
+        samples += [rng.randint(200_000, 2_000_000) for _ in range(10)]
+        _assert_agreement(samples)
+
+    def test_single_sample_and_identical_samples(self):
+        _assert_agreement([777])
+        _assert_agreement([64] * 100)
+
+    def test_powers_of_two_are_exact(self):
+        # Bucket upper bounds land exactly on 2^k - 1; values of that
+        # shape give zero divergence.
+        samples = [(1 << k) - 1 for k in range(1, 12)] * 3
+        exact, estimate = _both_ways(samples)
+        assert exact == estimate
+
+    def test_report_carries_both_views_consistently(self):
+        report = SoakReport(clients=2, requests=6)
+        latencies_s = [0.001, 0.002, 0.004, 0.032, 0.001, 0.250]
+        for index, seconds in enumerate(latencies_s):
+            warm = index % 2 == 0
+            report.completed += 1
+            report.latencies.append(seconds)
+            (report.warm_latencies if warm
+             else report.cold_latencies).append(seconds)
+            micros = int(seconds * 1e6)
+            report.histograms["all"].observe(micros)
+            report.histograms["warm" if warm else "cold"].observe(micros)
+        summary = report.as_dict()
+        hist = summary["latency_hist_us"]
+        assert set(hist) == {"all", "warm", "cold"}
+        assert hist["all"]["count"] == summary["latency"]["count"] == 6
+        assert (hist["warm"]["count"] + hist["cold"]["count"]) == 6
+        for name, exact_key in (("all", "latency"),
+                                ("warm", "warm_latency"),
+                                ("cold", "cold_latency")):
+            for q in (50, 95, 99):
+                exact_us = summary[exact_key][f"p{q}"] * 1e6
+                estimate = hist[name][f"p{q}"]
+                assert estimate >= exact_us * 0.999
+                assert estimate <= max(2 * exact_us, 1)
+
+    def test_zero_and_empty_edge_cases(self):
+        empty = Histogram()
+        assert empty.percentile(99) is None
+        assert percentile([], 99) == 0.0
+        zeros = Histogram()
+        for _ in range(5):
+            zeros.observe(0)
+        assert zeros.percentile(99) == 0
+        assert percentile([0.0] * 5, 99) == 0.0
+
+    @pytest.mark.parametrize("q", QUANTILES)
+    def test_same_rank_convention(self, q):
+        # Both views use nearest-rank: for n samples the exact view
+        # picks ordered[ceil(n*q/100) - 1]; the histogram picks the
+        # bucket holding that same rank.  With one sample per bucket
+        # the two coincide on the bucket upper bound.
+        samples = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+        exact, estimate = _both_ways(samples)
+        assert estimate[q] == min(2 * exact[q] - 1, max(samples))

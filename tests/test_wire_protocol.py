@@ -26,6 +26,8 @@ from repro.serve.wire import (
     ErrorCode,
     ErrorReply,
     FrameTooLargeError,
+    HealthReply,
+    HealthRequest,
     Hello,
     HelloReply,
     PingReply,
@@ -146,8 +148,11 @@ class TestMessageCodecs:
             CompileRequest(cell=cell, program_text="program entry=...",
                            timeout=5.0),
             CompileRequest(cell=cell),
+            CompileRequest(cell=cell, trace_id="a" * 32,
+                           parent_span_id="b" * 16),
             PingRequest(),
             StatsRequest(),
+            HealthRequest(),
             ShutdownRequest(),
         ):
             assert request_from_wire(request_to_wire(request)) == request
@@ -160,10 +165,38 @@ class TestMessageCodecs:
             PingReply(protocol_version=1, schema="s", healthy=True,
                       shards={"0": {"up": True}}),
             StatsReply(stats={"inflight": 0}),
+            HealthReply(healthy=True, shards={"0": {"up": True}},
+                        uptime_seconds=1.5, pid=42),
             ShutdownReply(),
             ErrorReply(code=ErrorCode.SATURATED, message="queue full"),
         ):
             assert reply_from_wire(reply_to_wire(reply)) == reply
+
+    def test_trace_context_is_optional_and_version_1_compatible(self):
+        cell = GridCell("compress", "treegion", "4U", "global_weight",
+                        dominator_parallelism=True)
+        # A context-free request puts NO trace keys on the wire — the
+        # exact frames a pre-tracing peer produces and expects.
+        bare = request_to_wire(CompileRequest(cell=cell))
+        assert "trace_id" not in bare and "parent_span_id" not in bare
+        parsed = request_from_wire(bare)
+        assert parsed.trace_id is None and parsed.parent_span_id is None
+        # With context, both fields ride along.
+        traced = request_to_wire(CompileRequest(
+            cell=cell, trace_id="t1", parent_span_id="s1"))
+        assert traced["trace_id"] == "t1"
+        assert traced["parent_span_id"] == "s1"
+
+    def test_malformed_trace_fields_are_bad_request(self):
+        cell_wire = request_to_wire(CompileRequest(
+            cell=GridCell("compress", "treegion", "4U",
+                          "global_weight", dominator_parallelism=True)))
+        for field, bad in (("trace_id", 7), ("parent_span_id", ["x"])):
+            raw = dict(cell_wire)
+            raw[field] = bad
+            with pytest.raises(ProtocolError) as failure:
+                request_from_wire(raw)
+            assert failure.value.code == ErrorCode.BAD_REQUEST
 
     def test_unknown_op_and_bad_fields_are_bad_request(self):
         for raw in (
@@ -246,6 +279,20 @@ class TestHandshake:
             if reply is not None:
                 assert reply["ok"] is False
                 assert recv_frame(sock) is None
+
+
+class TestHealthOp:
+    def test_health_over_the_wire(self, live_endpoint):
+        with _dial(live_endpoint) as sock:
+            send_frame(sock, request_to_wire(Hello()))
+            assert recv_frame(sock)["ok"] is True
+            send_frame(sock, request_to_wire(HealthRequest()))
+            reply = reply_from_wire(recv_frame(sock))
+            assert isinstance(reply, HealthReply)
+            assert reply.healthy is True
+            assert reply.uptime_seconds >= 0
+            assert reply.pid > 0
+            assert reply.shards["0"]["up"] is True
 
 
 class TestHistogramPercentile:

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs baselines.
+
+CI reruns the scheduler, observability, and fleet-load benchmarks at a
+shrunken scale and then calls this script to compare the fresh
+snapshots against the committed baselines.  Two kinds of checks apply:
+
+* **contracts** — scale-invariant bounds that must hold at any run
+  size (obs overhead < 1.5x, memo warm speedup >= 1, zero drops on a
+  shard kill, warm p99 within its 2x bound, histogram/exact percentile
+  agreement);
+* **tolerance bands** — figures compared against the baseline value,
+  but only when the fresh run's scale fields match the baseline's
+  (a 50-client CI soak is not comparable to the committed
+  1000-client run, so those bands are skipped and say so).
+
+Baselines come from ``--baseline-dir`` (a directory of snapshot copies
+made before the rerun) or, by default, from ``git show
+<ref>:<name>``.  Exit status is 1 if any check fails, 0 otherwise.
+
+Usage::
+
+    cp BENCH_sched.json BENCH_load.json BENCH_obs.json baseline/
+    # ... rerun the benchmarks ...
+    python tools/bench_regress.py --baseline-dir baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Hard ceiling on observability overhead (mirrors BENCH_obs.json's
+#: own acceptance bound; the benchmark enforces it too).
+MAX_OBS_OVERHEAD = 1.5
+
+#: How far obs overhead may drift above the baseline at matched scale.
+OBS_OVERHEAD_SLACK = 0.25
+
+#: Matched-scale warm speedup may not fall below this fraction of the
+#: baseline's (the region memo must still be doing its job).
+SCHED_SPEEDUP_FLOOR = 0.5
+
+#: Matched-scale sustained qps may not fall below this fraction of the
+#: baseline's.
+LOAD_QPS_FLOOR = 0.5
+
+
+def _violation(name, message):
+    return f"{name}: {message}"
+
+
+def check_obs(fresh, baseline=None):
+    """Observability snapshot: overhead bound + drift band."""
+    violations = []
+    ratio = fresh["overhead_ratio"]
+    if ratio >= MAX_OBS_OVERHEAD:
+        violations.append(_violation(
+            "obs", f"overhead_ratio {ratio} breaches the hard "
+            f"{MAX_OBS_OVERHEAD}x bound"))
+    if fresh.get("span_count", 0) <= 0:
+        violations.append(_violation("obs", "no spans were recorded"))
+    if baseline and baseline["grid_cells"] == fresh["grid_cells"]:
+        band = baseline["overhead_ratio"] + OBS_OVERHEAD_SLACK
+        if ratio > band:
+            violations.append(_violation(
+                "obs", f"overhead_ratio {ratio} exceeds baseline "
+                f"{baseline['overhead_ratio']} + {OBS_OVERHEAD_SLACK}"))
+    return violations
+
+
+def check_sched(fresh, baseline=None):
+    """Scheduler snapshot: the memo must serve, and keep serving."""
+    violations = []
+    speedup = fresh["warm_speedup"]
+    if speedup < 1.0:
+        violations.append(_violation(
+            "sched", f"warm_speedup {speedup} < 1: the region memo "
+            "made the warm pass slower"))
+    memo = fresh["memo"]
+    if memo["warm_hits"] < memo["cold_misses"]:
+        violations.append(_violation(
+            "sched", f"warm_hits {memo['warm_hits']} < cold_misses "
+            f"{memo['cold_misses']}: the memo is not serving"))
+    if baseline and baseline["grid_cells"] == fresh["grid_cells"]:
+        floor = SCHED_SPEEDUP_FLOOR * baseline["warm_speedup"]
+        if speedup < floor:
+            violations.append(_violation(
+                "sched", f"warm_speedup {speedup} fell below "
+                f"{SCHED_SPEEDUP_FLOOR}x the baseline "
+                f"({baseline['warm_speedup']})"))
+    return violations
+
+
+def check_load(fresh, baseline=None):
+    """Fleet-load snapshot: chaos, latency bound, percentile views."""
+    violations = []
+    chaos = fresh["chaos"]
+    if chaos["dropped_on_shard_kill"] != 0:
+        violations.append(_violation(
+            "load", f"{chaos['dropped_on_shard_kill']} request(s) "
+            "dropped on the shard kill"))
+    if chaos["shard_kills"] != 1:
+        violations.append(_violation(
+            "load", f"chaos phase recorded {chaos['shard_kills']} "
+            "shard kills, expected exactly 1"))
+    if not fresh["identical_to_direct"]:
+        violations.append(_violation(
+            "load", "wire payloads diverged from the direct pipeline"))
+    p99 = fresh["warm_latency"]["p99"]
+    bound = fresh["warm_p99_bound_seconds"]
+    if p99 > bound:
+        violations.append(_violation(
+            "load", f"warm p99 {p99}s exceeds its {bound}s bound"))
+    # The two percentile views must tell the same latency story
+    # (the soak-agreement contract, on whatever run this snapshot is).
+    for split, exact_key in (("all", "latency"),
+                             ("warm", "warm_latency")):
+        hist = fresh.get("latency_hist_us", {}).get(split)
+        if not hist or not hist["count"]:
+            continue
+        for quantile in ("p50", "p95", "p99"):
+            exact_us = fresh[exact_key][quantile] * 1e6
+            estimate = hist[quantile]
+            if not (exact_us - 1 <= estimate <= 2 * exact_us + 1):
+                violations.append(_violation(
+                    "load", f"{split} {quantile}: histogram "
+                    f"{estimate}us vs exact {exact_us:.0f}us is "
+                    "outside the bucket agreement bound"))
+    matched = (baseline
+               and baseline["clients"] == fresh["clients"]
+               and baseline["grid_cells"] == fresh["grid_cells"])
+    if matched:
+        floor = LOAD_QPS_FLOOR * baseline["sustained_qps"]
+        if fresh["sustained_qps"] < floor:
+            violations.append(_violation(
+                "load", f"sustained_qps {fresh['sustained_qps']} fell "
+                f"below {LOAD_QPS_FLOOR}x the baseline "
+                f"({baseline['sustained_qps']})"))
+    return violations
+
+
+CHECKS = (
+    ("BENCH_sched.json", check_sched),
+    ("BENCH_load.json", check_load),
+    ("BENCH_obs.json", check_obs),
+)
+
+
+def _load_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _load_baseline(name, baseline_dir, ref):
+    if baseline_dir:
+        path = pathlib.Path(baseline_dir) / name
+        return _load_json(path) if path.exists() else None
+    try:
+        blob = subprocess.check_output(
+            ["git", "show", f"{ref}:{name}"], cwd=str(REPO_ROOT),
+            stderr=subprocess.DEVNULL)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return json.loads(blob)
+
+
+def run(fresh_dir, baseline_dir=None, ref="HEAD", out=None):
+    """Run every check; return the list of violations."""
+    out = sys.stdout if out is None else out
+    violations = []
+    for name, check in CHECKS:
+        path = pathlib.Path(fresh_dir) / name
+        if not path.exists():
+            violations.append(_violation(name, "fresh snapshot missing"))
+            continue
+        fresh = _load_json(path)
+        baseline = _load_baseline(name, baseline_dir, ref)
+        found = check(fresh, baseline)
+        violations.extend(found)
+        status = "FAIL" if found else "ok"
+        compared = "baseline" if baseline else "no baseline"
+        print(f"{name:20s} {status:4s}  ({compared})", file=out)
+    for violation in violations:
+        print(f"REGRESSION  {violation}", file=out)
+    return violations
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare fresh BENCH_*.json against baselines")
+    parser.add_argument("--fresh-dir", default=str(REPO_ROOT),
+                        help="directory holding the fresh snapshots")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="directory of baseline copies (default: "
+                        "read baselines from git)")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref for baselines when no "
+                        "--baseline-dir is given")
+    args = parser.parse_args(argv)
+    violations = run(args.fresh_dir, args.baseline_dir, args.ref)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
