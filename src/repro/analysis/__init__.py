@@ -1,0 +1,51 @@
+"""Static-analysis substrate: dataflow solver and concrete analyses.
+
+The pieces:
+
+* :mod:`repro.analysis.solver` — generic forward/backward worklist
+  solver over CSR-packed block graphs (the lattice protocol and the
+  termination argument live in its module doc and DESIGN.md §15);
+* :mod:`repro.analysis.reaching` — reaching definitions with
+  must/may-uninitialized-use classification;
+* :mod:`repro.analysis.liveranges` — flow-sensitive live ranges: dead
+  stores and interference-based register-pressure estimates;
+* :mod:`repro.analysis.reachability` — unreachable blocks and
+  constant-branch pruning;
+* :mod:`repro.analysis.callgraph` — whole-program call graph with
+  profile-weighted call-site ranking;
+* :mod:`repro.analysis.bounds` — sound per-region lower bounds on
+  schedule height (critical path + resource saturation);
+* :mod:`repro.analysis.driver` — the ``repro analyze`` /
+  ``repro.api.analyze_program`` driver comparing bounds to achieved
+  heights.
+
+Results of the per-CFG analyses are cached (version-keyed) through
+:mod:`repro.ir.analysis_cache`; prefer its ``*_of`` accessors over
+constructing these classes directly in pipeline code.
+"""
+
+from repro.analysis.bounds import RegionBounds, region_lower_bounds
+from repro.analysis.callgraph import CallGraph, CallSite
+from repro.analysis.driver import analyze_program, format_analysis
+from repro.analysis.liveranges import DeadStore, LiveRanges
+from repro.analysis.reachability import ConstBranch, Reachability
+from repro.analysis.reaching import ReachingDefinitions, UninitUse
+from repro.analysis.solver import BlockGraph, DataflowResult, solve
+
+__all__ = [
+    "BlockGraph",
+    "DataflowResult",
+    "solve",
+    "ReachingDefinitions",
+    "UninitUse",
+    "LiveRanges",
+    "DeadStore",
+    "Reachability",
+    "ConstBranch",
+    "CallGraph",
+    "CallSite",
+    "RegionBounds",
+    "region_lower_bounds",
+    "analyze_program",
+    "format_analysis",
+]

@@ -1,0 +1,135 @@
+"""Sound per-region lower bounds on schedule height.
+
+The static half of the ROADMAP optimality-gap study: for one region and
+one machine, how short could *any* legal schedule possibly be?  Two
+classic bounds, each provably ≤ every height the list scheduler can
+achieve under default options:
+
+* **Critical path.**  The list scheduler places op *i* no earlier than
+  ``max over placement predecessors p of cycle(p) + latency(p→i)`` (see
+  :mod:`repro.schedule.list_scheduler`), so the longest latency chain
+  through the *placement* edges of the very DDG the scheduler uses is a
+  floor on the final cycle count.  Control edges are excluded — they
+  exist only to shape heuristic heights and are broken by speculation,
+  so counting them would overestimate (and be unsound as a bound).
+* **Resource saturation.**  Every op issues exactly once and each cycle
+  offers ``issue_width`` slots, at most ``max_memory_per_cycle`` memory
+  ops and ``max_branches_per_cycle`` branch ops, so
+  ``ceil(ops/width)`` (and the mem/branch analogues) are floors too.
+
+The overall bound is the max of both.  Soundness scope: tree-pipeline
+regions under default :class:`~repro.schedule.scheduler.ScheduleOptions`
+— ``dominator_parallelism`` may merge duplicate ops (an op stops
+consuming a slot and inherits its survivor's cycle), which invalidates
+both arguments, and ``schedule_copies`` adds ops after the DDG is built.
+The corpus soundness gate and the validate oracle check the bound
+against all four heuristics on exactly that default configuration.
+
+The bound is computed from the same ``prepare → rename → build_ddg``
+pipeline the scheduler runs, so synthesized guard/branch ops are
+counted identically on both sides of the comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import ceil
+from typing import NamedTuple, Optional
+
+from repro.ir.liveness import LivenessInfo
+from repro.machine.model import MachineModel
+from repro.regions.region import Region
+
+
+class RegionBounds(NamedTuple):
+    """Lower bounds on one region's schedule height for one machine."""
+
+    #: Longest latency chain over placement edges, in cycles.
+    critical_path: int
+    #: Resource-saturation floor (issue width, memory, branch slots).
+    resource: int
+    #: Number of schedulable ops (after prep synthesizes guards/exits).
+    ops: int
+    memory_ops: int
+    branch_ops: int
+
+    @property
+    def lower_bound(self) -> int:
+        """The combined sound lower bound: max of both components."""
+        return max(self.critical_path, self.resource)
+
+
+def region_lower_bounds(
+    region: Region,
+    machine: MachineModel,
+    liveness: Optional[LivenessInfo] = None,
+) -> RegionBounds:
+    """Compute both lower bounds for ``region`` on ``machine``.
+
+    Runs the genuine preparation pipeline (the IR is never modified), so
+    the op population matches what the list scheduler will place.
+    Hyperblock regions go through a different pipeline (if-conversion,
+    DAG dependences) and are rejected.
+    """
+    from repro.ir.analysis_cache import liveness_of
+    from repro.regions.hyperblock import Hyperblock
+    from repro.schedule.ddg import build_ddg
+    from repro.schedule.prep import prepare_region
+    from repro.schedule.renaming import rename_region
+
+    if isinstance(region, Hyperblock):
+        raise ValueError(
+            "lower bounds are defined for tree-pipeline regions only; "
+            "hyperblocks schedule through a different pipeline"
+        )
+    if liveness is None:
+        liveness = liveness_of(region.root.cfg)
+
+    problem = prepare_region(region, machine, liveness)
+    copies = rename_region(problem, liveness)
+    ddg = build_ddg(problem, machine, liveness=liveness, copies=copies)
+    ddg.finalize()
+
+    n = len(problem.sched_ops)
+    if n == 0:
+        return RegionBounds(0, 0, 0, 0, 0)
+
+    # Forward Kahn pass over the placement CSR: earliest[i] is the
+    # 1-based cycle op i could issue at were resources infinite —
+    # exactly the scheduler's dependence constraint, minus slot limits.
+    succ_ptr, succ_dst, succ_lat = ddg.succ_ptr, ddg.succ_dst, ddg.succ_lat
+    waiting = list(ddg.in_degree)
+    earliest = [1] * n
+    queue = deque(i for i in range(n) if waiting[i] == 0)
+    processed = 0
+    while queue:
+        i = queue.popleft()
+        processed += 1
+        base = earliest[i]
+        for e in range(succ_ptr[i], succ_ptr[i + 1]):
+            dst = succ_dst[e]
+            candidate = base + succ_lat[e]
+            if candidate > earliest[dst]:
+                earliest[dst] = candidate
+            waiting[dst] -= 1
+            if waiting[dst] == 0:
+                queue.append(dst)
+    if processed != n:
+        raise ValueError(
+            f"placement DDG has a cycle: {processed}/{n} ops ordered"
+        )
+    critical_path = max(earliest)
+
+    memory_ops = sum(1 for sop in problem.sched_ops if sop.op.is_memory)
+    branch_ops = sum(1 for sop in problem.sched_ops if sop.op.is_branch)
+    resource = ceil(n / machine.issue_width)
+    if machine.max_memory_per_cycle is not None and memory_ops:
+        resource = max(
+            resource, ceil(memory_ops / machine.max_memory_per_cycle)
+        )
+    if machine.max_branches_per_cycle is not None and branch_ops:
+        resource = max(
+            resource, ceil(branch_ops / machine.max_branches_per_cycle)
+        )
+
+    return RegionBounds(critical_path, resource, n, memory_ops, branch_ops)

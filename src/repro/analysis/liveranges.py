@@ -1,0 +1,181 @@
+"""Flow-sensitive live ranges: dead stores and register pressure.
+
+Block-level liveness is re-derived on the generic solver (a backward
+union fixpoint identical to :mod:`repro.ir.liveness`, kept here so the
+per-op pass below and the block-level sets always agree on one
+analysis), then refined to op granularity by walking each block's ops
+backward from its live-out set.  Two consumers:
+
+* **Dead stores** — an op whose destinations are all dead immediately
+  after it, with no side effects, computes a value nothing ever reads
+  (``ir.dead-store``).  A guarded def of a dead register is still dead:
+  whether or not the write commits, nobody reads it.
+* **Register pressure** — the maximum number of simultaneously live
+  registers per class at any program point of a block.  Simultaneously
+  live registers pairwise interfere, so a clique of that size exists in
+  the interference graph and *any* correct allocation needs at least
+  that many registers of the class: a sound lower bound on demand.
+  :func:`LiveRanges.region_pressure` takes the max over a region's
+  blocks, which ``sched.pressure-exceeds-class`` compares against the
+  machine's per-class register file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set
+
+from repro.ir.cfg import CFG, BasicBlock
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.ir.types import RegClass
+from repro.analysis.solver import BACKWARD, BlockGraph, solve
+
+
+class DeadStore(NamedTuple):
+    """One op whose computed value is never read."""
+
+    block: BasicBlock
+    op: Operation
+    position: int
+
+
+class _LivenessProblem:
+    """Backward may-liveness over register powersets."""
+
+    direction = BACKWARD
+
+    def __init__(self, graph: BlockGraph):
+        self._graph = graph
+        # (upward-exposed uses, defs) per block, dense-indexed.
+        self.use_def: List = []
+        for block in graph.blocks:
+            uses: Set[Register] = set()
+            defs: Set[Register] = set()
+            for op in block.ops:
+                for reg in op.used_registers():
+                    if reg not in defs:
+                        uses.add(reg)
+                defs.update(op.dests)
+            self.use_def.append((frozenset(uses), frozenset(defs)))
+
+    def boundary(self) -> FrozenSet[Register]:
+        return frozenset()
+
+    def transfer(self, block: BasicBlock,
+                 value: FrozenSet[Register]) -> FrozenSet[Register]:
+        uses, defs = self.use_def[self._graph.index_of[block.bid]]
+        return uses | (value - defs)
+
+    @staticmethod
+    def join(a: FrozenSet[Register],
+             b: FrozenSet[Register]) -> FrozenSet[Register]:
+        if a is b or b.issubset(a):
+            return a
+        return a | b
+
+
+def block_peak_pressure(block: BasicBlock,
+                        live_out) -> Dict[RegClass, int]:
+    """Max simultaneously-live registers per class inside one block.
+
+    Takes the block's live-out set explicitly so callers that only have
+    block-level liveness in hand (the ``sched.pressure-exceeds-class``
+    rule certifies against :class:`repro.ir.liveness.LivenessInfo`) share
+    the exact walk :meth:`LiveRanges.block_pressure` memoizes.
+    """
+    live = set(live_out)
+    counts = {rclass: 0 for rclass in RegClass}
+    for reg in live:
+        counts[reg.rclass] += 1
+    peak = dict(counts)
+    for position in range(len(block.ops) - 1, -1, -1):
+        op = block.ops[position]
+        for reg in op.dests:
+            if reg in live:
+                live.discard(reg)
+                counts[reg.rclass] -= 1
+        for reg in op.used_registers():
+            if reg not in live:
+                live.add(reg)
+                counts[reg.rclass] += 1
+        for rclass in RegClass:
+            if counts[rclass] > peak[rclass]:
+                peak[rclass] = counts[rclass]
+    return peak
+
+
+class LiveRanges:
+    """Op-granular liveness facts for one CFG."""
+
+    def __init__(self, cfg: CFG, params=()):
+        self.cfg = cfg
+        self.graph = BlockGraph(cfg)
+        self.problem = _LivenessProblem(self.graph)
+        self.result = solve(self.graph, self.problem)
+        self._block_pressure: Optional[List[Dict[RegClass, int]]] = None
+
+    # ------------------------------------------------------------------
+
+    def live_in(self, block: BasicBlock) -> FrozenSet[Register]:
+        value = self.result.value_in(block)
+        return value if value is not None else frozenset()
+
+    def live_out(self, block: BasicBlock) -> FrozenSet[Register]:
+        value = self.result.value_out(block)
+        return value if value is not None else frozenset()
+
+    # ------------------------------------------------------------------
+
+    def dead_stores(self) -> List[DeadStore]:
+        """Ops computing values nothing reads, in program order.
+
+        Side-effecting ops (stores, calls, branches, returns) are never
+        reported — their usefulness does not flow through registers.
+        Ops in unreachable blocks are skipped (``ir.unreachable-block``
+        owns those).
+        """
+        found: List[DeadStore] = []
+        for index, block in enumerate(self.graph.blocks):
+            if self.result.in_values[index] is None:
+                continue  # unreachable
+            live = set(self.live_out(block))
+            # Walk backward so "live after op" is exact per position.
+            flagged: List[DeadStore] = []
+            for position in range(len(block.ops) - 1, -1, -1):
+                op = block.ops[position]
+                if op.dests and not op.opcode.has_side_effects:
+                    if all(reg not in live for reg in op.dests):
+                        flagged.append(DeadStore(block, op, position))
+                for reg in op.dests:
+                    live.discard(reg)
+                live.update(op.used_registers())
+            found.extend(reversed(flagged))
+        return found
+
+    # ------------------------------------------------------------------
+
+    def block_pressure(self, block: BasicBlock) -> Dict[RegClass, int]:
+        """Max simultaneously-live registers per class inside ``block``."""
+        if self._block_pressure is None:
+            self._block_pressure = [None] * len(self.graph)  # type: ignore
+        index = self.graph.index_of[block.bid]
+        cached = self._block_pressure[index]
+        if cached is not None:
+            return cached
+        peak = block_peak_pressure(block, self.live_out(block))
+        self._block_pressure[index] = peak
+        return peak
+
+    def region_pressure(self, blocks) -> Dict[RegClass, int]:
+        """Max per-class pressure over a set of blocks (e.g. one region).
+
+        A lower bound on the registers any allocation of the region
+        needs: the peak block's simultaneously-live set is a clique in
+        the interference graph.
+        """
+        peak = {rclass: 0 for rclass in RegClass}
+        for block in blocks:
+            for rclass, count in self.block_pressure(block).items():
+                if count > peak[rclass]:
+                    peak[rclass] = count
+        return peak

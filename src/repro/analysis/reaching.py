@@ -1,0 +1,251 @@
+"""Reaching definitions, with uninitialized-use classification.
+
+A *def site* is one (block, op position) pair writing a register; two
+pseudo-sites complete the lattice at the function boundary:
+
+* ``UNINIT`` — the register enters the function carrying no value;
+* ``PARAM`` — the register is a declared function parameter.
+
+The value domain maps each tracked register to the set of def sites
+reaching a program point; sites are packed ints (block dense index and
+op position), so set elements stay small and hashable.  Guarded
+(predicated) defs are *weak*: they add their site without killing what
+flowed in, because the write may be squashed at run time.  Unguarded
+defs are *strong* and replace the incoming set — the classic
+predicate-conservative formulation.
+
+By default only the *observable support* is tracked: registers with at
+least one upward-exposed use somewhere in the function (plus the
+declared parameters).  A register every block defines before reading can
+never observe its own reaching set, so carrying it through the fixpoint
+is pure overhead — on the synthetic SPEC stand-ins this cuts the tracked
+universe by an order of magnitude.  Pass ``universe`` explicitly to
+track more.
+
+Consumers:
+
+* :func:`ReachingDefinitions.uninit_uses` classifies every register read
+  as *must*-uninitialized (only ``UNINIT`` reaches: wrong on every
+  path) or *may*-uninitialized (``UNINIT`` and real defs both reach:
+  wrong on some path) — the ``ir.uninit-use`` lint rule.
+* :func:`ReachingDefinitions.def_free_path` reconstructs one offending
+  entry-to-use path along which the register is never strongly defined,
+  for the rule's fix hint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG, BasicBlock
+from repro.ir.operation import Operation
+from repro.ir.registers import Register
+from repro.analysis.solver import FORWARD, BlockGraph, solve
+
+#: Pseudo def sites.
+UNINIT = 0
+PARAM = 1
+_SITE_BASE = 2
+_UNINIT_SET = frozenset((UNINIT,))
+_PARAM_SET = frozenset((PARAM,))
+
+
+def pack_site(block_index: int, position: int) -> int:
+    """Pack one real def site into an int (op position capped at 16 bits)."""
+    return ((block_index << 16) | (position & 0xFFFF)) + _SITE_BASE
+
+
+def unpack_site(site: int) -> Tuple[int, int]:
+    """(block dense index, op position) of a packed real site."""
+    raw = site - _SITE_BASE
+    return raw >> 16, raw & 0xFFFF
+
+
+class UninitUse(NamedTuple):
+    """One register read that ``UNINIT`` reaches."""
+
+    block: BasicBlock
+    op: Operation
+    position: int
+    reg: Register
+    #: ``"must"`` — only UNINIT reaches; ``"may"`` — UNINIT and a real
+    #: def both reach.
+    kind: str
+
+
+class _ReachingProblem:
+    """The dataflow instance: forward, powerset-of-sites per register."""
+
+    direction = FORWARD
+
+    def __init__(self, graph: BlockGraph, universe: FrozenSet[Register],
+                 params: FrozenSet[Register]):
+        self.universe = universe
+        self.params = params
+        # Per block (dense index), per tracked register: (strong, sites) —
+        # whether the block unconditionally kills the incoming set, and
+        # the local sites that survive to the block's end.
+        self.summaries: List[Dict[Register, Tuple[bool, FrozenSet[int]]]] = []
+        for index, block in enumerate(graph.blocks):
+            summary: Dict[Register, Tuple[bool, List[int]]] = {}
+            for position, op in enumerate(block.ops):
+                for reg in op.dests:
+                    if reg not in universe:
+                        continue
+                    site = pack_site(index, position)
+                    strong, sites = summary.get(reg, (False, []))
+                    if op.guard is None:
+                        summary[reg] = (True, [site])
+                    else:
+                        summary[reg] = (strong, sites + [site])
+            self.summaries.append({
+                reg: (strong, frozenset(sites))
+                for reg, (strong, sites) in summary.items()
+            })
+        self._graph = graph
+
+    def boundary(self) -> Dict[Register, FrozenSet[int]]:
+        value = {reg: _UNINIT_SET for reg in self.universe}
+        for reg in self.params:
+            value[reg] = _PARAM_SET
+        return value
+
+    def transfer(self, block: BasicBlock,
+                 value: Dict[Register, FrozenSet[int]]):
+        summary = self.summaries[self._graph.index_of[block.bid]]
+        if not summary:
+            return value
+        out = dict(value)
+        for reg, (strong, sites) in summary.items():
+            if strong:
+                out[reg] = sites
+            else:
+                out[reg] = out.get(reg, _UNINIT_SET) | sites
+        return out
+
+    @staticmethod
+    def join(a: Dict[Register, FrozenSet[int]],
+             b: Dict[Register, FrozenSet[int]]):
+        if a is b:
+            return a
+        out = dict(a)
+        for reg, sites in b.items():
+            mine = out.get(reg)
+            if mine is None:
+                out[reg] = sites
+            elif not sites.issubset(mine):  # keep identity when possible
+                out[reg] = mine | sites
+        return out
+
+
+def _observable_support(cfg: CFG) -> FrozenSet[Register]:
+    """Registers with an upward-exposed use in at least one block."""
+    support: Set[Register] = set()
+    for block in cfg.blocks():
+        defined: Set[Register] = set()
+        for op in block.ops:
+            for reg in op.used_registers():
+                if reg not in defined:
+                    support.add(reg)
+            defined.update(op.dests)
+    return frozenset(support)
+
+
+class ReachingDefinitions:
+    """Fixed-point reaching-def sets for one CFG."""
+
+    def __init__(self, cfg: CFG, params: Tuple[Register, ...] = (),
+                 universe: Optional[FrozenSet[Register]] = None):
+        self.cfg = cfg
+        self.graph = BlockGraph(cfg)
+        self.params = frozenset(params)
+        if universe is None:
+            universe = _observable_support(cfg) | self.params
+        self.universe = universe
+        self.problem = _ReachingProblem(self.graph, universe, self.params)
+        self.result = solve(self.graph, self.problem)
+
+    # ------------------------------------------------------------------
+
+    def reaching_in(self, block: BasicBlock):
+        """Register -> def-site set at block entry (None if unreachable)."""
+        return self.result.value_in(block)
+
+    def reaching_out(self, block: BasicBlock):
+        """Register -> def-site set at block exit (None if unreachable)."""
+        return self.result.value_out(block)
+
+    def uninit_uses(self) -> List[UninitUse]:
+        """Every read (sources and guards) that ``UNINIT`` reaches.
+
+        Uses inside blocks no path reaches are skipped — they never
+        execute, and ``ir.unreachable-block`` already reports the block.
+        """
+        found: List[UninitUse] = []
+        for index, block in enumerate(self.graph.blocks):
+            value = self.result.in_values[index]
+            if value is None:
+                continue  # unreachable
+            local: Dict[Register, Tuple[bool, FrozenSet[int]]] = {}
+            for position, op in enumerate(block.ops):
+                for reg in op.used_registers():
+                    if reg not in self.universe:
+                        continue
+                    strong, sites = local.get(reg, (False, frozenset()))
+                    if strong:
+                        continue  # locally defined before this read
+                    reaching = value.get(reg, _UNINIT_SET) | sites
+                    if UNINIT not in reaching:
+                        continue
+                    kind = "must" if reaching == _UNINIT_SET else "may"
+                    found.append(UninitUse(block, op, position, reg, kind))
+                for reg in op.dests:
+                    if reg not in self.universe:
+                        continue
+                    site = pack_site(index, position)
+                    strong, sites = local.get(reg, (False, frozenset()))
+                    if op.guard is None:
+                        local[reg] = (True, frozenset((site,)))
+                    else:
+                        local[reg] = (strong, sites | {site})
+            del local
+        return found
+
+    def def_free_path(self, reg: Register,
+                      use_block: BasicBlock) -> List[str]:
+        """One shortest entry-to-use path never strongly defining ``reg``.
+
+        Returns block labels (``bb3`` style) for the lint fix hint; an
+        empty list when no such path exists (the use is not uninit).
+        """
+        graph = self.graph
+        target = graph.index_of[use_block.bid]
+        start = graph.entry_index
+        if start < 0:
+            return []
+
+        def strongly_defines(index: int) -> bool:
+            entry = self.problem.summaries[index].get(reg)
+            return entry is not None and entry[0]
+
+        parent = {start: -1}
+        queue = deque((start,))
+        while queue:
+            i = queue.popleft()
+            if i == target:
+                path = []
+                while i != -1:
+                    path.append(f"bb{graph.blocks[i].bid}")
+                    i = parent[i]
+                return list(reversed(path))
+            if i != start and i != target and strongly_defines(i):
+                continue  # a strong def en route kills UNINIT
+            if i == start and strongly_defines(i):
+                continue
+            for e in range(graph.succ_ptr[i], graph.succ_ptr[i + 1]):
+                succ = graph.succ[e]
+                if succ not in parent:
+                    parent[succ] = i
+                    queue.append(succ)
+        return []

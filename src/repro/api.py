@@ -357,6 +357,42 @@ def lint_program(
     )
 
 
+def analyze_program(
+    program: Program,
+    *,
+    name: Optional[str] = None,
+    schemes: Optional[Sequence[str]] = None,
+    machines: Optional[Sequence[str]] = None,
+    heuristics: Optional[Sequence[str]] = None,
+    calls: bool = False,
+    lint: bool = True,
+):
+    """Dataflow analysis report for one program (JSON-ready dict).
+
+    Computes every region's critical-path and resource-saturation lower
+    bounds on schedule height, schedules the same regions under the
+    requested heuristics, and reports the bounds next to the achieved
+    heights (``summary.sound`` is False if any bound exceeds an achieved
+    height — a soundness bug).  ``lint=True`` adds the flow-sensitive
+    lint summary; ``calls=True`` the whole-program call graph.  See
+    :func:`repro.analysis.driver.analyze_program`.
+    """
+    from repro.analysis.driver import (
+        DEFAULT_MACHINES, DEFAULT_SCHEMES,
+        analyze_program as _analyze,
+    )
+
+    return _analyze(
+        program,
+        name=name,
+        schemes=tuple(schemes) if schemes else DEFAULT_SCHEMES,
+        machines=tuple(machines) if machines else DEFAULT_MACHINES,
+        heuristics=heuristics,
+        calls=calls,
+        lint=lint,
+    )
+
+
 def validate(
     seeds: Union[int, Sequence[int]] = 50,
     *,
@@ -414,6 +450,7 @@ __all__ = [
     "evaluate_cell",
     "simulate",
     "lint_program",
+    "analyze_program",
     "validate",
     "GridCell",
     "CellResult",

@@ -17,6 +17,11 @@ Commands:
   (with ``--schedule``) certification of every region schedule against
   the machine model and dependence graph; exit status 1 when any
   diagnostic reaches ``--fail-on`` severity;
+* ``analyze``  — dataflow analysis report: per-region critical-path and
+  resource-saturation lower bounds on schedule height next to each
+  heuristic's achieved height, the flow-sensitive lint summary, and
+  (with ``--calls``) the whole-program call graph; exit status 1 on an
+  unsound bound or any lint error;
 * ``warm``     — prime the persistent artifact store for a program (or
   the built-in suite) across a scheme/machine/heuristic grid;
 * ``serve``    — long-lived compile fleet behind an asyncio front-end
@@ -37,7 +42,7 @@ Commands:
 ``serve`` and ``soak`` take ``--trace-dir DIR`` (per-process
 distributed-trace span files, merged by ``trace-merge``) and
 ``--events-log FILE`` (size-rotated JSONL lifecycle event log); see
-DESIGN.md §14.
+DESIGN.md §13.
 
 ``run``, ``report``, and ``validate`` take ``--metrics FILE`` /
 ``--trace FILE`` to dump pipeline counters and spans; ``bench`` takes
@@ -399,13 +404,61 @@ def _corpus_programs():
 
 def cmd_lint(args) -> int:
     from repro.lint import LintReport, Severity
+    from repro.lint.run import lint_many
 
     if (args.file is None) == (not args.corpus):
         raise CLIError("pass exactly one of FILE or --corpus")
     threshold = Severity.parse(args.fail_on)
-    options = ScheduleOptions(heuristic=args.heuristic,
-                              dominator_parallelism=True)
+    _scheme(args.scheme)  # validate the specs before any work fans out
+    _machine(args.machine)
     metrics, tracer = _obs_for(args)
+
+    if args.corpus:
+        targets = list(_corpus_programs())
+    else:
+        program = _load_program(args.file, optimize=args.optimize)
+        if args.args is not None:
+            profile_program(program, inputs=[_parse_args_list(args.args)])
+        targets = [(args.file, program)]
+
+    def progress(label, partial) -> None:
+        if args.corpus:
+            count = len(partial)
+            status = "clean" if count == 0 else f"{count} diagnostic(s)"
+            print(f"{label}: {status}", file=sys.stderr)
+
+    jobs = args.jobs if args.jobs != 0 else None
+    import os as _os
+
+    results = lint_many(
+        targets, schedule=args.schedule, scheme=args.scheme,
+        machine=args.machine, heuristic=args.heuristic,
+        dominator_parallelism=True,
+        jobs=(_os.cpu_count() or 1) if jobs is None else jobs,
+        metrics=metrics, progress=progress,
+    )
+    report = LintReport()
+    for _label, partial in results:
+        report.extend(partial.diagnostics)
+
+    if args.format == "json":
+        print(report.format("json"))
+    else:
+        print(report.format())
+    _write_obs(args, metrics, tracer)
+    failing = report.at_or_above(threshold)
+    return 1 if failing else 0
+
+
+def cmd_analyze(args) -> int:
+    """Dataflow analysis: schedule-height bounds, lint, call graph."""
+    import json as _json
+
+    if (args.file is None) == (not args.corpus):
+        raise CLIError("pass exactly one of FILE or --corpus")
+    schemes = args.schemes.split(",") if args.schemes else None
+    machines = args.machines.split(",") if args.machines else None
+    heuristics = args.heuristics.split(",") if args.heuristics else None
 
     if args.corpus:
         targets = _corpus_programs()
@@ -415,29 +468,56 @@ def cmd_lint(args) -> int:
             profile_program(program, inputs=[_parse_args_list(args.args)])
         targets = [(args.file, program)]
 
-    from repro.obs import metrics_scope
-
-    report = LintReport()
-    with metrics_scope(metrics):
-        for label, program in targets:
-            before = len(report)
-            partial = api.lint_program(
-                program, schedule=args.schedule, scheme=_scheme(args.scheme),
-                machine_model=_machine(args.machine), options=options,
+    results = []
+    failed = False
+    for label, program in targets:
+        try:
+            result = api.analyze_program(
+                program, name=label, schemes=schemes, machines=machines,
+                heuristics=heuristics, calls=args.calls,
+                lint=not args.no_lint,
             )
-            report.extend(partial.diagnostics)
-            if args.corpus:
-                added = len(report) - before
-                status = "clean" if added == 0 else f"{added} diagnostic(s)"
-                print(f"{label}: {status}", file=sys.stderr)
+        except ValueError as error:
+            raise CLIError(str(error))
+        results.append(result)
+        summary = result["summary"]
+        lint = result.get("lint")
+        bad = (summary["unsound"] > 0
+               or (lint is not None and lint["errors"] > 0))
+        failed = failed or bad
+        if args.corpus:
+            status = "FAIL" if bad else "ok"
+            print(f"{label}: {summary['regions']} region(s), "
+                  f"tight {summary['tight']}/{summary['regions']}, "
+                  f"max gap {summary['max_gap']} [{status}]",
+                  file=sys.stderr)
 
     if args.format == "json":
-        print(report.format("json"))
+        if args.corpus:
+            payload = {
+                "programs": results,
+                "summary": {
+                    "programs": len(results),
+                    "regions": sum(r["summary"]["regions"]
+                                   for r in results),
+                    "unsound": sum(r["summary"]["unsound"]
+                                   for r in results),
+                    "sound": all(r["summary"]["sound"] for r in results),
+                    "lint_errors": sum(
+                        r["lint"]["errors"] for r in results
+                        if r.get("lint") is not None),
+                },
+            }
+        else:
+            payload = results[0]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(report.format())
-    _write_obs(args, metrics, tracer)
-    failing = report.at_or_above(threshold)
-    return 1 if failing else 0
+        from repro.analysis.driver import format_analysis
+
+        for result in results:
+            print(format_analysis(result))
+            print()
+    return 1 if failed else 0
 
 
 def cmd_dot(args) -> int:
@@ -885,6 +965,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", nargs="?", default=None)
     p.add_argument("--corpus", action="store_true",
                    help="lint every built-in workload instead of FILE")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for --corpus "
+                        "(1 = serial, 0 = one per CPU)")
     p.add_argument("--schedule", action="store_true",
                    help="also schedule the program and certify every "
                         "region schedule against the machine model")
@@ -901,6 +984,33 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     obs_flags(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="dataflow analysis: schedule-height lower bounds, "
+             "flow-sensitive lint, call graph",
+    )
+    p.add_argument("file", nargs="?", default=None)
+    p.add_argument("--corpus", action="store_true",
+                   help="analyze every built-in workload instead of FILE")
+    p.add_argument("--schemes", default=None,
+                   help="comma-separated schemes (default: bb,treegion; "
+                        "hyperblock is not supported)")
+    p.add_argument("--machines", default=None,
+                   help="comma-separated machines (default: 4U,8U)")
+    p.add_argument("--heuristics", default=None,
+                   help="comma-separated heuristics (default: all)")
+    p.add_argument("--calls", action="store_true",
+                   help="include the whole-program call graph")
+    p.add_argument("--no-lint", action="store_true", dest="no_lint",
+                   help="skip the flow-sensitive lint summary")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report output format")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile FILE on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "warm",

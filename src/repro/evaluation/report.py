@@ -217,13 +217,67 @@ class ReportBuilder:
         self.lines.extend(_table(["program", "treegion 4U", "ooo 4-wide"],
                                  rows))
 
+    def add_analysis(self) -> None:
+        """Schedule-height lower bounds vs achieved heights per benchmark.
+
+        Runs :func:`repro.analysis.driver.analyze_program` over the
+        report's benchmarks (bb + treegion on 4U/8U, every heuristic)
+        and tabulates how tight the sound critical-path/resource bound
+        is against the best achieved height.  An unsound bound (bound
+        above an achieved height) would be a scheduler or analysis bug
+        and is flagged loudly.
+        """
+        from repro.analysis.driver import analyze_program
+
+        rows = []
+        any_unsound = False
+        for name in self.benchmarks:
+            program = build_benchmark(name)
+            result = analyze_program(program, name=name, lint=False)
+            summary = result["summary"]
+            any_unsound = any_unsound or not summary["sound"]
+            rows.append([
+                name,
+                str(summary["regions"]),
+                f"{summary['tight']}/{summary['regions']}",
+                f"{summary['mean_gap']:.2f}",
+                str(summary["max_gap"]),
+                "yes" if summary["sound"] else "**NO**",
+            ])
+        self.lines.append("## Analysis: schedule-height lower bounds")
+        self.lines.append("")
+        self.lines.append(
+            "Per-region critical-path and resource-saturation lower "
+            "bounds (bb + treegion, 4U + 8U, every heuristic); `tight` "
+            "counts regions where the best achieved height equals the "
+            "bound."
+        )
+        self.lines.append("")
+        self.lines.extend(_table(
+            ["program", "regions", "tight", "mean gap", "max gap",
+             "sound"], rows
+        ))
+        if any_unsound:
+            self.lines.append(
+                "**WARNING: an analysis lower bound exceeded an "
+                "achieved schedule height — soundness bug.**"
+            )
+            self.lines.append("")
+
     def add_observability(self) -> None:
         """Per-stage timing and pipeline-counter tables for the studies
         run so far (plain text inside code fences, stable column order,
         so two report runs diff cleanly)."""
+        if not isinstance(self.metrics, NullMetrics):
+            # Publish the analysis-cache hit/miss/eviction gauges
+            # (cache.* for scheduler-feeding lookups, cache.analysis.*
+            # for the dataflow analyses the Analysis section just ran).
+            from repro.ir.analysis_cache import record_cache_metrics
+
+            record_cache_metrics(self.metrics)
         have_timer = self.timer is not NULL_TIMER and self.timer.counts
         have_metrics = (not isinstance(self.metrics, NullMetrics)
-                        and self.metrics.counters)
+                        and (self.metrics.counters or self.metrics.gauges))
         if not have_timer and not have_metrics:
             return
         self.lines.append("## Observability")
@@ -281,5 +335,7 @@ def generate_report(benchmarks: Optional[List[str]] = None,
         builder.add_variation_study()
     with tracer.span("report.dynamic_comparison"):
         builder.add_dynamic_comparison()
+    with tracer.span("report.analysis"):
+        builder.add_analysis()
     builder.add_observability()
     return builder.render()

@@ -86,9 +86,28 @@ class AnalysisCache:
             WeakKeyDictionary()
         self._reg_bounds: "WeakKeyDictionary[CFG, Tuple[int, Dict[RegClass, int], int]]" = \
             WeakKeyDictionary()
+        # Tables for the repro.analysis subsystem.  Same LRU and same
+        # cfg.version invalidation contract; hits/misses/evictions are
+        # counted separately (the cache.analysis.* gauges) so the
+        # Observability report can tell scheduler-feeding lookups from
+        # lint/analyze-feeding ones.  Reaching definitions additionally
+        # key on the declared parameter list (it shapes the boundary
+        # value), and the call graph is program-keyed on the tuple of
+        # member CFG versions.
+        self._reaching: "WeakKeyDictionary[CFG, Tuple[object, object, int]]" = \
+            WeakKeyDictionary()
+        self._live_ranges: "WeakKeyDictionary[CFG, Tuple[object, object, int]]" = \
+            WeakKeyDictionary()
+        self._reachability: "WeakKeyDictionary[CFG, Tuple[object, object, int]]" = \
+            WeakKeyDictionary()
+        self._call_graph: "WeakKeyDictionary[object, Tuple[object, object, int]]" = \
+            WeakKeyDictionary()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+        self.analysis_evictions = 0
         self._tick = 0
 
     # ------------------------------------------------------------------
@@ -109,12 +128,29 @@ class AnalysisCache:
         value = compute(cfg)
         table[cfg] = (cfg.version, value, self._tick)
         if len(table) > self.max_entries:
-            self._evict_lru(table)
+            self.evictions += self._evict_lru(table)
+        return value
+
+    def _get_analysis(self, table, key_obj, version, compute):
+        """Like :meth:`_get` but with an explicit version key and the
+        ``analysis_*`` counters (``key_obj`` is the weak table key)."""
+        self._tick += 1
+        entry = table.get(key_obj)
+        if entry is not None and entry[0] == version:
+            self.analysis_hits += 1
+            table[key_obj] = (entry[0], entry[1], self._tick)
+            return entry[1]
+        self.analysis_misses += 1
+        value = compute()
+        table[key_obj] = (version, value, self._tick)
+        if len(table) > self.max_entries:
+            self.analysis_evictions += self._evict_lru(table)
         return value
 
     def _evict_lru(
         self, table: "WeakKeyDictionary[CFG, Tuple[int, T, int]]",
-    ) -> None:
+    ) -> int:
+        evicted = 0
         while len(table) > self.max_entries:
             victim = None
             oldest = None
@@ -122,9 +158,10 @@ class AnalysisCache:
                 if oldest is None or used < oldest:
                     victim, oldest = cfg, used
             if victim is None:
-                return
+                break
             del table[victim]
-            self.evictions += 1
+            evicted += 1
+        return evicted
 
     def liveness(self, cfg: CFG) -> LivenessInfo:
         """Live-variable analysis for ``cfg``, cached per version."""
@@ -139,6 +176,54 @@ class AnalysisCache:
         return self._get(self._reg_bounds, cfg, _register_bounds)
 
     # ------------------------------------------------------------------
+    # repro.analysis results (imported lazily: the analysis package is
+    # optional at IR-import time and pulls in regions/machine modules).
+
+    def reaching(self, function):
+        """Reaching definitions for one function, cached per
+        (cfg.version, params) — the parameter list shapes the boundary."""
+        from repro.analysis.reaching import ReachingDefinitions
+
+        cfg = function.cfg
+        params = tuple(function.params)
+        return self._get_analysis(
+            self._reaching, cfg, (cfg.version, params),
+            lambda: ReachingDefinitions(cfg, params),
+        )
+
+    def live_ranges(self, cfg: CFG):
+        """Op-granular live ranges, cached per version."""
+        from repro.analysis.liveranges import LiveRanges
+
+        return self._get_analysis(
+            self._live_ranges, cfg, cfg.version, lambda: LiveRanges(cfg),
+        )
+
+    def reachability(self, cfg: CFG):
+        """Const-aware reachability, cached per version."""
+        from repro.analysis.reachability import Reachability
+
+        return self._get_analysis(
+            self._reachability, cfg, cfg.version,
+            lambda: Reachability(cfg),
+        )
+
+    def call_graph(self, program):
+        """Whole-program call graph, keyed on every member CFG version.
+
+        Adding or removing a function changes the version tuple, so the
+        graph also invalidates on program-shape changes.
+        """
+        from repro.analysis.callgraph import CallGraph
+
+        version = tuple(
+            (fn.name, fn.cfg.version) for fn in program.functions()
+        )
+        return self._get_analysis(
+            self._call_graph, program, version, lambda: CallGraph(program),
+        )
+
+    # ------------------------------------------------------------------
 
     def invalidate(self, cfg: Optional[CFG] = None) -> None:
         """Drop cached entries for one CFG, or everything when None."""
@@ -146,15 +231,25 @@ class AnalysisCache:
             self._liveness.clear()
             self._dominators.clear()
             self._reg_bounds.clear()
+            self._reaching.clear()
+            self._live_ranges.clear()
+            self._reachability.clear()
+            self._call_graph.clear()
         else:
             self._liveness.pop(cfg, None)
             self._dominators.pop(cfg, None)
             self._reg_bounds.pop(cfg, None)
+            self._reaching.pop(cfg, None)
+            self._live_ranges.pop(cfg, None)
+            self._reachability.pop(cfg, None)
 
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
+        self.analysis_evictions = 0
 
 
 #: Process-wide cache used by the scheduler and the evaluation engine.
@@ -176,6 +271,26 @@ def register_bounds_of(cfg: CFG) -> Dict[RegClass, int]:
     return GLOBAL_CACHE.register_bounds(cfg)
 
 
+def reaching_definitions_of(function):
+    """Cached :class:`repro.analysis.reaching.ReachingDefinitions`."""
+    return GLOBAL_CACHE.reaching(function)
+
+
+def live_ranges_of(cfg: CFG):
+    """Cached :class:`repro.analysis.liveranges.LiveRanges`."""
+    return GLOBAL_CACHE.live_ranges(cfg)
+
+
+def reachability_of(cfg: CFG):
+    """Cached :class:`repro.analysis.reachability.Reachability`."""
+    return GLOBAL_CACHE.reachability(cfg)
+
+
+def call_graph_of(program):
+    """Cached :class:`repro.analysis.callgraph.CallGraph`."""
+    return GLOBAL_CACHE.call_graph(program)
+
+
 def invalidate(cfg: Optional[CFG] = None) -> None:
     GLOBAL_CACHE.invalidate(cfg)
 
@@ -191,3 +306,6 @@ def record_cache_metrics(metrics, cache: Optional[AnalysisCache] = None) -> None
     metrics.gauge("cache.hits", cache.hits)
     metrics.gauge("cache.misses", cache.misses)
     metrics.gauge("cache.evictions", cache.evictions)
+    metrics.gauge("cache.analysis.hits", cache.analysis_hits)
+    metrics.gauge("cache.analysis.misses", cache.analysis_misses)
+    metrics.gauge("cache.analysis.evictions", cache.analysis_evictions)

@@ -24,7 +24,12 @@ from repro.ir.function import Function, Program
 from repro.ir.registers import Register
 from repro.ir.types import EdgeKind, Opcode, RegClass
 from repro.lint.diagnostics import LintReport, Severity
-from repro.lint.registry import ir_rule, make_emitter, rules_for
+from repro.lint.registry import (
+    ir_rule,
+    make_emitter,
+    register_alias,
+    rules_for,
+)
 
 #: Opcodes that write predicate registers; a guard must be defined by one
 #: of these on every path to its use (Playdoh predication model).
@@ -282,28 +287,128 @@ def _check_return(function: Function, emit) -> None:
     emit(f"function {function.name} has no return block")
 
 
-@ir_rule("ir.use-def", scope="function", severity=Severity.WARNING,
-         summary="no register is read before any definition reaches it",
+#: Per-function cap on individually-anchored diagnostics for the
+#: flow-sensitive rules; the remainder is folded into one summary line so
+#: a degenerate function cannot flood a corpus report.
+_FLOW_RULE_CAP = 10
+
+
+@ir_rule("ir.uninit-use", scope="function", severity=Severity.WARNING,
+         summary="no register is read before a definition reaches it "
+                 "(must-uninit paths are errors, may-paths warnings)",
          invariant="renaming and exit copies reason about live values; a "
-                   "use with no reaching def reads an undefined register")
-def _check_use_def(function: Function, emit) -> None:
+                   "use that UNINIT reaches reads an undefined register")
+def _check_uninit_use(function: Function, emit) -> None:
+    # Flow-sensitive successor of the old whole-function ``ir.use-def``
+    # warning (that id is aliased to this rule): reaching definitions
+    # classify every read, and must-uninit reads carry one offending
+    # entry-to-use path in the hint.
     cfg = function.cfg
     if cfg.entry is None:
         return
-    from repro.ir.analysis_cache import liveness_of
+    from repro.ir.analysis_cache import reaching_definitions_of
 
-    liveness = liveness_of(cfg)
-    params = set(function.params)
-    undefined = [reg for reg in liveness.live_in(cfg.entry)
-                 if reg not in params]
-    if undefined:
-        shown = sorted(undefined)
-        names = ", ".join(str(reg) for reg in shown[:8])
-        if len(shown) > 8:
-            names += f", ... {len(shown) - 8} more"
-        emit(f"possibly undefined at entry: {names}",
-             block=cfg.entry.bid,
-             hint="some path reads these registers before writing them")
+    reaching = reaching_definitions_of(function)
+    uses = reaching.uninit_uses()
+    overflow = {"must": 0, "may": 0}
+    shown = 0
+    for use in uses:
+        if shown >= _FLOW_RULE_CAP:
+            overflow[use.kind] += 1
+            continue
+        shown += 1
+        path = reaching.def_free_path(use.reg, use.block)
+        route = " -> ".join(path)
+        if use.kind == "must":
+            emit(f"{use.reg} is read by {use.op.opcode.value} but no "
+                 "definition reaches it on any path",
+                 block=use.block.bid, op=use.op.uid,
+                 severity=Severity.ERROR,
+                 hint=(f"every path avoids a definition; e.g. {route}"
+                       if route else "define the register before use"))
+        else:
+            emit(f"{use.reg} may be read by {use.op.opcode.value} before "
+                 "it is defined",
+                 block=use.block.bid, op=use.op.uid,
+                 severity=Severity.WARNING,
+                 hint=(f"uninitialized along {route}" if route
+                       else "some path avoids every definition"))
+    if overflow["must"] or overflow["may"]:
+        worst = (Severity.ERROR if overflow["must"]
+                 else Severity.WARNING)
+        emit(f"... {overflow['must']} more must-uninitialized and "
+             f"{overflow['may']} more may-uninitialized read(s) "
+             f"(first {_FLOW_RULE_CAP} shown)",
+             block=cfg.entry.bid, severity=worst)
+
+
+# ``ir.uninit-use`` subsumes the path-insensitive ``ir.use-def`` rule of
+# earlier releases; the old id keeps resolving (``--fail-on``, saved
+# JSON reports) through the registry alias table.
+register_alias("ir.use-def", "ir.uninit-use")
+
+
+@ir_rule("ir.dead-store", scope="function", severity=Severity.WARNING,
+         summary="no op computes a value nothing ever reads",
+         invariant="a side-effect-free op whose destinations are all dead "
+                   "wastes an issue slot in every schedule containing it")
+def _check_dead_store(function: Function, emit) -> None:
+    from repro.ir.analysis_cache import live_ranges_of
+
+    ranges = live_ranges_of(function.cfg)
+    stores = ranges.dead_stores()
+    for dead in stores[:_FLOW_RULE_CAP]:
+        dests = ", ".join(str(reg) for reg in dead.op.dests)
+        emit(f"{dests} = {dead.op.opcode.value} is never read",
+             block=dead.block.bid, op=dead.op.uid,
+             hint="delete the op or use its result")
+    if len(stores) > _FLOW_RULE_CAP:
+        emit(f"... {len(stores) - _FLOW_RULE_CAP} more dead store(s) "
+             f"(first {_FLOW_RULE_CAP} shown)",
+             block=stores[_FLOW_RULE_CAP].block.bid)
+
+
+@ir_rule("ir.unreachable-block", scope="cfg", severity=Severity.WARNING,
+         summary="every block is reachable along some executable path",
+         invariant="unreachable blocks inflate code-expansion accounting "
+                   "and schedule dead regions")
+def _check_unreachable(cfg: CFG, emit) -> None:
+    if cfg.entry is None:
+        return
+    from repro.ir.analysis_cache import reachability_of
+
+    reach = reachability_of(cfg)
+    dead = reach.unreachable_blocks()
+    for block in dead[:_FLOW_RULE_CAP]:
+        emit(f"bb{block.bid} is unreachable from the entry",
+             block=block.bid,
+             hint="no executable path reaches it (constant branches "
+                  "considered); remove it or fix the branch")
+    if len(dead) > _FLOW_RULE_CAP:
+        emit(f"... {len(dead) - _FLOW_RULE_CAP} more unreachable "
+             f"block(s) (first {_FLOW_RULE_CAP} shown)",
+             block=dead[_FLOW_RULE_CAP].bid)
+
+
+@ir_rule("ir.const-branch", scope="cfg", severity=Severity.WARNING,
+         summary="no branch's outcome is decided at compile time",
+         invariant="a constant branch is control flow the optimizer "
+                   "should have folded; its dead arm pollutes region "
+                   "formation")
+def _check_const_branch(cfg: CFG, emit) -> None:
+    if cfg.entry is None:
+        return
+    from repro.ir.analysis_cache import reachability_of
+
+    reach = reachability_of(cfg)
+    for decided in reach.const_branches:
+        dead_targets = ", ".join(
+            f"bb{edge.dst.bid}" for edge in decided.dead_edges
+        )
+        emit(f"{decided.op.opcode.value} in bb{decided.block.bid} is "
+             f"{decided.decision}",
+             block=decided.block.bid, op=decided.op.uid,
+             hint=f"the arm(s) toward {dead_targets} never execute")
 
 
 # ----------------------------------------------------------------------

@@ -151,6 +151,33 @@ def _check_resources(ctx: ScheduleContext, emit) -> None:
                  f"(cap {br_cap})", block=ctx.region.root.bid)
 
 
+@schedule_rule("sched.pressure-exceeds-class", severity=Severity.WARNING,
+               summary="estimated register pressure fits the machine's "
+                       "per-class register files",
+               invariant="pressure is a clique in the interference graph: "
+                         "a region whose peak simultaneously-live count "
+                         "exceeds the file size cannot be allocated "
+                         "without spills the schedule does not model")
+def _check_pressure(ctx: ScheduleContext, emit) -> None:
+    caps = ctx.machine.registers_per_class
+    if not caps or ctx.liveness is None:
+        return  # paper presets: unbounded files, rule disarmed
+    from repro.analysis.liveranges import block_peak_pressure
+
+    for block in ctx.region:
+        peak = block_peak_pressure(block, ctx.liveness.live_out(block))
+        for rclass, cap in caps.items():
+            count = peak.get(rclass, 0)
+            if count > cap:
+                emit(f"bb{block.bid} keeps {count} {rclass.value} "
+                     f"registers simultaneously live "
+                     f"(file holds {cap})",
+                     block=block.bid,
+                     hint="any allocation of this region spills; "
+                          "pressure is pre-renaming, so the scheduled "
+                          "demand is at least this high")
+
+
 # ----------------------------------------------------------------------
 # Dependence rules
 

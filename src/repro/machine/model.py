@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.ir.operation import Operation
-from repro.ir.types import Opcode
+from repro.ir.types import Opcode, RegClass
 
 #: Latencies from Section 3 of the paper; ops not listed take 1 cycle.
 DEFAULT_LATENCIES: Dict[Opcode, int] = {
@@ -52,6 +52,13 @@ class MachineModel:
         max_branches_per_cycle: Optional cap on branch ops per cycle
             (None = unlimited; the paper notes multiple predicated branches
             per cycle "providing the architecture allows it").
+        registers_per_class: Optional architected register-file sizes per
+            :class:`~repro.ir.types.RegClass`.  The paper's machines have
+            effectively unbounded files (renaming mints fresh names
+            freely), so the presets leave this ``None``; setting it arms
+            the ``sched.pressure-exceeds-class`` lint rule for ablation
+            studies of constrained register files.  Classes absent from
+            the dict are unbounded.
     """
 
     name: str
@@ -61,6 +68,7 @@ class MachineModel:
     use_btr: bool = True
     max_memory_per_cycle: Optional[int] = None
     max_branches_per_cycle: Optional[int] = None
+    registers_per_class: Optional[Dict[RegClass, int]] = None
 
     def latency(self, op: Operation) -> int:
         """Cycles from issue until the op's results are readable.

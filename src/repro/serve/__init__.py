@@ -28,7 +28,7 @@ The layers, bottom up (see DESIGN.md §10–§12):
   ``repro soak`` and ``benchmarks/test_load_snapshot.py``;
 * :mod:`repro.serve.events` — the size-rotated JSONL lifecycle event
   log, and :mod:`repro.serve.top` — the ``repro top`` ANSI dashboard
-  over the ``STATS``/``HEALTH`` wire ops (see DESIGN.md §14).
+  over the ``STATS``/``HEALTH`` wire ops (see DESIGN.md §13).
 """
 
 from repro.serve.jobs import (

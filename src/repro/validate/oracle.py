@@ -103,8 +103,8 @@ class Mismatch:
     """One disagreement between two backends on one program."""
 
     #: Which oracle check failed: ``result``, ``memory``, ``cycles``,
-    #: ``verify``, ``lint``, ``engine``, ``store``, ``interp-crash``,
-    #: or ``sim-crash``.
+    #: ``verify``, ``lint``, ``engine``, ``store``, ``region-memo``,
+    #: ``analysis``, ``interp-crash``, or ``sim-crash``.
     check: str
     expected: str
     actual: str
@@ -597,6 +597,80 @@ def check_region_memo_identity(
     return mismatches
 
 
+def check_analysis_soundness(
+    program: Program,
+    name: str,
+    grid: Sequence[Cell],
+) -> List[Mismatch]:
+    """The dataflow engine's schedule-height bounds must hold on ``grid``.
+
+    Runs :func:`repro.analysis.driver.analyze_program` over the grid's
+    (non-hyperblock) schemes, machines, and heuristics: every region's
+    critical-path / resource lower bound must be <= every achieved
+    height, and the flow-sensitive IR lint must find no errors (a
+    must-uninitialized use in a generated program would mean the
+    generator or the analysis is broken).  Totality first: an analysis
+    crash is itself a mismatch, never an exception out of the oracle.
+    """
+    from repro.analysis.driver import analyze_program
+    from repro.api import make_scheme
+
+    schemes = []
+    for spec in {cell.scheme: None for cell in grid}:
+        if make_scheme(spec).name != "hyperblock":
+            schemes.append(spec)
+    if not schemes:
+        return []
+    machines = list({cell.machine: None for cell in grid})
+    heuristics = list({cell.heuristic: None for cell in grid})
+    try:
+        result = analyze_program(
+            program, name=name, schemes=schemes, machines=machines,
+            heuristics=heuristics,
+        )
+    except Exception as error:
+        return [Mismatch(
+            check="analysis",
+            expected="dataflow analysis completes",
+            actual=type(error).__name__,
+            detail=_crash_detail(error),
+        )]
+    mismatches: List[Mismatch] = []
+    for row in result["regions"]:
+        if row["sound"]:
+            continue
+        achieved = ", ".join(
+            f"{heuristic}={height}"
+            for heuristic, height in row["achieved"].items()
+        )
+        mismatches.append(Mismatch(
+            check="analysis",
+            cell=Cell(row["scheme"], row["machine"],
+                      min(row["achieved"], key=row["achieved"].get)),
+            expected=f"lower bound {row['lower_bound']} <= best height "
+                     f"{row['best']}",
+            actual=achieved,
+            detail=f"{row['function']}/bb{row['root']}: unsound bound "
+                   f"(cp={row['critical_path']}, "
+                   f"res={row['resource_bound']})",
+        ))
+    lint = result.get("lint")
+    if lint is not None and lint["errors"]:
+        rules = sorted({
+            d["rule"] for d in lint["diagnostics"]
+            if d["severity"] == "error"
+        })
+        mismatches.append(Mismatch(
+            check="analysis",
+            expected="flow-sensitive lint finds no errors",
+            actual=f"{lint['errors']} error(s)",
+            detail="generated programs must be clean under the "
+                   "flow-sensitive rules",
+            rules=rules,
+        ))
+    return mismatches
+
+
 # ----------------------------------------------------------------------
 # Whole-program entry points
 
@@ -641,6 +715,7 @@ def check_generated(
     engine_jobs: int = 0,
     store_check: bool = False,
     region_memo_check: bool = False,
+    analysis_check: bool = False,
 ) -> OracleReport:
     """The full oracle for one generated program.
 
@@ -653,7 +728,11 @@ def check_generated(
     the runner alongside the engine check).  ``region_memo_check=True``
     runs :func:`check_region_memo_identity` — direct vs cold/warm/disk
     region-memoized evaluation, results and counters bit-identical
-    (same sampling cadence).
+    (same sampling cadence).  ``analysis_check=True`` runs
+    :func:`check_analysis_soundness` — the dataflow engine's schedule-
+    height lower bounds must hold against every achieved height on the
+    grid, and the flow-sensitive lint must find no errors (same
+    sampling cadence again).
     """
     if grid is None:
         grid = default_grid()
@@ -671,6 +750,10 @@ def check_generated(
         ))
     if region_memo_check:
         report.mismatches.extend(check_region_memo_identity(
+            generated.program, generated.name, grid,
+        ))
+    if analysis_check:
+        report.mismatches.extend(check_analysis_soundness(
             generated.program, generated.name, grid,
         ))
     return report

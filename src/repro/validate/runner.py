@@ -115,7 +115,8 @@ def _run_seed(
     # campaigns too.
     report = check_generated(generated, grid=grid, engine_jobs=engine_jobs,
                              store_check=engine_jobs > 0,
-                             region_memo_check=engine_jobs > 0)
+                             region_memo_check=engine_jobs > 0,
+                             analysis_check=engine_jobs > 0)
     failure = None
     if report.mismatches and shrink:
         failure = minimize_failure(

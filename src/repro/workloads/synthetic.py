@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 from repro.ir.builder import IRBuilder
 from repro.ir.cfg import BasicBlock
+from repro.ir.liveness import compute_liveness
 from repro.ir.function import Function, Program
 from repro.ir.registers import Register
 from repro.ir.types import CompareCond
@@ -387,6 +388,15 @@ class _Generator:
         self.b.at(block)
         self._fill_block()
         self.b.ret(self._operand())
+        # The pool deliberately reuses destination registers across sibling
+        # arms, so some registers are read on paths that bypass every def.
+        # Those are genuine implicit inputs of the generated function:
+        # declare them as parameters so the IR is closed under flow-
+        # sensitive use-def (the benchmarks are never interpreted, so the
+        # extra parameters change nothing but the function signature).
+        liveness = compute_liveness(self.function.cfg)
+        entry_live = liveness.live_in(self.function.cfg.entry)
+        self.function.params = sorted(entry_live)
         return self.function
 
 

@@ -102,6 +102,108 @@ class TestLiveness:
             assert live.live_into_edge(edge) == live.live_in(edge.dst)
 
 
+class TestDegenerateCfgs:
+    """Edge shapes both dominators and liveness must not choke on:
+    unreachable blocks, self-loops, entry-as-exit, and opless blocks."""
+
+    def _unreachable(self):
+        fn = Function("orphaned")
+        b = IRBuilder(fn)
+        entry = b.block("entry")
+        orphan = b.block("orphan")
+        b.at(entry)
+        b.ret(0)
+        b.at(orphan)
+        b.ret(1)
+        return fn, entry, orphan
+
+    def _self_loop(self):
+        fn = Function("spin", [Register(RegClass.GPR, 0)])
+        fn.regs.reserve(Register(RegClass.GPR, 0))
+        b = IRBuilder(fn)
+        entry = b.block("entry")
+        body = b.block("body")
+        exit_bb = b.block("exit")
+        b.at(entry)
+        x = b.mov(0)
+        b.fallthrough(body)
+        b.at(body)
+        p = b.cmpp(CompareCond.LT, x, fn.params[0])
+        b.br_true(p, body, exit_bb)
+        b.at(exit_bb)
+        b.ret(x)
+        return fn, body, x
+
+    def _opless_middle(self):
+        fn = Function("hollow")
+        b = IRBuilder(fn)
+        entry = b.block("entry")
+        mid = b.block("mid")
+        exit_bb = b.block("exit")
+        b.at(entry)
+        x = b.mov(3)
+        b.fallthrough(mid)
+        b.at(mid)
+        b.fallthrough(exit_bb)
+        b.at(exit_bb)
+        b.ret(x)
+        return fn, mid, x
+
+    def test_dominators_skip_unreachable_blocks(self):
+        fn, entry, orphan = self._unreachable()
+        dom = DominatorTree(fn.cfg)
+        assert dom.idom(orphan) is None
+        assert not dom.dominates(entry, orphan)
+        assert not dom.dominates(orphan, entry)
+        assert orphan not in dom.dominated_by(entry)
+
+    def test_liveness_unreachable_block_still_has_sets(self):
+        fn, entry, orphan = self._unreachable()
+        live = compute_liveness(fn.cfg)
+        # The orphan's ret reads nothing; its sets exist and are empty.
+        assert live.live_in(orphan) == frozenset()
+        assert live.live_out(orphan) == frozenset()
+
+    def test_self_loop_dominance(self):
+        fn, body, _ = self._self_loop()
+        dom = DominatorTree(fn.cfg)
+        assert dom.dominates(body, body)
+        assert not dom.strictly_dominates(body, body)
+        assert dom.idom(body) is not body  # idom is the entry, not self
+
+    def test_self_loop_carries_liveness_around(self):
+        fn, body, x = self._self_loop()
+        live = compute_liveness(fn.cfg)
+        # x is read in the loop and after it: live around the back edge.
+        assert x in live.live_in(body)
+        assert x in live.live_out(body)
+        back = next(e for e in body.out_edges if e.dst is body)
+        assert live.live_into_edge(back) == live.live_in(body)
+
+    def test_entry_is_also_exit(self):
+        fn = Function("one", [Register(RegClass.GPR, 0)])
+        fn.regs.reserve(Register(RegClass.GPR, 0))
+        b = IRBuilder(fn)
+        entry = b.block("entry")
+        b.at(entry)
+        b.ret(fn.params[0])
+        dom = DominatorTree(fn.cfg)
+        assert dom.idom(entry) is None
+        assert dom.dominates(entry, entry)
+        assert [blk.bid for blk in dom.dominated_by(entry)] == [entry.bid]
+        live = compute_liveness(fn.cfg)
+        assert fn.params[0] in live.live_in(entry)
+        assert live.live_out(entry) == frozenset()
+
+    def test_block_with_no_ops(self):
+        fn, mid, x = self._opless_middle()
+        dom = DominatorTree(fn.cfg)
+        assert dom.strictly_dominates(fn.cfg.entry, mid)
+        live = compute_liveness(fn.cfg)
+        # Nothing defined or used: liveness flows straight through.
+        assert live.live_in(mid) == live.live_out(mid) == frozenset({x})
+
+
 class TestVerifier:
     def test_valid_functions_pass(self):
         for fn in (diamond_function(), loop_function(),
