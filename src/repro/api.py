@@ -393,6 +393,45 @@ def analyze_program(
     )
 
 
+def gap_report(
+    program: Program,
+    *,
+    name: Optional[str] = None,
+    schemes: Optional[Sequence[str]] = None,
+    machines: Optional[Sequence[str]] = None,
+    budget: Optional[int] = None,
+    max_ops: Optional[int] = None,
+    lint: bool = True,
+):
+    """Optimality-gap report for one program (JSON-ready dict).
+
+    Solves every region with the exact branch-and-bound backend
+    (:mod:`repro.exact`), scores each list-scheduler heuristic's height
+    against the proven optimum, and machine-certifies the
+    :mod:`repro.analysis.bounds` lower bounds (``summary.sound`` is
+    False if any bound exceeds a proven optimum).  ``budget`` caps the
+    search per region (default
+    :data:`repro.exact.backend.DEFAULT_NODE_BUDGET`); regions the budget
+    cannot prove are reported ``budget-exceeded`` with the best
+    heuristic height.  ``lint=True`` certifies every exact schedule with
+    the ``sched.*`` legality rules.  See :func:`repro.exact.gap.
+    gap_program`.
+    """
+    from repro.exact.gap import (
+        DEFAULT_MACHINES, DEFAULT_SCHEMES, gap_program,
+    )
+
+    return gap_program(
+        program,
+        name=name,
+        schemes=tuple(schemes) if schemes else DEFAULT_SCHEMES,
+        machines=tuple(machines) if machines else DEFAULT_MACHINES,
+        budget=budget,
+        max_ops=max_ops,
+        lint=lint,
+    )
+
+
 def validate(
     seeds: Union[int, Sequence[int]] = 50,
     *,
@@ -451,6 +490,7 @@ __all__ = [
     "simulate",
     "lint_program",
     "analyze_program",
+    "gap_report",
     "validate",
     "GridCell",
     "CellResult",

@@ -520,6 +520,74 @@ def cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_gap(args) -> int:
+    """Optimality gap: heuristic heights vs proven branch-and-bound optima."""
+    import json as _json
+
+    if (args.file is None) == (not args.corpus):
+        raise CLIError("pass exactly one of FILE or --corpus")
+    schemes = args.schemes.split(",") if args.schemes else None
+    machines = args.machines.split(",") if args.machines else None
+
+    if args.corpus:
+        targets = _corpus_programs()
+    else:
+        program = _load_program(args.file, optimize=args.optimize)
+        if args.args is not None:
+            profile_program(program, inputs=[_parse_args_list(args.args)])
+        targets = [(args.file, program)]
+
+    results = []
+    failed = False
+    for label, program in targets:
+        try:
+            result = api.gap_report(
+                program, name=label, schemes=schemes, machines=machines,
+                budget=args.budget, max_ops=args.max_ops,
+                lint=not args.no_lint,
+            )
+        except ValueError as error:
+            raise CLIError(str(error))
+        results.append(result)
+        summary = result["summary"]
+        bad = summary["unsound_bounds"] > 0 or summary["lint_errors"] > 0
+        failed = failed or bad
+        if args.corpus:
+            status = "FAIL" if bad else "ok"
+            print(f"{label}: {summary['regions']} region(s), "
+                  f"proven {summary['proven']}/{summary['regions']}, "
+                  f"improved {summary['improved']} [{status}]",
+                  file=sys.stderr)
+
+    if args.corpus:
+        from repro.exact.gap import gap_summary
+
+        rows = [row for result in results for row in result["regions"]]
+        skipped = sum(r["summary"]["skipped"] for r in results)
+        heuristics = results[0]["heuristics"] if results else []
+        corpus_summary = gap_summary(rows, heuristics, skipped=skipped)
+
+    if args.format == "json":
+        if args.corpus:
+            payload = {
+                "programs": results,
+                "summary": dict(corpus_summary, programs=len(results)),
+            }
+        else:
+            payload = results[0]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        from repro.exact.gap import format_gap, format_gap_summary
+
+        for result in results:
+            print(format_gap(result))
+            print()
+        if args.corpus and results:
+            print("corpus")
+            print("\n".join(format_gap_summary(corpus_summary, heuristics)))
+    return 1 if failed else 0
+
+
 def cmd_dot(args) -> int:
     from repro.core import form_treegions
     from repro.ir.dot import cfg_to_dot
@@ -1011,6 +1079,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-O", "--optimize", action="store_true",
                    help="apply classic optimizations first")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "gap",
+        help="optimality gap: heuristic schedule heights vs proven "
+             "branch-and-bound optima; certifies the analysis bounds",
+    )
+    p.add_argument("file", nargs="?", default=None)
+    p.add_argument("--corpus", action="store_true",
+                   help="measure every built-in workload instead of FILE")
+    p.add_argument("--schemes", default=None,
+                   help="comma-separated schemes (default: bb,treegion; "
+                        "hyperblock is not supported)")
+    p.add_argument("--machines", default=None,
+                   help="comma-separated machines (default: 4U,8U)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="branch-and-bound node budget per region "
+                        "(default: 50000)")
+    p.add_argument("--max-ops", type=int, default=None, dest="max_ops",
+                   help="skip regions with more schedulable ops")
+    p.add_argument("--no-lint", action="store_true", dest="no_lint",
+                   help="skip sched.* certification of exact schedules")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report output format")
+    p.add_argument("--args", nargs="*", default=None,
+                   help="profile FILE on these arguments first")
+    p.add_argument("-O", "--optimize", action="store_true",
+                   help="apply classic optimizations first")
+    p.set_defaults(func=cmd_gap)
 
     p = sub.add_parser(
         "warm",

@@ -96,12 +96,14 @@ class GridCell:
     heuristic: str
     dominator_parallelism: bool = False
     schedule_copies: bool = False
+    backend: str = "heuristic"
 
     def options(self) -> ScheduleOptions:
         return ScheduleOptions(
             heuristic=self.heuristic,
             dominator_parallelism=self.dominator_parallelism,
             schedule_copies=self.schedule_copies,
+            backend=self.backend,
         )
 
 

@@ -264,6 +264,74 @@ class ReportBuilder:
             )
             self.lines.append("")
 
+    def add_gap(self, budget: int = 20_000) -> None:
+        """Optimality gap: heuristic heights vs proven B&B optima.
+
+        Runs :func:`repro.exact.gap.gap_program` (bb + treegion, 4U +
+        8U) over the report's benchmarks and tabulates, per benchmark,
+        how many regions the exact backend proved within ``budget``
+        nodes and how often each heuristic hit the proven optimum.  The
+        run executes inside the report's metrics scope, so the
+        ``exact.*`` search counters land in the Observability section.
+        """
+        from repro.exact.gap import gap_program, gap_summary
+        from repro.obs.metrics import metrics_scope
+
+        rows = []
+        all_rows: List[Dict[str, object]] = []
+        skipped = 0
+        heuristics = list(HEURISTICS)
+        with metrics_scope(self.metrics):
+            for name in self.benchmarks:
+                program = build_benchmark(name)
+                result = gap_program(program, name=name, budget=budget)
+                summary = result["summary"]
+                all_rows.extend(result["regions"])
+                skipped += summary["skipped"]
+                best = max(
+                    heuristics,
+                    key=lambda h: summary["heuristics"][h]["optimal"],
+                )
+                stats = summary["heuristics"][best]
+                rows.append([
+                    name,
+                    str(summary["regions"]),
+                    f"{summary['proven']}/{summary['regions']}",
+                    f"{best} "
+                    f"({stats['optimal_fraction'] * 100:.0f}%)",
+                    "yes" if summary["sound"] else "**NO**",
+                ])
+        total = gap_summary(all_rows, heuristics, skipped=skipped)
+        self.lines.append("## Exact backend: optimality gap")
+        self.lines.append("")
+        self.lines.append(
+            "Branch-and-bound proven optima (bb + treegion, 4U + 8U, "
+            f"node budget {budget}) against every heuristic's schedule "
+            "height; `best heuristic` is the heuristic most often at "
+            "the proven optimum for that benchmark."
+        )
+        self.lines.append("")
+        self.lines.extend(_table(
+            ["program", "regions", "proven", "best heuristic", "sound"],
+            rows,
+        ))
+        opt = ", ".join(
+            f"{h} {total['heuristics'][h]['optimal_fraction'] * 100:.1f}%"
+            for h in heuristics
+        )
+        self.lines.append(
+            f"Corpus: {total['proven']}/{total['regions']} proven "
+            f"({total['proven_fraction'] * 100:.1f}%); optimal rate — "
+            f"{opt}."
+        )
+        self.lines.append("")
+        if total["unsound_bounds"]:
+            self.lines.append(
+                "**WARNING: an analysis lower bound exceeded a proven "
+                "optimum — soundness bug.**"
+            )
+            self.lines.append("")
+
     def add_observability(self) -> None:
         """Per-stage timing and pipeline-counter tables for the studies
         run so far (plain text inside code fences, stable column order,
@@ -337,5 +405,7 @@ def generate_report(benchmarks: Optional[List[str]] = None,
         builder.add_dynamic_comparison()
     with tracer.span("report.analysis"):
         builder.add_analysis()
+    with tracer.span("report.gap"):
+        builder.add_gap()
     builder.add_observability()
     return builder.render()

@@ -313,15 +313,20 @@ class RegionMemo:
             options.dominator_parallelism,
             options.schedule_copies,
         )
+        # The exact backend is a different pure function of the same
+        # inputs (and its result additionally depends on the node
+        # budget), so its entries key separately; heuristic-backend
+        # keys keep their historical five-part shape, so existing
+        # stores stay valid.
+        if options.backend != "heuristic":
+            key = key + (options.backend, options.exact_budget)
         outer = current_metrics()
 
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
         elif self.store is not None:
-            from repro.serve.store import region_key
-
-            payload = self.store.get_payload(region_key(*key))
+            payload = self.store.get_payload(self._store_key(key))
             if payload is not None and payload.get("kind") == "region":
                 try:
                     entry = _Level2Entry.from_payload(payload)
@@ -380,11 +385,18 @@ class RegionMemo:
         entry.size = len(json.dumps(entry.payload(), sort_keys=True))
         self._remember(key, entry)
         if self.store is not None:
-            from repro.serve.store import region_key
-
-            self.store.put_payload(region_key(*key), entry.payload(),
+            self.store.put_payload(self._store_key(key), entry.payload(),
                                    defer_index=True)
         return schedule
+
+    @staticmethod
+    def _store_key(key: Tuple) -> str:
+        """The content-addressed store key for one tier-2 memo key."""
+        from repro.serve.store import region_key
+
+        if len(key) == 5:
+            return region_key(*key)
+        return region_key(*key[:5], backend=key[5], exact_budget=key[6])
 
     # ------------------------------------------------------------------
 
@@ -443,6 +455,21 @@ class RegionMemo:
         if active is not NULL_METRICS:
             active.merge_snapshot(ddg_entry.snapshot)
 
+        if options.backend == "exact":
+            # The exact backend shares tier 1 wholesale: it resets
+            # placement between its internal heuristic runs with
+            # exactly the entry reset above, so the problem comes back
+            # in the same reusable state as after a list schedule.
+            from repro.exact.backend import exact_schedule_problem
+
+            with timer.stage("exact"), tracer.span("exact"):
+                schedule, _info = exact_schedule_problem(
+                    problem, ddg_entry.ddg, ddg_entry.keys, machine,
+                    options, copies,
+                )
+                _record_schedule_metrics(schedule)
+            problem_entry.used = True
+            return schedule
         with timer.stage("ddg"):
             order = priority_order(problem, ddg_entry.ddg, options.heuristic,
                                    keys=ddg_entry.keys.get(options.heuristic))

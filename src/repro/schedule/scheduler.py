@@ -57,6 +57,16 @@ class ScheduleOptions:
             :class:`~repro.util.errors.ScheduleCertificationError` on any
             error diagnostic.  The certifier also runs — without raising —
             whenever a :func:`repro.lint.collect.lint_scope` is active.
+        backend: ``"heuristic"`` (the list scheduler, default) or
+            ``"exact"`` (branch-and-bound search for a provably minimal
+            schedule height, seeded from the best heuristic schedule;
+            see :mod:`repro.exact`).  The exact backend requires
+            ``dominator_parallelism=False`` and ``schedule_copies=False``
+            and does not cover hyperblocks.
+        exact_budget: Node budget for the exact backend's search (one
+            bundle-extension step per node).  When exceeded the best
+            heuristic schedule is returned unchanged and the result is
+            flagged ``budget-exceeded`` instead of ``proven``.
     """
 
     heuristic: Heuristic = GLOBAL_WEIGHT
@@ -64,6 +74,8 @@ class ScheduleOptions:
     schedule_copies: bool = False
     max_cycles: int = 1_000_000
     certify: bool = False
+    backend: str = "heuristic"
+    exact_budget: int = 50_000
 
 
 def _record_schedule_metrics(schedule: RegionSchedule) -> RegionSchedule:
@@ -106,6 +118,18 @@ def schedule_region(
     ops, changing the index space).
     """
     options = options or ScheduleOptions()
+    if options.backend not in ("heuristic", "exact"):
+        raise ValueError(
+            f"unknown backend {options.backend!r}; "
+            "expected 'heuristic' or 'exact'"
+        )
+    if options.backend == "exact" and (options.dominator_parallelism
+                                       or options.schedule_copies):
+        raise ValueError(
+            "backend='exact' requires dominator_parallelism=False and "
+            "schedule_copies=False (merging and materialized copies "
+            "fall outside the search's legality model)"
+        )
     if liveness is None:
         liveness = liveness_of(region.root.cfg)
     # Hyperblocks go through the if-conversion pipeline: full predication,
@@ -113,6 +137,11 @@ def schedule_region(
     from repro.regions.hyperblock import Hyperblock
 
     if isinstance(region, Hyperblock):
+        if options.backend == "exact":
+            raise ValueError(
+                "the exact backend covers tree-pipeline regions only; "
+                "hyperblocks schedule through a different pipeline"
+            )
         from repro.schedule.hyperblock import schedule_hyperblock
 
         with timer.stage("list_schedule"), \
@@ -141,18 +170,29 @@ def schedule_region(
                 keys = key_cache.get(options.heuristic)
             else:
                 keys = None
-            order = priority_order(problem, ddg, options.heuristic,
-                                   keys=keys)
-        with timer.stage("list_schedule"), tracer.span("list_schedule"):
-            schedule = _record_schedule_metrics(list_schedule(
-                problem,
-                ddg,
-                order,
-                machine,
-                dominator_parallelism=options.dominator_parallelism,
-                copies=copies,
-                max_cycles=options.max_cycles,
-            ))
+        if options.backend == "exact":
+            from repro.exact.backend import exact_schedule_problem
+
+            with timer.stage("exact"), tracer.span("exact"):
+                schedule, _info = exact_schedule_problem(
+                    problem, ddg, key_cache or None, machine, options,
+                    copies,
+                )
+                _record_schedule_metrics(schedule)
+        else:
+            with timer.stage("ddg"):
+                order = priority_order(problem, ddg, options.heuristic,
+                                       keys=keys)
+            with timer.stage("list_schedule"), tracer.span("list_schedule"):
+                schedule = _record_schedule_metrics(list_schedule(
+                    problem,
+                    ddg,
+                    order,
+                    machine,
+                    dominator_parallelism=options.dominator_parallelism,
+                    copies=copies,
+                    max_cycles=options.max_cycles,
+                ))
         if options.certify or current_collector() is not None:
             with timer.stage("certify"), tracer.span("certify"):
                 _certify(problem, ddg, schedule, machine, liveness, options)

@@ -78,7 +78,7 @@ def store_schema() -> str:
 def cell_key(program_text: str, cell: GridCell) -> str:
     """SHA-256 key of one (program, scheme, machine, heuristic) cell."""
     digest = hashlib.sha256()
-    for part in (
+    parts = [
         store_schema(),
         program_text,
         str(SchemeSpec.parse(cell.scheme)),
@@ -86,7 +86,12 @@ def cell_key(program_text: str, cell: GridCell) -> str:
         cell.heuristic,
         f"dp={int(cell.dominator_parallelism)}",
         f"sc={int(cell.schedule_copies)}",
-    ):
+    ]
+    # Appended only when non-default so historical keys stay valid.
+    backend = getattr(cell, "backend", "heuristic")
+    if backend != "heuristic":
+        parts.append(f"backend={backend}")
+    for part in parts:
         digest.update(part.encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
@@ -98,6 +103,8 @@ def region_key(
     heuristic: str,
     dominator_parallelism: bool,
     schedule_copies: bool,
+    backend: str = "heuristic",
+    exact_budget: int = 0,
 ) -> str:
     """SHA-256 key of one memoized region scheduling result.
 
@@ -106,9 +113,14 @@ def region_key(
     the scheme disappears entirely (whatever former produced the region,
     equal content schedules identically).  A ``region`` tag keeps the two
     keyspaces disjoint even under hash-input coincidence.
+
+    Non-default backends key separately: an exact result depends on the
+    node budget (a larger budget may prove a shorter schedule), so the
+    budget is part of the key.  The default backend omits the part
+    entirely, keeping every pre-existing store entry addressable.
     """
     digest = hashlib.sha256()
-    for part in (
+    parts = [
         store_schema(),
         "region",
         region_fp,
@@ -116,7 +128,10 @@ def region_key(
         heuristic,
         f"dp={int(dominator_parallelism)}",
         f"sc={int(schedule_copies)}",
-    ):
+    ]
+    if backend != "heuristic":
+        parts.append(f"backend={backend}:budget={exact_budget}")
+    for part in parts:
         digest.update(part.encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
@@ -139,6 +154,7 @@ def result_to_payload(key: str, result: CellResult) -> Dict[str, object]:
             "heuristic": cell.heuristic,
             "dominator_parallelism": cell.dominator_parallelism,
             "schedule_copies": cell.schedule_copies,
+            "backend": getattr(cell, "backend", "heuristic"),
         },
         "time": result.time,
         "code_expansion": result.code_expansion,
@@ -159,6 +175,7 @@ def result_from_payload(payload: Dict[str, object]) -> CellResult:
             heuristic=cell["heuristic"],
             dominator_parallelism=cell["dominator_parallelism"],
             schedule_copies=cell["schedule_copies"],
+            backend=cell.get("backend", "heuristic"),
         ),
         time=payload["time"],
         code_expansion=payload["code_expansion"],

@@ -289,6 +289,7 @@ def cell_to_wire(cell: GridCell) -> Dict[str, object]:
         "heuristic": cell.heuristic,
         "dominator_parallelism": cell.dominator_parallelism,
         "schedule_copies": cell.schedule_copies,
+        "backend": getattr(cell, "backend", "heuristic"),
     }
 
 
@@ -305,6 +306,7 @@ def cell_from_wire(raw: Dict[str, object]) -> GridCell:
         heuristic=raw.get("heuristic", "global_weight"),
         dominator_parallelism=bool(raw.get("dominator_parallelism", False)),
         schedule_copies=bool(raw.get("schedule_copies", False)),
+        backend=str(raw.get("backend", "heuristic")),
     )
 
 

@@ -609,7 +609,10 @@ def check_analysis_soundness(
     critical-path / resource lower bound must be <= every achieved
     height, and the flow-sensitive IR lint must find no errors (a
     must-uninitialized use in a generated program would mean the
-    generator or the analysis is broken).  Totality first: an analysis
+    generator or the analysis is broken).  A second, stronger pass
+    machine-certifies the bounds against *proven optima* from the exact
+    branch-and-bound backend on small regions
+    (:func:`_check_exact_soundness`).  Totality first: an analysis
     crash is itself a mismatch, never an exception out of the oracle.
     """
     from repro.analysis.driver import analyze_program
@@ -667,6 +670,53 @@ def check_analysis_soundness(
             detail="generated programs must be clean under the "
                    "flow-sensitive rules",
             rules=rules,
+        ))
+    mismatches.extend(_check_exact_soundness(program, schemes, machines))
+    return mismatches
+
+
+def _check_exact_soundness(
+    program: Program,
+    schemes: Sequence[str],
+    machines: Sequence[str],
+) -> List[Mismatch]:
+    """Machine-certify the bounds against proven optima (exact backend).
+
+    The heuristic comparison above only shows a bound <= some achieved
+    height; the branch-and-bound backend proves the actual optimum on
+    small regions, which catches bounds that are unsound yet still under
+    every heuristic's height.  Kept cheap: big regions are skipped and
+    the node budget is small — an unproven region simply contributes no
+    evidence.  Totality first, like the analysis run.
+    """
+    from repro.exact.gap import gap_program
+
+    try:
+        result = gap_program(
+            program, schemes=schemes, machines=machines,
+            budget=2_000, max_ops=20, lint=False,
+        )
+    except Exception as error:
+        return [Mismatch(
+            check="analysis",
+            expected="exact backend completes",
+            actual=type(error).__name__,
+            detail=_crash_detail(error),
+        )]
+    mismatches: List[Mismatch] = []
+    for row in result["regions"]:
+        if row["status"] != "proven" or row["sound"]:
+            continue
+        mismatches.append(Mismatch(
+            check="analysis",
+            cell=Cell(row["scheme"], row["machine"],
+                      min(row["heights"], key=row["heights"].get)),
+            expected=f"lower bound {row['lower_bound']} <= proven "
+                     f"optimum {row['optimum']}",
+            actual=f"optimum={row['optimum']}",
+            detail=f"{row['function']}/bb{row['root']}: bound exceeds "
+                   f"the proven optimum (cp={row['critical_path']}, "
+                   f"res={row['resource_bound']})",
         ))
     return mismatches
 
